@@ -1,0 +1,199 @@
+// Package cloudvar is a library for variability-aware performance
+// experimentation in cloud networks, reproducing "Is Big Data
+// Performance Reproducible in Modern Cloud Networks?" (Uta et al.,
+// NSDI 2020).
+//
+// The package re-exports the stable public surface of the internal
+// packages:
+//
+//   - experiment design and statistical validation (internal/core)
+//   - nonparametric statistics and hypothesis tests (internal/stats)
+//   - CONFIRM repetition planning (internal/confirm)
+//   - the token-bucket shaper model and parameter inference
+//     (internal/tokenbucket)
+//   - the network emulator and cloud profiles (internal/netem,
+//     internal/cloudmodel)
+//   - the Spark-like execution simulator and workload suites
+//     (internal/spark, internal/workloads)
+//   - figure/table regeneration (internal/figures)
+//
+// Quick start:
+//
+//	profile, _ := cloudvar.EC2Profile("c5.xlarge")
+//	src := cloudvar.NewRand(7)
+//	fp, _ := cloudvar.Fingerprint(func() cloudvar.Shaper {
+//		return profile.NewShaper(src)
+//	}, profile.VNIC, cloudvar.FingerprintConfig{}, src)
+//	fmt.Println(fp)
+//
+// See the runnable programs under examples/ for complete scenarios.
+package cloudvar
+
+import (
+	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/confirm"
+	"cloudvar/internal/core"
+	"cloudvar/internal/figures"
+	"cloudvar/internal/netem"
+	"cloudvar/internal/simrand"
+	"cloudvar/internal/spark"
+	"cloudvar/internal/stats"
+	"cloudvar/internal/tokenbucket"
+	"cloudvar/internal/workloads"
+)
+
+// Randomness.
+type (
+	// Rand is a deterministic random source with named substreams.
+	Rand = simrand.Source
+	// QuantileDist samples from quantile-specified distributions.
+	QuantileDist = simrand.QuantileDist
+)
+
+// NewRand returns a deterministic random source.
+func NewRand(seed uint64) *Rand { return simrand.New(seed) }
+
+// Statistics.
+type (
+	// Summary is a descriptive statistics bundle.
+	Summary = stats.Summary
+	// Interval is a confidence interval.
+	Interval = stats.Interval
+	// TestResult is a hypothesis-test outcome.
+	TestResult = stats.TestResult
+)
+
+// Statistical functions.
+var (
+	// Median returns the sample median.
+	Median = stats.Median
+	// Quantile returns an arbitrary sample quantile.
+	Quantile = stats.Quantile
+	// Summarize computes a descriptive Summary.
+	Summarize = stats.Summarize
+	// MedianCI computes a nonparametric median confidence interval.
+	MedianCI = stats.MedianCI
+	// QuantileCI computes a nonparametric quantile CI (Le Boudec).
+	QuantileCI = stats.QuantileCI
+	// ShapiroWilk tests normality.
+	ShapiroWilk = stats.ShapiroWilk
+	// MannWhitneyU tests two samples for distribution equality.
+	MannWhitneyU = stats.MannWhitneyU
+	// CohenKappa measures inter-rater agreement.
+	CohenKappa = stats.CohenKappa[string]
+)
+
+// Experiment methodology (the paper's Section 5 guidance).
+type (
+	// Design specifies repetitions, confidence and hygiene.
+	Design = core.Design
+	// Result is a designed experiment's outcome.
+	Result = core.Result
+	// Trial produces one measurement.
+	Trial = core.Trial
+	// Environment exposes reset/rest hooks to the runner.
+	Environment = core.Environment
+	// ValidationReport is the iid-assumption check battery.
+	ValidationReport = core.ValidationReport
+	// PlatformFingerprint is the F5.2 baseline record.
+	PlatformFingerprint = core.Fingerprint
+	// FingerprintConfig tunes fingerprint micro-benchmarks.
+	FingerprintConfig = core.FingerprintConfig
+	// ConfirmAnalysis is a CONFIRM repetition-planning trace.
+	ConfirmAnalysis = confirm.Analysis
+)
+
+// Methodology functions.
+var (
+	// RunExperiment executes a designed experiment.
+	RunExperiment = core.Run
+	// RunSuite executes several experiments in randomised order.
+	RunSuite = core.RunSuite
+	// DefaultDesign returns the recommended fixed design.
+	DefaultDesign = core.DefaultDesign
+	// ValidateSamples runs the F5.4 statistical checks.
+	ValidateSamples = core.Validate
+	// CompareMedians tests whether two results are distinguishable.
+	CompareMedians = core.CompareMedians
+	// Fingerprint micro-benchmarks an emulated network path.
+	Fingerprint = core.FingerprintShaper
+	// Confirm runs CONFIRM over a measurement sequence.
+	Confirm = confirm.Analyze
+)
+
+// Network emulation.
+type (
+	// Shaper is an egress rate controller.
+	Shaper = netem.Shaper
+	// Network is the fluid-flow emulator.
+	Network = netem.Network
+	// VNICModel captures virtual-NIC latency/retransmission behaviour.
+	VNICModel = netem.VNICModel
+	// TokenBucketParams parameterises the EC2-style shaper.
+	TokenBucketParams = tokenbucket.Params
+	// TokenBucket is a continuous-time token bucket.
+	TokenBucket = tokenbucket.Bucket
+	// CloudProfile bundles a cloud's shaper and vNIC models.
+	CloudProfile = cloudmodel.Profile
+)
+
+// Emulation constructors.
+var (
+	// NewNetwork builds an empty fluid-flow network.
+	NewNetwork = netem.NewNetwork
+	// NewTokenBucket builds a token bucket.
+	NewTokenBucket = tokenbucket.New
+	// InferTokenBucket recovers bucket parameters from a trace.
+	InferTokenBucket = tokenbucket.InferParams
+	// EC2Profile models an Amazon c5-family path.
+	EC2Profile = cloudmodel.EC2Profile
+	// GCEProfile models a Google Cloud path.
+	GCEProfile = cloudmodel.GCEProfile
+	// HPCCloudProfile models the private research cloud.
+	HPCCloudProfile = cloudmodel.HPCCloudProfile
+	// EC2VNIC and GCEVNIC are the measured vNIC models.
+	EC2VNIC = netem.EC2VNIC
+	GCEVNIC = netem.GCEVNIC
+)
+
+// Big-data simulation.
+type (
+	// SparkCluster is the Spark-like execution simulator.
+	SparkCluster = spark.Cluster
+	// SparkJob is a stage DAG.
+	SparkJob = spark.Job
+	// SparkRunOptions tunes one job execution (sampling hooks).
+	SparkRunOptions = spark.RunOptions
+	// Workload is a named benchmark profile.
+	Workload = workloads.App
+)
+
+// Workload catalogs.
+var (
+	// HiBench returns the five HiBench application profiles.
+	HiBench = workloads.HiBench
+	// TPCDS returns the 21 TPC-DS query profiles.
+	TPCDS = workloads.TPCDS
+	// WorkloadByName resolves any workload by name.
+	WorkloadByName = workloads.ByName
+	// Table4Cluster builds the paper's 12-node token-bucket rig.
+	Table4Cluster = workloads.Table4Cluster
+)
+
+// Figure regeneration.
+type (
+	// Artifact is one regenerated table or figure.
+	Artifact = figures.Table
+	// ArtifactConfig controls seed and scale.
+	ArtifactConfig = figures.Config
+)
+
+// Artifact functions.
+var (
+	// GenerateArtifact regenerates one paper table/figure by ID.
+	GenerateArtifact = figures.Generate
+	// GenerateAllArtifacts regenerates everything.
+	GenerateAllArtifacts = figures.GenerateAll
+	// ArtifactIDs lists the regenerable artifacts.
+	ArtifactIDs = figures.IDs
+)

@@ -1,0 +1,130 @@
+// Command cloudbench runs emulated bandwidth/latency measurement
+// campaigns against the cloud profiles (Section 3 of the paper).
+//
+// Usage:
+//
+//	cloudbench -cloud ec2|gce|hpccloud [-instance c5.xlarge|8] \
+//	           [-regime full-speed|10-30|5-30|all] [-hours H] \
+//	           [-seed N] [-csv FILE]
+//
+// Output: a per-regime statistical summary; with -csv, the raw
+// 10-second series in the released-data format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/simrand"
+	"cloudvar/internal/trace"
+)
+
+func main() {
+	cloud := flag.String("cloud", "ec2", "cloud profile: ec2, gce or hpccloud")
+	instance := flag.String("instance", "", "instance: EC2 c5.* name, or core count for gce/hpccloud")
+	regime := flag.String("regime", "all", "access regime: full-speed, 10-30, 5-30 or all")
+	hours := flag.Float64("hours", 6, "emulated campaign duration in hours")
+	seed := flag.Uint64("seed", 1, "random seed")
+	csvPath := flag.String("csv", "", "write the raw series to this CSV file (single regime only)")
+	flag.Parse()
+
+	profile, err := buildProfile(*cloud, *instance)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := cloudmodel.DefaultCampaignConfig(*hours * 3600)
+	src := simrand.New(*seed)
+
+	regimes := trace.Regimes()
+	if *regime != "all" {
+		r, err := trace.RegimeByName(*regime)
+		if err != nil {
+			fatal(err)
+		}
+		regimes = []trace.Regime{r}
+	}
+	if *csvPath != "" && len(regimes) != 1 {
+		fatal(fmt.Errorf("-csv needs a single -regime"))
+	}
+
+	fmt.Printf("campaign: %s/%s, %.1f emulated hours, seed %d\n\n",
+		profile.Cloud, profile.Instance, *hours, *seed)
+	fmt.Printf("%-12s %8s %8s %8s %8s %8s %8s %10s\n",
+		"regime", "p1", "p25", "p50", "p75", "p99", "CoV[%]", "retrans")
+	for _, r := range regimes {
+		s, err := cloudmodel.RunCampaign(profile, r, cfg, src.Substream(r.Name))
+		if err != nil {
+			fatal(err)
+		}
+		sum := s.Summary()
+		fmt.Printf("%-12s %8.2f %8.2f %8.2f %8.2f %8.2f %8.1f %10d\n",
+			r.Name, sum.P01, sum.P25, sum.Median, sum.P75, sum.P99,
+			sum.CoV*100, s.RetransmissionTotal())
+		if *csvPath != "" {
+			if err := writeCSV(*csvPath, s); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("raw series written to %s (%d points)\n", *csvPath, len(s.Points))
+		}
+	}
+
+	// Fingerprint-style advice (F5.2): warn when the campaign shows a
+	// deterministic throttle.
+	if *cloud == "ec2" {
+		fmt.Println("\nnote: EC2 profiles carry token-bucket state; rest VMs or allocate fresh")
+		fmt.Println("      ones between experiments (paper F5.4), and record the Figure 11")
+		fmt.Println("      bucket parameters alongside any published numbers (F5.2).")
+	}
+}
+
+func buildProfile(cloud, instance string) (cloudmodel.Profile, error) {
+	switch cloud {
+	case "ec2":
+		if instance == "" {
+			instance = "c5.xlarge"
+		}
+		return cloudmodel.EC2Profile(instance)
+	case "gce":
+		cores := 8
+		if instance != "" {
+			v, err := strconv.Atoi(instance)
+			if err != nil {
+				return cloudmodel.Profile{}, fmt.Errorf("gce instance must be a core count: %w", err)
+			}
+			cores = v
+		}
+		return cloudmodel.GCEProfile(cores)
+	case "hpccloud":
+		cores := 8
+		if instance != "" {
+			v, err := strconv.Atoi(instance)
+			if err != nil {
+				return cloudmodel.Profile{}, fmt.Errorf("hpccloud instance must be a core count: %w", err)
+			}
+			cores = v
+		}
+		return cloudmodel.HPCCloudProfile(cores)
+	default:
+		return cloudmodel.Profile{}, fmt.Errorf("unknown cloud %q", cloud)
+	}
+}
+
+func writeCSV(path string, s *trace.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cloudbench:", err)
+	os.Exit(1)
+}

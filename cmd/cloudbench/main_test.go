@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestBuildProfile(t *testing.T) {
+	cases := []struct {
+		cloud, instance string
+		wantCloud       string
+		wantRate        float64
+	}{
+		{"ec2", "", "ec2", 10},
+		{"ec2", "c5.4xlarge", "ec2", 10},
+		{"gce", "", "gce", 16},
+		{"gce", "4", "gce", 8},
+		{"hpccloud", "", "hpccloud", 10},
+		{"hpccloud", "4", "hpccloud", 5},
+	}
+	for _, c := range cases {
+		p, err := buildProfile(c.cloud, c.instance)
+		if err != nil {
+			t.Errorf("buildProfile(%q, %q): %v", c.cloud, c.instance, err)
+			continue
+		}
+		if p.Cloud != c.wantCloud {
+			t.Errorf("buildProfile(%q, %q).Cloud = %q", c.cloud, c.instance, p.Cloud)
+		}
+		if p.LineRateGbps != c.wantRate {
+			t.Errorf("buildProfile(%q, %q).LineRateGbps = %g, want %g",
+				c.cloud, c.instance, p.LineRateGbps, c.wantRate)
+		}
+	}
+}
+
+func TestBuildProfileErrors(t *testing.T) {
+	cases := [][2]string{
+		{"azure", ""},
+		{"ec2", "m7g.large"},
+		{"gce", "not-a-number"},
+		{"gce", "0"},
+		{"hpccloud", "16"},
+		{"hpccloud", "abc"},
+	}
+	for _, c := range cases {
+		if _, err := buildProfile(c[0], c[1]); err == nil {
+			t.Errorf("buildProfile(%q, %q) should fail", c[0], c[1])
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command netmeasure runs real-TCP measurements over loopback: an
+// iperf-style bulk transfer and an application-level RTT probe, with
+// optional EC2-style token-bucket shaping on the sender — the live
+// demonstration of the phenomena the emulator models.
+//
+// Usage:
+//
+//	netmeasure [-mode bulk|rtt|both] [-duration D] [-write BYTES]
+//	           [-shape high,low,budget  e.g. 16e6,2e6,2e6 (bytes/s, bytes)]
+//	           [-pings N] [-payload BYTES]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"cloudvar/internal/measure"
+)
+
+func main() {
+	mode := flag.String("mode", "both", "bulk, rtt or both")
+	duration := flag.Duration("duration", 2*time.Second, "bulk transfer length")
+	interval := flag.Duration("interval", 250*time.Millisecond, "bulk summarisation window")
+	write := flag.Int("write", 128<<10, "socket write size in bytes (the Figure 12 variable)")
+	shape := flag.String("shape", "", "token-bucket shaping: high,low,budget (bytes/s, bytes/s, bytes)")
+	pings := flag.Int("pings", 200, "RTT probe count")
+	payload := flag.Int("payload", 64, "RTT payload bytes")
+	flag.Parse()
+
+	server, err := measure.NewServer()
+	if err != nil {
+		fatal(err)
+	}
+	defer server.Close()
+	fmt.Printf("server listening on %s\n\n", server.Addr())
+
+	if *mode == "bulk" || *mode == "both" {
+		var limiter *measure.RateLimiter
+		if *shape != "" {
+			limiter, err = parseShape(*shape)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		res, err := measure.RunBulk(server.Addr(), measure.BulkConfig{
+			Duration:   *duration,
+			Interval:   *interval,
+			WriteBytes: *write,
+			Limiter:    limiter,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bulk: %d bytes in %v (%.1f Mbps mean), %d intervals\n",
+			res.TotalBytes, res.Duration.Round(time.Millisecond), res.MeanMbps(), len(res.Intervals))
+		for _, iv := range res.Intervals {
+			fmt.Printf("  t+%-8v %10.1f Mbps\n", iv.Start.Round(time.Millisecond), iv.Mbps)
+		}
+		if limiter != nil {
+			fmt.Printf("  shaping: tokens left %.0f bytes, throttled=%v\n",
+				limiter.Tokens(), limiter.Throttled())
+		}
+		fmt.Println()
+	}
+
+	if *mode == "rtt" || *mode == "both" {
+		rtts, err := measure.MeasureRTT(server.Addr(), *pings, *payload)
+		if err != nil {
+			fatal(err)
+		}
+		sorted := append([]time.Duration(nil), rtts...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		pick := func(p float64) time.Duration {
+			idx := int(p * float64(len(sorted)-1))
+			return sorted[idx]
+		}
+		fmt.Printf("rtt (%d pings, %d B payload): p50 %v  p90 %v  p99 %v  max %v\n",
+			len(rtts), *payload, pick(0.5), pick(0.9), pick(0.99), sorted[len(sorted)-1])
+	}
+}
+
+func parseShape(s string) (*measure.RateLimiter, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("netmeasure: -shape wants high,low,budget")
+	}
+	var high, low, budget float64
+	if _, err := fmt.Sscanf(parts[0], "%g", &high); err != nil {
+		return nil, fmt.Errorf("netmeasure: parsing high rate: %w", err)
+	}
+	if _, err := fmt.Sscanf(parts[1], "%g", &low); err != nil {
+		return nil, fmt.Errorf("netmeasure: parsing low rate: %w", err)
+	}
+	if _, err := fmt.Sscanf(parts[2], "%g", &budget); err != nil {
+		return nil, fmt.Errorf("netmeasure: parsing budget: %w", err)
+	}
+	return measure.NewRateLimiter(budget, low, high, low)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netmeasure:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseShape(t *testing.T) {
+	lim, err := parseShape("16e6,2e6,4e6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim == nil {
+		t.Fatal("nil limiter")
+	}
+	if tok := lim.Tokens(); tok < 3.9e6 || tok > 4.1e6 {
+		t.Errorf("initial tokens = %g, want ~4e6", tok)
+	}
+}
+
+func TestParseShapeErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"1,2",
+		"1,2,3,4",
+		"x,2,3",
+		"1,y,3",
+		"1,2,z",
+		"1e6,2e6,1e6", // low above high
+	}
+	for _, c := range cases {
+		if _, err := parseShape(c); err == nil {
+			t.Errorf("parseShape(%q) should fail", c)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command reproduce regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	reproduce [-artifact all|table1|figure3a|...] [-seed N] [-scale F] [-outdir DIR]
+//
+// With -outdir, each artifact is also written to DIR/<id>.txt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cloudvar/internal/figures"
+)
+
+func main() {
+	artifact := flag.String("artifact", "all", "artifact ID to regenerate, or 'all'")
+	seed := flag.Uint64("seed", 191209256, "random seed (default: the paper's arXiv id)")
+	scale := flag.Float64("scale", 0.25, "experiment scale in (0, 1]; 1 = full paper-size runs")
+	outdir := flag.String("outdir", "", "optional directory for per-artifact text files")
+	list := flag.Bool("list", false, "list artifact IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range figures.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := figures.Config{Seed: *seed, Scale: *scale}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	var tables []figures.Table
+	if *artifact == "all" {
+		all, err := figures.GenerateAll(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		tables = all
+	} else {
+		t, err := figures.Generate(*artifact, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		tables = []figures.Table{t}
+	}
+
+	for _, t := range tables {
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *outdir != "" {
+			if err := writeArtifact(*outdir, t); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func writeArtifact(dir string, t figures.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, t.ID+".txt")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := t.Render(f); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reproduce:", err)
+	os.Exit(1)
+}

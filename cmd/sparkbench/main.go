@@ -1,0 +1,117 @@
+// Command sparkbench runs the Section 4 big-data experiments on the
+// emulated token-bucket cluster: any HiBench app or TPC-DS query, at
+// any initial budget, with proper statistics.
+//
+// Usage:
+//
+//	sparkbench [-app terasort|q65|...] [-budget GBIT] [-reps N] \
+//	           [-consecutive] [-rest SEC] [-seed N]
+//
+// By default every repetition runs on a fresh cluster (independent
+// runs). -consecutive reuses one cluster across repetitions, exposing
+// the Figure 19 budget-depletion pathology; -rest idles the cluster
+// between consecutive runs, the paper's mitigation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudvar/internal/core"
+	"cloudvar/internal/simrand"
+	"cloudvar/internal/spark"
+	"cloudvar/internal/workloads"
+)
+
+func main() {
+	appName := flag.String("app", "terasort", "workload: HiBench name or TPC-DS query (q65)")
+	budget := flag.Float64("budget", 5000, "initial token budget in Gbit")
+	reps := flag.Int("reps", 10, "repetitions")
+	consecutive := flag.Bool("consecutive", false, "reuse one cluster across repetitions")
+	rest := flag.Float64("rest", 0, "rest seconds between consecutive runs")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	app, err := workloads.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	src := simrand.New(*seed)
+
+	var trial core.Trial
+	var env core.Environment = core.NopEnvironment{}
+	if *consecutive {
+		cluster, err := workloads.Table4Cluster(*budget, src)
+		if err != nil {
+			fatal(err)
+		}
+		env = clusterEnv{cluster: cluster, rest: *rest}
+		trial = func() (float64, error) {
+			res, err := cluster.RunJob(app.Job, spark.RunOptions{})
+			if err != nil {
+				return 0, err
+			}
+			return res.Runtime(), nil
+		}
+	} else {
+		i := 0
+		trial = func() (float64, error) {
+			i++
+			c, err := workloads.Table4Cluster(*budget, src.Substream(fmt.Sprintf("run%d", i)))
+			if err != nil {
+				return 0, err
+			}
+			res, err := c.RunJob(app.Job, spark.RunOptions{})
+			if err != nil {
+				return 0, err
+			}
+			return res.Runtime(), nil
+		}
+	}
+
+	design := core.DefaultDesign(*reps)
+	design.RestSec = *rest
+	result, err := core.Run(app.Name, design, env, trial)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload: %s (%s, network intensity %.2f)\n", app.Name, app.Suite, app.NetworkIntensity)
+	fmt.Printf("budget:   %g Gbit, %d repetitions, consecutive=%v\n\n", *budget, len(result.Samples), *consecutive)
+	s := result.Summary
+	fmt.Printf("runtime [s]: median %.1f  mean %.1f  p25 %.1f  p75 %.1f  CoV %.1f%%\n",
+		s.Median, s.Mean, s.P25, s.P75, s.CoV*100)
+	if result.MedianCIErr == nil {
+		fmt.Printf("95%% median CI: [%.1f, %.1f] (rel. err %.1f%%)\n",
+			result.MedianCI.Lo, result.MedianCI.Hi, result.MedianCI.RelativeError()*100)
+	} else {
+		fmt.Printf("95%% median CI: unavailable (%v)\n", result.MedianCIErr)
+	}
+	if req := result.Planning.RequiredRepetitions(); req > 0 {
+		fmt.Printf("CONFIRM: ~%d repetitions for a 5%% bound\n", req)
+	}
+	if findings := result.Validation.Findings(); len(findings) > 0 {
+		fmt.Println("\nstatistical findings:")
+		for _, msg := range findings {
+			fmt.Println("  -", msg)
+		}
+	}
+}
+
+// clusterEnv adapts a spark cluster to core.Environment.
+type clusterEnv struct {
+	cluster *spark.Cluster
+	rest    float64
+}
+
+func (e clusterEnv) Reset() error { return nil } // consecutive mode keeps state by design
+func (e clusterEnv) Rest(sec float64) error {
+	e.cluster.Rest(sec)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sparkbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+// Command surveystats runs the Section 2 literature-survey analysis:
+// the Table 2 filtering funnel, the Figure 1a reporting aspects with
+// Cohen's Kappa, and the Figure 1b repetition histogram.
+//
+// Usage:
+//
+//	surveystats [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudvar/internal/figures"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2019, "corpus seed")
+	flag.Parse()
+
+	cfg := figures.Config{Seed: *seed, Scale: 1}
+	for _, id := range []string{"table1", "table2", "figure1a", "figure1b"} {
+		t, err := figures.Generate(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "surveystats:", err)
+			os.Exit(1)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "surveystats:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"cloudvar/internal/tokenbucket"
+)
+
+func TestProbeOnceRecoversParams(t *testing.T) {
+	params := tokenbucket.Params{
+		BudgetGbit: 5400, RefillGbps: 1, HighGbps: 10, LowGbps: 1,
+	}
+	inf, err := probeOnce(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(inf.TimeToEmptySec-600) > 20 {
+		t.Errorf("time-to-empty %g, want ~600", inf.TimeToEmptySec)
+	}
+	if math.Abs(inf.HighGbps-10) > 0.5 || math.Abs(inf.LowGbps-1) > 0.2 {
+		t.Errorf("rates %g/%g, want ~10/1", inf.HighGbps, inf.LowGbps)
+	}
+}
+
+func TestProbeOnceShortBucket(t *testing.T) {
+	// A tiny bucket empties almost immediately: the probe must still
+	// find the transition within its minimum 600 s window.
+	params := tokenbucket.Params{
+		BudgetGbit: 500, RefillGbps: 1, HighGbps: 10, LowGbps: 1,
+	}
+	inf, err := probeOnce(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.TimeToEmptySec > 120 {
+		t.Errorf("time-to-empty %g, want <= ~60", inf.TimeToEmptySec)
+	}
+}

@@ -1,0 +1,109 @@
+// experiment-design demonstrates the core methodology library: plan
+// repetitions adaptively, validate the iid assumptions, and compare
+// two systems honestly — including the trap where consecutive runs on
+// the same cluster share token-bucket state (Figure 19).
+//
+// Run with: go run ./examples/experiment-design
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudvar/internal/core"
+	"cloudvar/internal/simrand"
+	"cloudvar/internal/spark"
+	"cloudvar/internal/workloads"
+)
+
+func main() {
+	src := simrand.New(99)
+	q65, err := workloads.TPCDSQuery(65)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- The right way: every repetition on a fresh cluster. ---
+	fmt.Println("1) fresh cluster per repetition (adaptive design):")
+	i := 0
+	fresh := func() (float64, error) {
+		i++
+		c, err := workloads.Table4Cluster(5000, src.Substream(fmt.Sprintf("fresh%d", i)))
+		if err != nil {
+			return 0, err
+		}
+		res, err := c.RunJob(q65.Job, spark.RunOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return res.Runtime(), nil
+	}
+	design := core.Design{Adaptive: true, MaxRepetitions: 40, ErrorBound: 0.05}
+	result, err := core.Run("q65-fresh", design, nil, fresh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   converged=%v after %d repetitions; median %.1f s, CI [%.1f, %.1f]\n",
+		result.Converged, len(result.Samples),
+		result.Summary.Median, result.MedianCI.Lo, result.MedianCI.Hi)
+	for _, w := range result.Validation.Findings() {
+		fmt.Println("   finding:", w)
+	}
+
+	// --- The trap: consecutive runs share the token bucket. ---
+	fmt.Println("\n2) same cluster, back-to-back runs (the Figure 19 trap):")
+	cluster, err := workloads.Table4Cluster(1000, src.Substream("shared"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared := func() (float64, error) {
+		res, err := cluster.RunJob(q65.Job, spark.RunOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return res.Runtime(), nil
+	}
+	trap, err := core.Run("q65-shared", core.DefaultDesign(12), nil, shared)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   runtimes: first %.1f s ... last %.1f s (budget depletes between runs)\n",
+		trap.Samples[0], trap.Samples[len(trap.Samples)-1])
+	findings := trap.Validation.Findings()
+	if len(findings) == 0 {
+		fmt.Println("   (no findings flagged — increase repetitions)")
+	}
+	for _, w := range findings {
+		fmt.Println("   finding:", w)
+	}
+
+	// --- Honest comparison: overlapping CIs are not a result. ---
+	fmt.Println("\n3) comparing q65 and q68 medians:")
+	q68, err := workloads.TPCDSQuery(68)
+	if err != nil {
+		log.Fatal(err)
+	}
+	j := 0
+	q68Trial := func() (float64, error) {
+		j++
+		c, err := workloads.Table4Cluster(5000, src.Substream(fmt.Sprintf("q68-%d", j)))
+		if err != nil {
+			return 0, err
+		}
+		res, err := c.RunJob(q68.Job, spark.RunOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return res.Runtime(), nil
+	}
+	other, err := core.Run("q68", core.DefaultDesign(15), nil, q68Trial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	distinguishable, err := core.CompareMedians(result, other)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   q65 median %.1f s vs q68 median %.1f s -> distinguishable at 95%%: %v\n",
+		result.Summary.Median, other.Summary.Median, distinguishable)
+}

@@ -1,0 +1,67 @@
+// Quickstart: emulate an Amazon EC2 c5.xlarge network path, measure
+// it the way the paper does, and discover the token-bucket QoS policy
+// hiding behind the "up to 10 Gbps" advertisement.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/core"
+	"cloudvar/internal/netem"
+	"cloudvar/internal/simrand"
+)
+
+func main() {
+	src := simrand.New(7)
+
+	// A cloud profile bundles the QoS mechanism (the shaper) and the
+	// virtual-NIC latency/retransmission model.
+	profile, err := cloudmodel.EC2Profile("c5.xlarge")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profile: %s/%s, line rate %g Gbps, vNIC %s\n\n",
+		profile.Cloud, profile.Instance, profile.LineRateGbps, profile.VNIC.Name)
+
+	// Run a 10-minute full-speed iperf against a freshly allocated
+	// VM. Watch the bandwidth collapse when the token budget runs out.
+	shaper := profile.NewShaper(src)
+	res, err := netem.RunIperf(shaper, profile.VNIC, netem.IperfConfig{
+		DurationSec: 900, WriteBytes: 131072, BinSec: 60, RTTSamplesPerBin: 4,
+	}, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("minute-by-minute bandwidth of a 15-minute full-speed stream:")
+	for i, bw := range res.BandwidthGbps {
+		marker := ""
+		if res.ThrottledBins[i] {
+			marker = "  <- throttled"
+		}
+		fmt.Printf("  minute %2d: %5.2f Gbps%s\n", i+1, bw, marker)
+	}
+
+	// The paper's F5.2 advice: fingerprint the platform before
+	// trusting any measurements on it.
+	fp, err := core.FingerprintShaper(
+		func() netem.Shaper { return profile.NewShaper(src) },
+		profile.VNIC, core.FingerprintConfig{}, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplatform fingerprint (publish this with your results):\n  %s\n", fp)
+
+	if fp.Bucket != nil {
+		b := fp.Bucket
+		fmt.Printf("\nwhat this means for your experiments:\n")
+		fmt.Printf("  - the first ~%.0f s of heavy traffic run at %.0f Gbps, then %.0f Gbps\n",
+			b.TimeToEmptySec, b.HighGbps, b.LowGbps)
+		fmt.Printf("  - back-to-back experiments inherit each other's depleted budget\n")
+		fmt.Printf("  - rest the VM ~%.0f minutes (or allocate fresh VMs) between runs\n",
+			b.BudgetGbit/60)
+	}
+}

@@ -1,0 +1,111 @@
+package cloudvar_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	cloudvar "cloudvar"
+)
+
+// TestFacadeEndToEnd drives the public API through the library's
+// primary user journey: build a cloud profile, fingerprint it, run a
+// designed experiment against it, and validate the statistics.
+func TestFacadeEndToEnd(t *testing.T) {
+	src := cloudvar.NewRand(7)
+
+	profile, err := cloudvar.EC2Profile("c5.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fp, err := cloudvar.Fingerprint(func() cloudvar.Shaper {
+		return profile.NewShaper(src)
+	}, profile.VNIC, cloudvar.FingerprintConfig{}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Bucket == nil {
+		t.Fatal("EC2 fingerprint should detect a token bucket")
+	}
+	if !strings.Contains(fp.String(), "token bucket") {
+		t.Errorf("fingerprint string: %q", fp.String())
+	}
+
+	// A trial measuring bucket-limited transfer times on fresh VMs.
+	transferTrial := cloudvar.Trial(func() (float64, error) {
+		b, err := cloudvar.NewTokenBucket(cloudvar.TokenBucketParams{
+			BudgetGbit: 100, RefillGbps: 1, HighGbps: 10, LowGbps: 1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		noise := 1 + src.Normal(0, 0.05)
+		return b.TimeToTransfer(10, 150) * noise, nil
+	})
+	res, err := cloudvar.RunExperiment("transfer-150Gbit", cloudvar.DefaultDesign(20), nil, transferTrial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MedianCIErr != nil {
+		t.Fatalf("median CI: %v", res.MedianCIErr)
+	}
+	// 100 Gbit budget at 9 net drain: 11.1 s high moving 111 Gbit,
+	// then ~39 Gbit at 1 Gbps: ~50 s total.
+	if res.Summary.Median < 35 || res.Summary.Median > 65 {
+		t.Errorf("median transfer time %g, want ~50", res.Summary.Median)
+	}
+}
+
+func TestFacadeStatistics(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if m := cloudvar.Median(xs); m != 3 {
+		t.Errorf("Median = %g", m)
+	}
+	if q := cloudvar.Quantile(xs, 1); q != 5 {
+		t.Errorf("Quantile(1) = %g", q)
+	}
+	sum := cloudvar.Summarize(xs)
+	if sum.N != 5 || sum.Min != 1 || sum.Max != 5 {
+		t.Errorf("Summarize = %+v", sum)
+	}
+	k, err := cloudvar.CohenKappa([]string{"a", "b"}, []string{"a", "b"})
+	if err != nil || k != 1 {
+		t.Errorf("CohenKappa = %g, %v", k, err)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	if len(cloudvar.HiBench()) != 5 || len(cloudvar.TPCDS()) != 21 {
+		t.Error("workload catalogs wrong size")
+	}
+	app, err := cloudvar.WorkloadByName("q65")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := cloudvar.Table4Cluster(5000, cloudvar.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.RunJob(app.Job, cloudvar.SparkRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime() <= 0 || math.IsNaN(res.Runtime()) {
+		t.Errorf("runtime %g", res.Runtime())
+	}
+}
+
+func TestFacadeArtifacts(t *testing.T) {
+	ids := cloudvar.ArtifactIDs()
+	if len(ids) != 27 {
+		t.Errorf("artifact count = %d, want 27", len(ids))
+	}
+	tbl, err := cloudvar.GenerateArtifact("table1", cloudvar.ArtifactConfig{Seed: 1, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "table1" {
+		t.Errorf("artifact ID %q", tbl.ID)
+	}
+}

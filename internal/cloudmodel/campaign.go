@@ -1,0 +1,175 @@
+package cloudmodel
+
+import (
+	"fmt"
+	"math"
+
+	"cloudvar/internal/netem"
+	"cloudvar/internal/simrand"
+	"cloudvar/internal/stats"
+	"cloudvar/internal/trace"
+)
+
+// CampaignConfig parameterises a Section 3 measurement campaign: one
+// VM pair, one access regime, continuous measurement with fixed
+// summarisation windows.
+type CampaignConfig struct {
+	// DurationSec is the campaign length (the paper ran for a week
+	// per pair: 604800 s).
+	DurationSec float64
+	// BinSec is the summarisation window for continuous regimes
+	// (paper: 10 s). Intermittent regimes summarise per send burst.
+	BinSec float64
+	// WriteBytes is the sender's socket write size (iperf default
+	// 128 KiB).
+	WriteBytes int
+	// RTTSamplesPerBin bounds RTT sampling per window.
+	RTTSamplesPerBin int
+}
+
+// DefaultCampaignConfig returns the paper's settings with a duration
+// chosen by the caller.
+func DefaultCampaignConfig(durationSec float64) CampaignConfig {
+	return CampaignConfig{
+		DurationSec:      durationSec,
+		BinSec:           10,
+		WriteBytes:       131072,
+		RTTSamplesPerBin: 4,
+	}
+}
+
+// Validate checks the configuration.
+func (c CampaignConfig) Validate() error {
+	switch {
+	case c.DurationSec <= 0:
+		return fmt.Errorf("cloudmodel: campaign duration must be positive")
+	case c.BinSec <= 0:
+		return fmt.Errorf("cloudmodel: bin must be positive")
+	case c.WriteBytes <= 0:
+		return fmt.Errorf("cloudmodel: write size must be positive")
+	case c.RTTSamplesPerBin < 0:
+		return fmt.Errorf("cloudmodel: negative RTT sample bound")
+	}
+	return nil
+}
+
+// RunCampaign emulates a measurement campaign of the given regime
+// against a fresh VM pair from the profile, producing the 10-second
+// (or per-burst) summarised series behind Figures 4, 5, 6, 9 and 10.
+func RunCampaign(p Profile, regime trace.Regime, cfg CampaignConfig, src *simrand.Source) (*trace.Series, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := regime.Validate(); err != nil {
+		return nil, err
+	}
+	shaper := p.NewShaper(src)
+
+	label := fmt.Sprintf("%s/%s/%s", p.Cloud, p.Instance, regime.Name)
+	interval := cfg.BinSec
+	if !regime.Continuous() {
+		interval = regime.SendSec
+	}
+	series := trace.NewSeries(label, interval)
+
+	now := 0.0
+	for now < cfg.DurationSec-1e-9 {
+		var sendSec float64
+		if regime.Continuous() {
+			sendSec = math.Min(cfg.BinSec, cfg.DurationSec-now)
+		} else {
+			sendSec = math.Min(regime.SendSec, cfg.DurationSec-now)
+		}
+
+		res, err := netem.RunIperf(shaper, p.VNIC, netem.IperfConfig{
+			DurationSec:      sendSec,
+			WriteBytes:       cfg.WriteBytes,
+			BinSec:           sendSec,
+			RTTSamplesPerBin: cfg.RTTSamplesPerBin,
+		}, src)
+		if err != nil {
+			return nil, fmt.Errorf("cloudmodel: campaign burst at t=%g: %w", now, err)
+		}
+
+		bw := res.MeanBandwidthGbps()
+		pt := trace.Point{
+			TimeSec:         now,
+			BandwidthGbps:   bw,
+			Retransmissions: res.Retransmissions,
+			RTTms:           stats.Mean(res.RTTms),
+			CPUFrac:         cpuModel(bw, p.LineRateGbps, src),
+		}
+		if len(res.RTTms) == 0 {
+			pt.RTTms = 0
+		}
+		if err := series.Append(pt); err != nil {
+			return nil, err
+		}
+
+		now += sendSec
+		if !regime.Continuous() {
+			rest := math.Min(regime.RestSec, cfg.DurationSec-now)
+			if rest > 0 {
+				shaper.Idle(rest)
+				now += rest
+			}
+		}
+	}
+	return series, nil
+}
+
+// cpuModel approximates sender CPU load: proportional to achieved
+// bandwidth (TCP processing dominates) plus a small noise floor.
+func cpuModel(bwGbps, lineRateGbps float64, src *simrand.Source) float64 {
+	if lineRateGbps <= 0 {
+		return 0
+	}
+	frac := 0.08 + 0.8*bwGbps/lineRateGbps + src.Normal(0, 0.02)
+	return math.Max(0, math.Min(1, frac))
+}
+
+// RegimeComparison is the campaign output for all three regimes on
+// one cloud — the unit Figures 5, 6, 9 and 10 are drawn from.
+type RegimeComparison struct {
+	Profile Profile
+	// Series maps regime name to its measurement series.
+	Series map[string]*trace.Series
+}
+
+// RunAllRegimes measures every standard regime against fresh VM pairs
+// from the profile (fresh pair per regime, as the paper did).
+func RunAllRegimes(p Profile, cfg CampaignConfig, src *simrand.Source) (RegimeComparison, error) {
+	out := RegimeComparison{Profile: p, Series: make(map[string]*trace.Series)}
+	for _, regime := range trace.Regimes() {
+		s, err := RunCampaign(p, regime, cfg, src.Substream("campaign/"+regime.Name))
+		if err != nil {
+			return out, fmt.Errorf("cloudmodel: regime %s: %w", regime.Name, err)
+		}
+		out.Series[regime.Name] = s
+	}
+	return out, nil
+}
+
+// SlowdownVsBest computes, for each regime, how much slower its mean
+// send-phase bandwidth is than the best regime's — the "approximately
+// 3x and 7x slowdowns" comparison of Figure 6.
+func (rc RegimeComparison) SlowdownVsBest() map[string]float64 {
+	best := 0.0
+	means := make(map[string]float64, len(rc.Series))
+	for name, s := range rc.Series {
+		m := stats.Mean(s.Bandwidths())
+		means[name] = m
+		if m > best {
+			best = m
+		}
+	}
+	out := make(map[string]float64, len(means))
+	for name, m := range means {
+		if m > 0 {
+			out[name] = best / m
+		} else {
+			out[name] = math.Inf(1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package cloudmodel
+
+import "fmt"
+
+// CampaignEntry is one row of Table 3: a (cloud, instance type)
+// combination measured in the paper's campaign, with its advertised
+// QoS, measurement duration, and cost.
+type CampaignEntry struct {
+	Cloud        string
+	InstanceType string
+	// QoSGbps is the advertised bandwidth cap; 0 means the provider
+	// advertises none (HPCCloud).
+	QoSGbps float64
+	// QoSUpTo marks "≤" advertisements (EC2's "up to 10 Gbps").
+	QoSUpTo bool
+	// DurationDays is the measurement length.
+	DurationDays int
+	// ExhibitsVariability records the paper's verdict (every entry:
+	// yes).
+	ExhibitsVariability bool
+	// CostUSD is the campaign cost; <0 means not applicable.
+	CostUSD float64
+	// Featured marks the rows presented in depth (the * rows).
+	Featured bool
+}
+
+// Table3 returns the campaign summary exactly as the paper reports it.
+func Table3() []CampaignEntry {
+	return []CampaignEntry{
+		{Cloud: "Amazon", InstanceType: "c5.XL", QoSGbps: 10, QoSUpTo: true, DurationDays: 21, ExhibitsVariability: true, CostUSD: 171, Featured: true},
+		{Cloud: "Amazon", InstanceType: "m5.XL", QoSGbps: 10, QoSUpTo: true, DurationDays: 21, ExhibitsVariability: true, CostUSD: 193},
+		{Cloud: "Amazon", InstanceType: "c5.9XL", QoSGbps: 10, DurationDays: 1, ExhibitsVariability: true, CostUSD: 73},
+		{Cloud: "Amazon", InstanceType: "m4.16XL", QoSGbps: 20, DurationDays: 1, ExhibitsVariability: true, CostUSD: 153},
+		{Cloud: "Google", InstanceType: "1 core", QoSGbps: 2, DurationDays: 21, ExhibitsVariability: true, CostUSD: 34},
+		{Cloud: "Google", InstanceType: "2 core", QoSGbps: 4, DurationDays: 21, ExhibitsVariability: true, CostUSD: 67},
+		{Cloud: "Google", InstanceType: "4 core", QoSGbps: 8, DurationDays: 21, ExhibitsVariability: true, CostUSD: 135},
+		{Cloud: "Google", InstanceType: "8 core", QoSGbps: 16, DurationDays: 21, ExhibitsVariability: true, CostUSD: 269, Featured: true},
+		{Cloud: "HPCCloud", InstanceType: "2 core", DurationDays: 7, ExhibitsVariability: true, CostUSD: -1},
+		{Cloud: "HPCCloud", InstanceType: "4 core", DurationDays: 7, ExhibitsVariability: true, CostUSD: -1},
+		{Cloud: "HPCCloud", InstanceType: "8 core", DurationDays: 7, ExhibitsVariability: true, CostUSD: -1, Featured: true},
+	}
+}
+
+// QoSString renders the QoS column the way Table 3 prints it.
+func (e CampaignEntry) QoSString() string {
+	if e.QoSGbps == 0 {
+		return "N/A"
+	}
+	if e.QoSUpTo {
+		return fmt.Sprintf("<= %g", e.QoSGbps)
+	}
+	return fmt.Sprintf("%g", e.QoSGbps)
+}
+
+// Profile builds the emulation profile matching this catalog row. The
+// big EC2 instances (c5.9XL, m4.16XL, m5.XL) are approximated by the
+// closest c5 flavour with a matching line rate, since the paper only
+// characterised the c5 family's bucket parameters in depth.
+func (e CampaignEntry) Profile() (Profile, error) {
+	switch e.Cloud {
+	case "Amazon":
+		switch e.InstanceType {
+		case "c5.XL", "m5.XL":
+			return EC2Profile("c5.xlarge")
+		case "c5.9XL", "m4.16XL":
+			return EC2Profile("c5.4xlarge")
+		default:
+			return Profile{}, fmt.Errorf("cloudmodel: no profile for Amazon %q", e.InstanceType)
+		}
+	case "Google":
+		var cores int
+		if _, err := fmt.Sscanf(e.InstanceType, "%d core", &cores); err != nil {
+			return Profile{}, fmt.Errorf("cloudmodel: parsing GCE flavour %q: %w", e.InstanceType, err)
+		}
+		return GCEProfile(cores)
+	case "HPCCloud":
+		var cores int
+		if _, err := fmt.Sscanf(e.InstanceType, "%d core", &cores); err != nil {
+			return Profile{}, fmt.Errorf("cloudmodel: parsing HPCCloud flavour %q: %w", e.InstanceType, err)
+		}
+		return HPCCloudProfile(cores)
+	default:
+		return Profile{}, fmt.Errorf("cloudmodel: unknown cloud %q", e.Cloud)
+	}
+}
+
+// CampaignTotals summarises the whole campaign the way the paper's
+// abstract does: weeks of continuous measurement, datapoints, and
+// petabytes moved. Computed, not hard-coded, from the catalog.
+type CampaignTotals struct {
+	Weeks        float64
+	TotalCostUSD float64
+	Entries      int
+}
+
+// Totals aggregates Table 3.
+func Totals() CampaignTotals {
+	var t CampaignTotals
+	for _, e := range Table3() {
+		t.Entries++
+		t.Weeks += float64(e.DurationDays) / 7
+		if e.CostUSD > 0 {
+			t.TotalCostUSD += e.CostUSD
+		}
+	}
+	return t
+}

@@ -1,0 +1,181 @@
+// Package confirm implements the CONFIRM analysis of Maricq et
+// al. (OSDI '18), which the paper applies in Figures 13 and 19: given
+// a sequence of experiment repetitions, track the nonparametric
+// confidence interval of the median (or another quantile) as
+// repetitions accumulate, determine how many repetitions are needed
+// before the interval fits within a target error bound, and detect the
+// pathological case where more repetitions *widen* the interval —
+// the signature of broken independence (a depleting token bucket).
+package confirm
+
+import (
+	"fmt"
+	"math"
+
+	"cloudvar/internal/stats"
+)
+
+// Point is the CI state after the first N measurements.
+type Point struct {
+	N      int
+	Median float64
+	// Lo and Hi bound the CI; NaN when N is too small for the
+	// requested confidence.
+	Lo, Hi float64
+	// RelErr is the CI half-width relative to the estimate; +Inf when
+	// the CI is unachievable.
+	RelErr float64
+	// WithinBound reports RelErr <= the analysis error bound.
+	WithinBound bool
+}
+
+// Analysis is a full CONFIRM trace over a measurement sequence.
+type Analysis struct {
+	// Quantile analysed (0.5 for medians).
+	Quantile float64
+	// Confidence of the intervals (e.g. 0.95).
+	Confidence float64
+	// ErrorBound is the target relative error (Figure 13 uses 1%,
+	// Figure 19 uses 10%).
+	ErrorBound float64
+	Points     []Point
+	// ConvergedAt is the smallest N whose interval fits the bound and
+	// never leaves it again within the observed sequence; -1 if never.
+	ConvergedAt int
+}
+
+// Analyze runs CONFIRM over the measurement sequence in arrival order
+// for the median.
+func Analyze(measurements []float64, conf, errBound float64) (Analysis, error) {
+	return AnalyzeQuantile(measurements, 0.5, conf, errBound)
+}
+
+// AnalyzeQuantile runs CONFIRM for an arbitrary quantile.
+func AnalyzeQuantile(measurements []float64, q, conf, errBound float64) (Analysis, error) {
+	if len(measurements) < 2 {
+		return Analysis{}, fmt.Errorf("confirm: need at least 2 measurements, got %d: %w",
+			len(measurements), stats.ErrInsufficientData)
+	}
+	if q <= 0 || q >= 1 {
+		return Analysis{}, fmt.Errorf("confirm: quantile %g outside (0,1)", q)
+	}
+	if conf <= 0 || conf >= 1 {
+		return Analysis{}, fmt.Errorf("confirm: confidence %g outside (0,1)", conf)
+	}
+	if errBound <= 0 {
+		return Analysis{}, fmt.Errorf("confirm: error bound %g must be positive", errBound)
+	}
+
+	a := Analysis{Quantile: q, Confidence: conf, ErrorBound: errBound, ConvergedAt: -1}
+	for n := 2; n <= len(measurements); n++ {
+		prefix := measurements[:n]
+		pt := Point{N: n, Median: stats.Quantile(prefix, q)}
+		iv, err := stats.QuantileCI(prefix, q, conf)
+		if err != nil {
+			pt.Lo, pt.Hi = math.NaN(), math.NaN()
+			pt.RelErr = math.Inf(1)
+		} else {
+			pt.Lo, pt.Hi = iv.Lo, iv.Hi
+			pt.RelErr = iv.RelativeError()
+			pt.WithinBound = pt.RelErr <= errBound
+		}
+		a.Points = append(a.Points, pt)
+	}
+
+	// Converged at the first N after which the bound holds for the
+	// rest of the observed sequence.
+	for i := range a.Points {
+		if !a.Points[i].WithinBound {
+			continue
+		}
+		holds := true
+		for j := i; j < len(a.Points); j++ {
+			if !a.Points[j].WithinBound {
+				holds = false
+				break
+			}
+		}
+		if holds {
+			a.ConvergedAt = a.Points[i].N
+			break
+		}
+	}
+	return a, nil
+}
+
+// FinalPoint returns the last analysis point.
+func (a Analysis) FinalPoint() Point { return a.Points[len(a.Points)-1] }
+
+// RequiredRepetitions predicts how many repetitions are needed to
+// bring the CI within the error bound, by fitting the CI half-width to
+// the c/sqrt(n) law that holds for iid samples and solving for n. If
+// the analysis already converged it returns ConvergedAt. Returns -1
+// when no finite-width interval was ever achieved.
+func (a Analysis) RequiredRepetitions() int {
+	if a.ConvergedAt > 0 {
+		return a.ConvergedAt
+	}
+	// Fit hw = c/sqrt(n) by least squares over points with finite
+	// intervals: c = sum(hw_i / sqrt(n_i)) / sum(1/n_i).
+	num, den := 0.0, 0.0
+	var lastMedian float64
+	seen := 0
+	for _, pt := range a.Points {
+		if math.IsInf(pt.RelErr, 1) || math.IsNaN(pt.Lo) {
+			continue
+		}
+		hw := (pt.Hi - pt.Lo) / 2
+		num += hw / math.Sqrt(float64(pt.N))
+		den += 1 / float64(pt.N)
+		lastMedian = pt.Median
+		seen++
+	}
+	if seen < 3 || den == 0 || lastMedian == 0 {
+		return -1
+	}
+	c := num / den
+	target := a.ErrorBound * math.Abs(lastMedian)
+	if target <= 0 {
+		return -1
+	}
+	n := int(math.Ceil((c / target) * (c / target)))
+	if n < a.FinalPoint().N {
+		n = a.FinalPoint().N
+	}
+	return n
+}
+
+// Diverging reports whether confidence intervals widen as repetitions
+// accumulate — "unexpected for this type of analysis" (Figure 19) and
+// diagnostic of non-iid repetitions. For iid data CI widths shrink
+// like 1/sqrt(n), so the mean half-width of the last third of points
+// sits well below the first third's; drifting data inverts the
+// relationship.
+func (a Analysis) Diverging() bool {
+	var widths []float64
+	for _, pt := range a.Points {
+		if !math.IsNaN(pt.Lo) {
+			widths = append(widths, (pt.Hi-pt.Lo)/2)
+		}
+	}
+	if len(widths) < 9 {
+		return false
+	}
+	third := len(widths) / 3
+	early := stats.Mean(widths[:third])
+	late := stats.Mean(widths[2*third:])
+	return late > early*1.15
+}
+
+// WidthSeries returns (n, half-width) pairs for plotting; NaN widths
+// are skipped.
+func (a Analysis) WidthSeries() (ns []int, halfWidths []float64) {
+	for _, pt := range a.Points {
+		if math.IsNaN(pt.Lo) {
+			continue
+		}
+		ns = append(ns, pt.N)
+		halfWidths = append(halfWidths, (pt.Hi-pt.Lo)/2)
+	}
+	return ns, halfWidths
+}

@@ -1,0 +1,282 @@
+// Package core is the paper's contribution distilled into a library:
+// variability-aware experiment design for cloud environments. It
+// operationalises the Section 5 findings:
+//
+//   - F5.2: fingerprint the platform's network behaviour before and
+//     after an experiment, and only compare results whose baselines
+//     match (Fingerprint, Matches).
+//   - F5.3: treat stochastic variability with enough repetitions and
+//     nonparametric statistics; plan repetitions with CONFIRM
+//     (Design.Adaptive, Result.Planning).
+//   - F5.4: test samples for normality, independence and
+//     stationarity; rest and reset infrastructure so runs are truly
+//     independent; randomise experiment order (Validate, Design.RestSec,
+//     Design.FreshEnv, Suite).
+//   - F5.5: record platform details alongside results (Metadata).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cloudvar/internal/confirm"
+	"cloudvar/internal/simrand"
+	"cloudvar/internal/stats"
+)
+
+// Trial runs one experiment repetition and returns its measurement
+// (e.g. a runtime in seconds).
+type Trial func() (float64, error)
+
+// Environment abstracts the controllable infrastructure hooks the
+// methodology needs. Implementations range from the emulated clusters
+// in this repository to real cloud orchestration.
+type Environment interface {
+	// Reset restores the environment to a known clean state — the
+	// "fresh set of VMs for every experiment" protocol. For the
+	// emulated clusters this rebuilds token buckets at their initial
+	// budget.
+	Reset() error
+	// Rest idles the environment for the given seconds, letting
+	// hidden state (token buckets) recover without a full reset.
+	Rest(seconds float64) error
+}
+
+// NopEnvironment is an Environment with no controllable state, for
+// experiments that manage their own.
+type NopEnvironment struct{}
+
+// Reset implements Environment.
+func (NopEnvironment) Reset() error { return nil }
+
+// Rest implements Environment.
+func (NopEnvironment) Rest(float64) error { return nil }
+
+// Design specifies how an experiment is to be run.
+type Design struct {
+	// Repetitions is the fixed repetition count; ignored when
+	// Adaptive is set.
+	Repetitions int
+	// Adaptive keeps repeating until the median CI fits ErrorBound
+	// or MaxRepetitions is reached (CONFIRM-style planning).
+	Adaptive bool
+	// MaxRepetitions bounds adaptive runs.
+	MaxRepetitions int
+	// Confidence for interval estimates (default 0.95).
+	Confidence float64
+	// ErrorBound is the target relative CI half-width (default 0.05).
+	ErrorBound float64
+	// RestSec idles the environment between repetitions.
+	RestSec float64
+	// FreshEnv resets the environment before every repetition.
+	FreshEnv bool
+}
+
+// DefaultDesign returns the paper-recommended fixed design: enough
+// repetitions for a valid 95% median CI, with rests between runs.
+func DefaultDesign(repetitions int) Design {
+	return Design{
+		Repetitions: repetitions,
+		Confidence:  0.95,
+		ErrorBound:  0.05,
+	}
+}
+
+// withDefaults fills zero fields.
+func (d Design) withDefaults() Design {
+	if d.Confidence == 0 {
+		d.Confidence = 0.95
+	}
+	if d.ErrorBound == 0 {
+		d.ErrorBound = 0.05
+	}
+	if d.Adaptive && d.MaxRepetitions == 0 {
+		d.MaxRepetitions = 100
+	}
+	return d
+}
+
+// Validate checks the design.
+func (d Design) Validate() error {
+	d = d.withDefaults()
+	switch {
+	case !d.Adaptive && d.Repetitions < 2:
+		return fmt.Errorf("core: fixed design needs >= 2 repetitions")
+	case d.Adaptive && d.MaxRepetitions < stats.MinSamplesForQuantileCI(0.5, d.Confidence):
+		return fmt.Errorf("core: adaptive cap %d below the minimum for a %g%% median CI",
+			d.MaxRepetitions, d.Confidence*100)
+	case d.Confidence <= 0 || d.Confidence >= 1:
+		return fmt.Errorf("core: confidence %g outside (0,1)", d.Confidence)
+	case d.ErrorBound <= 0:
+		return fmt.Errorf("core: error bound must be positive")
+	case d.RestSec < 0:
+		return fmt.Errorf("core: negative rest")
+	}
+	return nil
+}
+
+// Result is the outcome of running a designed experiment.
+type Result struct {
+	Name    string
+	Samples []float64
+	Summary stats.Summary
+	// MedianCI is the nonparametric interval; Err is non-nil when the
+	// sample was too small for one (the under-specification the
+	// survey found in most papers).
+	MedianCI    stats.Interval
+	MedianCIErr error
+	// Planning is the CONFIRM trace over the samples.
+	Planning confirm.Analysis
+	// Validation is the F5.4 statistical check battery.
+	Validation ValidationReport
+	// Converged reports whether the design's error bound was met.
+	Converged bool
+	// Metadata records platform details per F5.5.
+	Metadata map[string]string
+}
+
+// Run executes the experiment per the design against the environment.
+func Run(name string, design Design, env Environment, trial Trial) (Result, error) {
+	design = design.withDefaults()
+	if err := design.Validate(); err != nil {
+		return Result{}, err
+	}
+	if env == nil {
+		env = NopEnvironment{}
+	}
+	if trial == nil {
+		return Result{}, fmt.Errorf("core: nil trial")
+	}
+
+	res := Result{Name: name, Metadata: map[string]string{}}
+	limit := design.Repetitions
+	if design.Adaptive {
+		limit = design.MaxRepetitions
+	}
+
+	for i := 0; i < limit; i++ {
+		if design.FreshEnv {
+			if err := env.Reset(); err != nil {
+				return res, fmt.Errorf("core: resetting environment before rep %d: %w", i, err)
+			}
+		}
+		if design.RestSec > 0 && i > 0 {
+			if err := env.Rest(design.RestSec); err != nil {
+				return res, fmt.Errorf("core: resting before rep %d: %w", i, err)
+			}
+		}
+		v, err := trial()
+		if err != nil {
+			return res, fmt.Errorf("core: repetition %d: %w", i, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return res, fmt.Errorf("core: repetition %d produced non-finite measurement %g", i, v)
+		}
+		res.Samples = append(res.Samples, v)
+
+		if design.Adaptive && len(res.Samples) >= stats.MinSamplesForQuantileCI(0.5, design.Confidence) {
+			iv, err := stats.MedianCI(res.Samples, design.Confidence)
+			if err == nil && iv.RelativeError() <= design.ErrorBound {
+				res.Converged = true
+				break
+			}
+		}
+	}
+
+	res.Summary = stats.Summarize(res.Samples)
+	iv, err := stats.MedianCI(res.Samples, design.Confidence)
+	res.MedianCI, res.MedianCIErr = iv, err
+	if err == nil && iv.RelativeError() <= design.ErrorBound {
+		res.Converged = true
+	}
+	if len(res.Samples) >= 2 {
+		if an, err := confirm.Analyze(res.Samples, design.Confidence, design.ErrorBound); err == nil {
+			res.Planning = an
+		}
+	}
+	res.Validation = Validate(res.Samples)
+	return res, nil
+}
+
+// SuiteItem names one experiment in a randomised suite.
+type SuiteItem struct {
+	Name  string
+	Trial Trial
+}
+
+// RunSuite executes several experiments with their repetitions
+// interleaved in randomised order — the F5.4 defence against
+// self-interference, where experiment k's traffic perturbs experiment
+// k+1 through hidden token-bucket state.
+func RunSuite(items []SuiteItem, design Design, env Environment, src *simrand.Source) (map[string]Result, error) {
+	design = design.withDefaults()
+	if design.Adaptive {
+		return nil, fmt.Errorf("core: randomised suites need a fixed design")
+	}
+	if err := design.Validate(); err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("core: empty suite")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: nil random source")
+	}
+	if env == nil {
+		env = NopEnvironment{}
+	}
+
+	// Build the randomised schedule: every (item, repetition) pair,
+	// shuffled.
+	type slot struct{ item int }
+	var schedule []slot
+	for i := range items {
+		if items[i].Trial == nil {
+			return nil, fmt.Errorf("core: suite item %q has nil trial", items[i].Name)
+		}
+		for r := 0; r < design.Repetitions; r++ {
+			schedule = append(schedule, slot{item: i})
+		}
+	}
+	src.Shuffle(len(schedule), func(a, b int) {
+		schedule[a], schedule[b] = schedule[b], schedule[a]
+	})
+
+	samples := make(map[string][]float64, len(items))
+	for k, s := range schedule {
+		if design.FreshEnv {
+			if err := env.Reset(); err != nil {
+				return nil, fmt.Errorf("core: suite reset at slot %d: %w", k, err)
+			}
+		}
+		if design.RestSec > 0 && k > 0 {
+			if err := env.Rest(design.RestSec); err != nil {
+				return nil, fmt.Errorf("core: suite rest at slot %d: %w", k, err)
+			}
+		}
+		name := items[s.item].Name
+		v, err := items[s.item].Trial()
+		if err != nil {
+			return nil, fmt.Errorf("core: suite %q slot %d: %w", name, k, err)
+		}
+		samples[name] = append(samples[name], v)
+	}
+
+	out := make(map[string]Result, len(items))
+	for _, it := range items {
+		xs := samples[it.Name]
+		r := Result{Name: it.Name, Samples: xs, Summary: stats.Summarize(xs), Metadata: map[string]string{}}
+		r.MedianCI, r.MedianCIErr = stats.MedianCI(xs, design.Confidence)
+		if r.MedianCIErr == nil && r.MedianCI.RelativeError() <= design.ErrorBound {
+			r.Converged = true
+		}
+		if len(xs) >= 2 {
+			if an, err := confirm.Analyze(xs, design.Confidence, design.ErrorBound); err == nil {
+				r.Planning = an
+			}
+		}
+		r.Validation = Validate(xs)
+		out[it.Name] = r
+	}
+	return out, nil
+}

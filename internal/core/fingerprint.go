@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cloudvar/internal/netem"
+	"cloudvar/internal/simrand"
+	"cloudvar/internal/stats"
+	"cloudvar/internal/tokenbucket"
+)
+
+// Fingerprint is the network baseline the paper says should accompany
+// every published cloud experiment (F5.2): base latency, base
+// bandwidth, latency under load, and token-bucket parameters when a
+// deterministic QoS shaper is detected. "When reporting experiments,
+// always include these performance fingerprints together with the
+// actual data."
+type Fingerprint struct {
+	// BaseRTTms is the unloaded round-trip latency.
+	BaseRTTms float64
+	// BaseBandwidthGbps is the short-probe bandwidth (before any
+	// token bucket can engage).
+	BaseBandwidthGbps float64
+	// LoadedRTTms is the round-trip latency while a bulk transfer
+	// saturates the path.
+	LoadedRTTms float64
+	// Bucket holds inferred token-bucket parameters; nil when no
+	// throttling was detected (stochastic-only clouds).
+	Bucket *tokenbucket.Inferred
+}
+
+// FingerprintConfig tunes the micro-benchmarks.
+type FingerprintConfig struct {
+	// ShortProbeSec is the bandwidth probe length; keep it well under
+	// the expected time-to-empty so the probe itself does not
+	// throttle the path (default 5 s).
+	ShortProbeSec float64
+	// ThrottleProbeSec is the long probe used for token-bucket
+	// detection (default 1800 s — enough to empty a c5.xlarge).
+	ThrottleProbeSec float64
+	// WriteBytes is the probe's socket write size (default 128 KiB).
+	WriteBytes int
+}
+
+func (c FingerprintConfig) withDefaults() FingerprintConfig {
+	if c.ShortProbeSec == 0 {
+		c.ShortProbeSec = 5
+	}
+	if c.ThrottleProbeSec == 0 {
+		c.ThrottleProbeSec = 1800
+	}
+	if c.WriteBytes == 0 {
+		c.WriteBytes = 131072
+	}
+	return c
+}
+
+// FingerprintShaper micro-benchmarks an emulated network path: a
+// fresh shaper is probed for base bandwidth and latency, then driven
+// to exhaustion to detect and parameterise a token bucket. The same
+// protocol applies to a real cloud path with real tools; here it runs
+// against the emulator so fingerprints are reproducible in tests.
+func FingerprintShaper(newShaper func() netem.Shaper, vnic netem.VNICModel, cfg FingerprintConfig, src *simrand.Source) (Fingerprint, error) {
+	cfg = cfg.withDefaults()
+	if newShaper == nil {
+		return Fingerprint{}, fmt.Errorf("core: nil shaper factory")
+	}
+	if src == nil {
+		return Fingerprint{}, fmt.Errorf("core: nil random source")
+	}
+
+	var fp Fingerprint
+
+	// 1) Short bandwidth probe on a fresh shaper.
+	short, err := netem.RunIperf(newShaper(), vnic, netem.IperfConfig{
+		DurationSec: cfg.ShortProbeSec, WriteBytes: cfg.WriteBytes,
+		BinSec: 1, RTTSamplesPerBin: 8,
+	}, src)
+	if err != nil {
+		return fp, fmt.Errorf("core: short probe: %w", err)
+	}
+	fp.BaseBandwidthGbps = short.MeanBandwidthGbps()
+	if len(short.RTTms) > 0 {
+		fp.LoadedRTTms = stats.Median(short.RTTms)
+	}
+
+	// 2) Base latency: tiny unloaded writes at the probed line rate.
+	fp.BaseRTTms = vnic.LatencyMs(64, math.Max(fp.BaseBandwidthGbps, 0.1), false)
+
+	// 3) Throttle detection: long probe on another fresh shaper.
+	long, err := netem.RunIperf(newShaper(), vnic, netem.IperfConfig{
+		DurationSec: cfg.ThrottleProbeSec, WriteBytes: cfg.WriteBytes,
+		BinSec: 10,
+	}, src)
+	if err != nil {
+		return fp, fmt.Errorf("core: throttle probe: %w", err)
+	}
+	inf, err := tokenbucket.InferParams(long.BandwidthGbps, 10, 1)
+	if err == nil {
+		fp.Bucket = &inf
+	}
+	return fp, nil
+}
+
+// Matches reports whether two fingerprints describe the same platform
+// behaviour within tolerance (a fraction, e.g. 0.15): the F5.5 guard
+// — "only comparing results to future experiments when these
+// baselines match".
+func (f Fingerprint) Matches(other Fingerprint, tolerance float64) bool {
+	within := func(a, b float64) bool {
+		if a == 0 && b == 0 {
+			return true
+		}
+		denominator := math.Max(math.Abs(a), math.Abs(b))
+		return math.Abs(a-b)/denominator <= tolerance
+	}
+	if !within(f.BaseBandwidthGbps, other.BaseBandwidthGbps) {
+		return false
+	}
+	if !within(f.BaseRTTms, other.BaseRTTms) {
+		return false
+	}
+	if (f.Bucket == nil) != (other.Bucket == nil) {
+		return false
+	}
+	if f.Bucket != nil {
+		if !within(f.Bucket.HighGbps, other.Bucket.HighGbps) ||
+			!within(f.Bucket.LowGbps, other.Bucket.LowGbps) ||
+			!within(f.Bucket.BudgetGbit, other.Bucket.BudgetGbit) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the fingerprint the way it should appear in a
+// published experiment report.
+func (f Fingerprint) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "base RTT %.3f ms, base bandwidth %.2f Gbps, loaded RTT %.3f ms",
+		f.BaseRTTms, f.BaseBandwidthGbps, f.LoadedRTTms)
+	if f.Bucket != nil {
+		fmt.Fprintf(&b, "; token bucket: high %.1f Gbps, low %.1f Gbps, budget %.0f Gbit, time-to-empty %.0f s",
+			f.Bucket.HighGbps, f.Bucket.LowGbps, f.Bucket.BudgetGbit, f.Bucket.TimeToEmptySec)
+	} else {
+		b.WriteString("; no deterministic throttling detected")
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Report assembles everything the paper says a published cloud
+// experiment must disclose (F2.2, F5.2, F5.5): the platform
+// fingerprint, full statistical distributions rather than bare
+// averages, repetition counts, validation findings, and the platform
+// metadata needed to detect when a provider policy change invalidates
+// future comparisons. WriteMarkdown renders it as a report section
+// ready to paste into a paper's artifact appendix.
+type Report struct {
+	// Title identifies the experiment.
+	Title string
+	// Generated is the report creation time (caller-supplied so
+	// reports are reproducible in tests).
+	Generated time.Time
+	// Fingerprint is the platform baseline measured alongside the
+	// experiment.
+	Fingerprint *Fingerprint
+	// Results holds per-experiment outcomes.
+	Results []Result
+	// Metadata records platform details: provider, region, instance
+	// type, dates — the F5.5 disclosure list.
+	Metadata map[string]string
+}
+
+// NewReport builds a report from experiment results.
+func NewReport(title string, generated time.Time, results ...Result) *Report {
+	return &Report{
+		Title:     title,
+		Generated: generated,
+		Results:   results,
+		Metadata:  map[string]string{},
+	}
+}
+
+// WriteMarkdown renders the report.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	p := func(format string, args ...interface{}) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("# %s\n\ngenerated: %s\n\n", r.Title, r.Generated.Format(time.RFC3339)); err != nil {
+		return err
+	}
+
+	if len(r.Metadata) > 0 {
+		if err := p("## Platform\n\n"); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(r.Metadata))
+		for k := range r.Metadata {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := p("- %s: %s\n", k, r.Metadata[k]); err != nil {
+				return err
+			}
+		}
+		if err := p("\n"); err != nil {
+			return err
+		}
+	}
+
+	if r.Fingerprint != nil {
+		if err := p("## Network fingerprint (verify before comparing to these numbers)\n\n%s\n\n",
+			r.Fingerprint.String()); err != nil {
+			return err
+		}
+	}
+
+	for _, res := range r.Results {
+		if err := p("## %s\n\n", res.Name); err != nil {
+			return err
+		}
+		s := res.Summary
+		if err := p("- repetitions: %d (converged: %v)\n", s.N, res.Converged); err != nil {
+			return err
+		}
+		if err := p("- median: %.4g s; mean: %.4g; CoV: %.1f%%\n", s.Median, s.Mean, s.CoV*100); err != nil {
+			return err
+		}
+		if err := p("- distribution: min %.4g / p25 %.4g / p75 %.4g / p99 %.4g / max %.4g\n",
+			s.Min, s.P25, s.P75, s.P99, s.Max); err != nil {
+			return err
+		}
+		if res.MedianCIErr == nil {
+			if err := p("- 95%% median CI: [%.4g, %.4g] (rel. err %.2f%%)\n",
+				res.MedianCI.Lo, res.MedianCI.Hi, res.MedianCI.RelativeError()*100); err != nil {
+				return err
+			}
+		} else {
+			if err := p("- 95%% median CI: UNAVAILABLE (%v) — increase repetitions\n", res.MedianCIErr); err != nil {
+				return err
+			}
+		}
+		if req := res.Planning.RequiredRepetitions(); req > res.Summary.N {
+			if err := p("- CONFIRM: ~%d repetitions needed for the %.0f%% error bound\n",
+				req, res.Planning.ErrorBound*100); err != nil {
+				return err
+			}
+		}
+		findings := res.Validation.Findings()
+		if len(findings) == 0 {
+			if err := p("- validation: no red flags\n"); err != nil {
+				return err
+			}
+		}
+		for _, msg := range findings {
+			if err := p("- WARNING: %s\n", msg); err != nil {
+				return err
+			}
+		}
+		if err := p("\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudvar/internal/tokenbucket"
+)
+
+func TestReportMarkdown(t *testing.T) {
+	good, err := Run("baseline", DefaultDesign(30), nil, noisyTrial(1, 100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Run("under-specified", DefaultDesign(3), nil, noisyTrial(2, 100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := NewReport("demo experiment", time.Unix(0, 0).UTC(), good, short)
+	rep.Metadata["provider"] = "emulated-ec2"
+	rep.Metadata["instance"] = "c5.xlarge"
+	rep.Fingerprint = &Fingerprint{
+		BaseRTTms: 0.2, BaseBandwidthGbps: 10, LoadedRTTms: 0.3,
+		Bucket: &tokenbucket.Inferred{
+			HighGbps: 10, LowGbps: 1, BudgetGbit: 5400, TimeToEmptySec: 600, RefillGbps: 1,
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# demo experiment",
+		"## Platform",
+		"- provider: emulated-ec2",
+		"## Network fingerprint",
+		"token bucket: high 10.0 Gbps",
+		"## baseline",
+		"95% median CI: [",
+		"## under-specified",
+		"UNAVAILABLE",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Metadata keys render sorted: instance before provider.
+	if strings.Index(out, "- instance:") > strings.Index(out, "- provider:") {
+		t.Error("metadata not sorted")
+	}
+}
+
+func TestReportWithoutOptionalSections(t *testing.T) {
+	res, err := Run("x", DefaultDesign(10), nil, noisyTrial(3, 5, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport("minimal", time.Unix(0, 0).UTC(), res)
+	var buf bytes.Buffer
+	if err := rep.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "## Platform") {
+		t.Error("empty metadata should be omitted")
+	}
+	if strings.Contains(out, "## Network fingerprint") {
+		t.Error("nil fingerprint should be omitted")
+	}
+}

@@ -1,0 +1,579 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/confirm"
+	"cloudvar/internal/netem"
+	"cloudvar/internal/simrand"
+	"cloudvar/internal/spark"
+	"cloudvar/internal/stats"
+	"cloudvar/internal/workloads"
+)
+
+func init() {
+	register("figure3a", Figure3a)
+	register("figure3b", Figure3b)
+	register("figure13", Figure13)
+	register("table4", Table4)
+	register("figure15", Figure15)
+	register("figure16", Figure16)
+	register("figure17", Figure17)
+	register("figure18", Figure18)
+	register("figure19", Figure19)
+}
+
+// runOnTable4 executes one app run on a fresh Table 4 cluster at the
+// given initial budget and returns the runtime.
+func runOnTable4(app workloads.App, budget float64, src *simrand.Source) (float64, error) {
+	c, err := workloads.Table4Cluster(budget, src)
+	if err != nil {
+		return 0, err
+	}
+	res, err := c.RunJob(app.Job, spark.RunOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Runtime(), nil
+}
+
+// runOnBallani executes one app run on a fresh 16-node cluster whose
+// links resample from the named Ballani cloud.
+func runOnBallani(app workloads.App, cloud string, resampleSec float64, src *simrand.Source) (float64, error) {
+	bc, err := cloudmodel.BallaniCloudByName(cloud)
+	if err != nil {
+		return 0, err
+	}
+	dist := bc.DistGbps()
+	c, err := workloads.EmulationCluster(func(node int) netem.Shaper {
+		sh, err := netem.NewSampledShaper(dist, resampleSec, src.Substream(fmt.Sprintf("node%d", node)))
+		if err != nil {
+			panic(err)
+		}
+		return sh
+	}, src)
+	if err != nil {
+		return 0, err
+	}
+	res, err := c.RunJob(app.Job, spark.RunOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Runtime(), nil
+}
+
+// lowRepAccuracy is the Figure 3 verdict machinery: compare 3- and
+// 10-run medians against the gold-standard CI.
+type lowRepAccuracy struct {
+	goldMedian     float64
+	goldLo, goldHi float64
+	ok3, ok10      bool
+}
+
+func assessLowRep(runs []float64, statQ float64, conf float64) (lowRepAccuracy, error) {
+	var a lowRepAccuracy
+	iv, err := stats.QuantileCI(runs, statQ, conf)
+	if err != nil {
+		return a, err
+	}
+	a.goldMedian = iv.Estimate
+	a.goldLo, a.goldHi = iv.Lo, iv.Hi
+	est3 := stats.Quantile(runs[:3], statQ)
+	est10 := stats.Quantile(runs[:10], statQ)
+	a.ok3 = iv.Contains(est3)
+	a.ok10 = iv.Contains(est10)
+	return a, nil
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "X"
+}
+
+// Figure3a emulates K-Means across clouds A-H with 5 s resampling and
+// compares 3-/10-run medians against 50-run gold CIs.
+func Figure3a(cfg Config) (Table, error) {
+	return lowRepFigure(cfg, "figure3a",
+		"K-Means medians under clouds A-H: low-repetition estimates vs 50-run gold CIs",
+		workloads.KMeansScaled(5, 2), 5, 0.5)
+}
+
+// Figure3b repeats the analysis for TPC-DS Q68 tail (90th percentile)
+// performance with 50 s resampling.
+func Figure3b(cfg Config) (Table, error) {
+	q68, err := workloads.TPCDSQuery(68)
+	if err != nil {
+		return Table{}, err
+	}
+	return lowRepFigure(cfg, "figure3b",
+		"TPC-DS Q68 90th-percentile estimates under clouds A-H vs 50-run gold CIs",
+		q68, 50, 0.9)
+}
+
+func lowRepFigure(cfg Config, id, title string, app workloads.App, resampleSec, statQ float64) (Table, error) {
+	src := simrand.New(cfg.Seed)
+	goldRuns := cfg.scaled(50, 30)
+	t := Table{
+		ID:    id,
+		Title: title,
+		Columns: []string{"Cloud", "Gold estimate [s]", "CI lo", "CI hi",
+			"3-run est", "3-run", "10-run est", "10-run"},
+	}
+	misses3, misses10 := 0, 0
+	for _, cloud := range []string{"A", "B", "C", "D", "E", "F", "G", "H"} {
+		runs := make([]float64, goldRuns)
+		csrc := src.Substream(id + "/" + cloud)
+		for i := range runs {
+			v, err := runOnBallani(app, cloud, resampleSec, csrc.Substream(fmt.Sprintf("run%d", i)))
+			if err != nil {
+				return t, err
+			}
+			runs[i] = v
+		}
+		acc, err := assessLowRep(runs, statQ, 0.95)
+		if err != nil {
+			return t, err
+		}
+		if !acc.ok3 {
+			misses3++
+		}
+		if !acc.ok10 {
+			misses10++
+		}
+		t.AddRow(cloud, f1(acc.goldMedian), f1(acc.goldLo), f1(acc.goldHi),
+			f1(stats.Quantile(runs[:3], statQ)), mark(acc.ok3),
+			f1(stats.Quantile(runs[:10], statQ)), mark(acc.ok10))
+	}
+	t.AddNote("3-run estimates outside the gold CI: %d/8; 10-run: %d/8", misses3, misses10)
+	if statQ == 0.5 {
+		t.AddNote("paper (Figure 3a): 6/8 for 3-run medians, 3/8 for 10-run")
+	} else {
+		t.AddNote("paper (Figure 3b): tail estimates are even harder to pin down than medians")
+	}
+	return t, nil
+}
+
+// Figure13 runs the CONFIRM analysis for K-Means on an emulated GCE
+// cluster and TPC-DS Q65 on an emulated HPCCloud cluster.
+func Figure13(cfg Config) (Table, error) {
+	src := simrand.New(cfg.Seed)
+	reps := cfg.scaled(100, 25)
+	t := Table{
+		ID:      "figure13",
+		Title:   "CONFIRM analysis: repetitions needed for 95% CIs within 1% of the median",
+		Columns: []string{"Benchmark", "Cloud", "Reps run", "Median [s]", "Final rel. err [%]", "Converged at", "Predicted reps"},
+	}
+
+	cases := []struct {
+		name  string
+		cloud string
+		app   workloads.App
+		rig   func(src *simrand.Source) (*spark.Cluster, error)
+	}{
+		{
+			name: "HiBench K-Means", cloud: "Google Cloud",
+			app: func() workloads.App { a, _ := workloads.HiBenchByAbbrev("KM"); return a }(),
+			rig: func(src *simrand.Source) (*spark.Cluster, error) {
+				p, err := cloudmodel.GCEProfile(8)
+				if err != nil {
+					return nil, err
+				}
+				return spark.NewCluster(spark.ClusterConfig{
+					Nodes: 12, SlotsPerNode: 4,
+					NewShaper: func(node int) netem.Shaper {
+						return p.NewShaper(src.Substream(fmt.Sprintf("gce%d", node)))
+					},
+					IngressGbps: 16, ComputeNoiseFrac: 0.03,
+					NodeSpeedNoiseFrac: 0.06,
+				}, src)
+			},
+		},
+		{
+			name: "TPC-DS Q65", cloud: "HPCCloud",
+			app: func() workloads.App { a, _ := workloads.TPCDSQuery(65); return a }(),
+			rig: func(src *simrand.Source) (*spark.Cluster, error) {
+				p, err := cloudmodel.HPCCloudProfile(8)
+				if err != nil {
+					return nil, err
+				}
+				return spark.NewCluster(spark.ClusterConfig{
+					Nodes: 12, SlotsPerNode: 4,
+					NewShaper: func(node int) netem.Shaper {
+						return p.NewShaper(src.Substream(fmt.Sprintf("hpc%d", node)))
+					},
+					IngressGbps: 10, ComputeNoiseFrac: 0.03,
+					NodeSpeedNoiseFrac: 0.03,
+				}, src)
+			},
+		},
+	}
+
+	for _, c := range cases {
+		csrc := src.Substream("fig13/" + c.name)
+		runs := make([]float64, reps)
+		for i := range runs {
+			cluster, err := c.rig(csrc.Substream(fmt.Sprintf("run%d", i)))
+			if err != nil {
+				return t, err
+			}
+			res, err := cluster.RunJob(c.app.Job, spark.RunOptions{})
+			if err != nil {
+				return t, err
+			}
+			runs[i] = res.Runtime()
+		}
+		an, err := confirm.Analyze(runs, 0.95, 0.01)
+		if err != nil {
+			return t, err
+		}
+		converged := "never"
+		if an.ConvergedAt > 0 {
+			converged = d(an.ConvergedAt)
+		}
+		predicted := an.RequiredRepetitions()
+		predStr := "n/a"
+		if predicted > 0 {
+			predStr = d(predicted)
+		}
+		final := an.FinalPoint()
+		t.AddRow(c.name, c.cloud, d(reps), f1(final.Median),
+			f(final.RelErr*100), converged, predStr)
+	}
+	t.AddNote("paper: 70 repetitions or more can be needed for 1%% bounds — far beyond the 3-10 runs common in the literature")
+	return t, nil
+}
+
+// Table4 reports the big-data experiment setup.
+func Table4(cfg Config) (Table, error) {
+	t := Table{
+		ID:      "table4",
+		Title:   "Big data experiments on modern cloud networks",
+		Columns: []string{"Workload", "Size", "Network", "Software", "#Nodes"},
+	}
+	t.AddRow("HiBench", "BigData", "Token-bucket (Figure 14)", "Spark-sim (this repo)", d(workloads.Table4Nodes))
+	t.AddRow("TPC-DS", "SF-2000", "Token-bucket (Figure 14)", "Spark-sim (this repo)", d(workloads.Table4Nodes))
+	t.AddNote("paper substrate: Spark 2.4.0 + Hadoop 2.7.3 on 12x16-core nodes; here: the internal/spark simulator (DESIGN.md substitution table)")
+	t.AddNote("HiBench apps: %d; TPC-DS queries: %d", len(workloads.HiBench()), len(workloads.TPCDS()))
+	return t, nil
+}
+
+// Figure15 profiles Terasort's network behaviour across initial
+// budgets, five consecutive runs per budget on the same cluster.
+func Figure15(cfg Config) (Table, error) {
+	src := simrand.New(cfg.Seed)
+	ts, err := workloads.HiBenchByAbbrev("TS")
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "figure15",
+		Title:   "Terasort on a token bucket: 5 consecutive runs per initial budget",
+		Columns: []string{"Budget [Gbit]", "Run times [s]", "Node0 final tokens [Gbit]", "Active rate p25 [Gbps]", "CoV of runs [%]"},
+	}
+	for _, budget := range workloads.StandardBudgets {
+		bsrc := src.Substream(fmt.Sprintf("fig15/%g", budget))
+		cluster, err := workloads.Table4Cluster(budget, bsrc)
+		if err != nil {
+			return t, err
+		}
+		var runtimes []float64
+		// Record only network-active samples: compute phases have
+		// zero egress and would dilute the regime picture. The lower
+		// quartile of the active rate separates the regimes cleanly
+		// even though starved nodes still burst briefly at 10 Gbps
+		// whenever compute-phase refill re-engages them (the Figure 18
+		// oscillation).
+		var activeRates []float64
+		sampler := func(_ float64, rates, _ []float64) {
+			if rates[0] > 0.1 {
+				activeRates = append(activeRates, rates[0])
+			}
+		}
+		for run := 0; run < 5; run++ {
+			res, err := cluster.RunJob(ts.Job, spark.RunOptions{
+				SampleInterval: 5, Sampler: sampler,
+			})
+			if err != nil {
+				return t, err
+			}
+			runtimes = append(runtimes, res.Runtime())
+		}
+		t.AddRow(fmt.Sprintf("%g", budget),
+			fmt.Sprintf("%.0f..%.0f", stats.Quantile(runtimes, 0), stats.Quantile(runtimes, 1)),
+			f1(cluster.NodeTokens()[0]), f1(stats.Quantile(activeRates, 0.25)),
+			f1(stats.CoefficientOfVariation(runtimes)*100))
+	}
+	t.AddNote("small budgets throttle shuffles intermittently to the 1 Gbps low rate: runs lengthen and run-to-run variability inflates (paper: strong correlation between small budgets and variability)")
+	t.AddNote("Terasort moves ~200 Gbit per node per run; refill during compute phases offsets part of it, so mid-size budgets hold roughly steady while small ones pin near zero")
+	return t, nil
+}
+
+// Figure16 sweeps HiBench across initial budgets.
+func Figure16(cfg Config) (Table, error) {
+	src := simrand.New(cfg.Seed)
+	reps := cfg.scaled(10, 3)
+	t := Table{
+		ID:      "figure16",
+		Title:   "HiBench average runtime [s] by initial token budget, and induced variability",
+		Columns: []string{"App", "b=5000", "b=1000", "b=100", "b=10", "Impact [%]", "IQR over budgets [s]"},
+	}
+	type appStats struct {
+		abbrev string
+		means  map[float64]float64
+		all    []float64
+	}
+	var rows []appStats
+	for _, app := range workloads.HiBench() {
+		as := appStats{abbrev: app.Abbrev, means: map[float64]float64{}}
+		for _, budget := range workloads.StandardBudgets {
+			var runs []float64
+			bsrc := src.Substream(fmt.Sprintf("fig16/%s/%g", app.Abbrev, budget))
+			for r := 0; r < reps; r++ {
+				v, err := runOnTable4(app, budget, bsrc.Substream(fmt.Sprintf("r%d", r)))
+				if err != nil {
+					return t, err
+				}
+				runs = append(runs, v)
+			}
+			as.means[budget] = stats.Mean(runs)
+			as.all = append(as.all, runs...)
+		}
+		rows = append(rows, as)
+	}
+	for _, as := range rows {
+		impact := 100 * (as.means[10] - as.means[5000]) / as.means[10]
+		t.AddRow(as.abbrev,
+			f1(as.means[5000]), f1(as.means[1000]), f1(as.means[100]), f1(as.means[10]),
+			f1(impact), f1(stats.IQR(as.all)))
+	}
+	t.AddNote("paper: the network-intensive apps (TS, WC) see a 25-50%% budget impact; compute-bound apps barely react")
+	return t, nil
+}
+
+// Figure17 sweeps the TPC-DS queries across initial budgets.
+func Figure17(cfg Config) (Table, error) {
+	src := simrand.New(cfg.Seed)
+	reps := cfg.scaled(10, 3)
+	t := Table{
+		ID:      "figure17",
+		Title:   "TPC-DS runtime slowdown per query by initial budget (vs budget 5000)",
+		Columns: []string{"Query", "b=5000 [s]", "slow b=1000", "slow b=100", "slow b=10", "p1-p99 spread [s]"},
+	}
+	sensitive := 0
+	queries := workloads.TPCDSQueryNumbers()
+	if cfg.Scale < 0.3 {
+		// Reduced query panel for quick runs; the full panel runs at
+		// scale >= 0.3. Always includes the Figure 19 pair.
+		queries = []int{3, 34, 46, 65, 68, 82, 98}
+	}
+	for _, q := range queries {
+		app, err := workloads.TPCDSQuery(q)
+		if err != nil {
+			return t, err
+		}
+		means := map[float64]float64{}
+		var all []float64
+		for _, budget := range workloads.StandardBudgets {
+			var runs []float64
+			bsrc := src.Substream(fmt.Sprintf("fig17/q%d/%g", q, budget))
+			for r := 0; r < reps; r++ {
+				v, err := runOnTable4(app, budget, bsrc.Substream(fmt.Sprintf("r%d", r)))
+				if err != nil {
+					return t, err
+				}
+				runs = append(runs, v)
+			}
+			means[budget] = stats.Mean(runs)
+			all = append(all, runs...)
+		}
+		spread := stats.Percentiles(all, 0.99)[0] - stats.Percentiles(all, 0.01)[0]
+		slow10 := means[10] / means[5000]
+		if slow10 > 1.25 {
+			sensitive++
+		}
+		t.AddRow(fmt.Sprintf("q%d", q), f1(means[5000]),
+			f(means[1000]/means[5000]), f(means[100]/means[5000]), f(slow10), f1(spread))
+	}
+	t.AddNote("budget-sensitive queries (>1.25x at b=10): %d/%d (paper: most queries; larger budgets always faster)",
+		sensitive, len(queries))
+	return t, nil
+}
+
+// Figure18 reproduces the token-bucket straggler: budget 2500,
+// skewed TPC-DS traffic, one node depletes and oscillates.
+func Figure18(cfg Config) (Table, error) {
+	src := simrand.New(cfg.Seed)
+	q65, err := workloads.TPCDSQuery(65)
+	if err != nil {
+		return Table{}, err
+	}
+	cluster, err := workloads.Table4Cluster(2500, src)
+	if err != nil {
+		return Table{}, err
+	}
+
+	// Track per-node regime transitions and low-rate time.
+	nodes := cluster.Nodes()
+	lowSamples := make([]int, nodes)
+	transitions := make([]int, nodes)
+	lastLow := make([]bool, nodes)
+	totalSamples := 0
+	sampler := func(_ float64, rates, tokens []float64) {
+		totalSamples++
+		for i := 0; i < nodes; i++ {
+			low := tokens[i] < 1 && rates[i] > 0
+			if low {
+				lowSamples[i]++
+			}
+			if low != lastLow[i] {
+				transitions[i]++
+				lastLow[i] = low
+			}
+		}
+	}
+
+	runs := cfg.scaled(12, 6)
+	var runtimes []float64
+	var straggles []float64
+	for r := 0; r < runs; r++ {
+		res, err := cluster.RunJob(q65.Job, spark.RunOptions{SampleInterval: 5, Sampler: sampler})
+		if err != nil {
+			return Table{}, err
+		}
+		runtimes = append(runtimes, res.Runtime())
+		straggles = append(straggles, res.MaxStraggle())
+	}
+
+	// The straggler is the node with the most low-rate time.
+	strag, regular := 0, 1
+	for i := 1; i < nodes; i++ {
+		if lowSamples[i] > lowSamples[strag] {
+			strag = i
+		}
+	}
+	if regular == strag {
+		regular = (strag + 1) % nodes
+	}
+	for i := 0; i < nodes; i++ {
+		if i != strag && lowSamples[i] < lowSamples[regular] {
+			regular = i
+		}
+	}
+	tokens := cluster.NodeTokens()
+
+	t := Table{
+		ID:      "figure18",
+		Title:   "Link allocation with budget 2500: regular node vs straggler",
+		Columns: []string{"Node", "Low-rate time [%]", "Regime flips", "Final tokens [Gbit]"},
+	}
+	pct := func(n int) string {
+		if totalSamples == 0 {
+			return "0"
+		}
+		return f1(100 * float64(n) / float64(totalSamples))
+	}
+	t.AddRow(fmt.Sprintf("regular (node%02d)", regular), pct(lowSamples[regular]),
+		d(transitions[regular]), f1(tokens[regular]))
+	t.AddRow(fmt.Sprintf("straggler (node%02d)", strag), pct(lowSamples[strag]),
+		d(transitions[strag]), f1(tokens[strag]))
+	t.AddNote("max task straggle ratio across runs: %.1fx; runtimes %.0f..%.0f s",
+		stats.Quantile(straggles, 1), stats.Quantile(runtimes, 0), stats.Quantile(runtimes, 1))
+	t.AddNote("paper: one node depletes its budget while the rest stay at 10 Gbps, then oscillates between rates")
+	return t, nil
+}
+
+// Figure19 reproduces the broken-iid CONFIRM analysis: repetitions
+// with stepwise-decreasing initial budgets.
+func Figure19(cfg Config) (Table, error) {
+	src := simrand.New(cfg.Seed)
+	perBudget := cfg.scaled(10, 4)
+	budgets := []float64{5000, 2500, 1000, 100, 10}
+
+	// Protocol: the token budget is reset to the ladder value at each
+	// budget step, and the repetitions within a step run back-to-back
+	// on the same cluster — the paper's "many experiments run in quick
+	// succession ... in the same VM instances" scenario, which is what
+	// makes repetitions non-independent.
+	runSequence := func(q int) ([]float64, error) {
+		app, err := workloads.TPCDSQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		var seq []float64
+		qsrc := src.Substream(fmt.Sprintf("fig19/q%d", q))
+		for _, b := range budgets {
+			cluster, err := workloads.Table4Cluster(b, qsrc.Substream(fmt.Sprintf("%g", b)))
+			if err != nil {
+				return nil, err
+			}
+			for r := 0; r < perBudget; r++ {
+				res, err := cluster.RunJob(app.Job, spark.RunOptions{})
+				if err != nil {
+					return nil, err
+				}
+				seq = append(seq, res.Runtime())
+			}
+		}
+		return seq, nil
+	}
+
+	t := Table{
+		ID:      "figure19",
+		Title:   "Median estimates under stepwise-depleting budgets (5000 -> 10)",
+		Columns: []string{"Query", "Initial median [s]", "Final median [s]", "Drift [%]", "Final CI err [%]", "CIs widen", "Poor estimate"},
+	}
+
+	queries := []int{82, 65}
+	if cfg.Scale >= 0.3 {
+		queries = workloads.TPCDSQueryNumbers()
+		// Present the paper's pair first.
+		queries = append([]int{82, 65}, removeInts(queries, 82, 65)...)
+	}
+	poor := 0
+	for _, q := range queries {
+		seq, err := runSequence(q)
+		if err != nil {
+			return t, err
+		}
+		an, err := confirm.Analyze(seq, 0.95, 0.10)
+		if err != nil {
+			return t, err
+		}
+		initial := stats.Median(seq[:perBudget])
+		final := stats.Median(seq)
+		drift := math.Abs(final-initial) / initial * 100
+		finalRelErr := an.FinalPoint().RelErr
+		// "Poor" per the paper's bottom bar: no tight-and-accurate
+		// median estimate once the budget is depleted — the estimate
+		// drifted >10%, or the CI never tightened to the 10% bound,
+		// or the CIs widen with repetitions.
+		isPoor := drift > 10 || finalRelErr > 0.10 || an.Diverging()
+		if isPoor {
+			poor++
+		}
+		t.AddRow(fmt.Sprintf("q%d", q), f1(initial), f1(final), f1(drift),
+			f1(finalRelErr*100), fmt.Sprintf("%v", an.Diverging()), fmt.Sprintf("%v", isPoor))
+	}
+	t.AddNote("queries with poor median estimates: %d/%d = %.0f%% (paper: ~80%%)",
+		poor, len(queries), 100*float64(poor)/float64(len(queries)))
+	t.AddNote("q82 is budget-agnostic (CIs tighten); q65 drifts and its CIs widen — the iid assumption breaks")
+	return t, nil
+}
+
+func removeInts(xs []int, drop ...int) []int {
+	dropSet := map[int]bool{}
+	for _, v := range drop {
+		dropSet[v] = true
+	}
+	var out []int
+	for _, v := range xs {
+		if !dropSet[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

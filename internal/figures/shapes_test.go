@@ -1,0 +1,146 @@
+package figures
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseF parses a table cell as float.
+func parseF(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", cell, err)
+	}
+	return v
+}
+
+// TestFigure11Shape checks the token-bucket inference orderings the
+// paper reports: time-to-empty, low rate and budget all grow with
+// instance size, and c5.xlarge empties in roughly ten minutes.
+func TestFigure11Shape(t *testing.T) {
+	tbl, err := Generate("figure11", Config{Seed: 5, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("figure11 rows: %d", len(tbl.Rows))
+	}
+	var prevTTE, prevLow, prevBudget float64
+	for _, row := range tbl.Rows {
+		tte := parseF(t, row[2]) // median TTE
+		low := parseF(t, row[5]) // low rate
+		bud := parseF(t, row[6]) // budget
+		if tte <= prevTTE || low <= prevLow || bud <= prevBudget {
+			t.Errorf("%s breaks size ordering: tte=%g low=%g budget=%g", row[0], tte, low, bud)
+		}
+		prevTTE, prevLow, prevBudget = tte, low, bud
+		if row[0] == "c5.xlarge" && (tte < 400 || tte > 900) {
+			t.Errorf("c5.xlarge TTE %g s outside the ~10 min ballpark", tte)
+		}
+	}
+}
+
+// TestFigure15Shape checks the Terasort budget study: the smallest
+// budget spends the least time at the high rate and varies the most.
+func TestFigure15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 20 Terasort executions")
+	}
+	tbl, err := Generate("figure15", Config{Seed: 5, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("figure15 rows: %d", len(tbl.Rows))
+	}
+	rateP25 := map[string]float64{}
+	cov := map[string]float64{}
+	tokens := map[string]float64{}
+	for _, row := range tbl.Rows {
+		rateP25[row[0]] = parseF(t, row[3])
+		tokens[row[0]] = parseF(t, row[2])
+		cov[row[0]] = parseF(t, row[4])
+	}
+	// Large budgets serve shuffles at the high rate; starved budgets
+	// drop their lower quartile toward the 1 Gbps cap.
+	if rateP25["5000"] < 8 {
+		t.Errorf("budget 5000 active-rate p25 = %.1f Gbps, want near 10", rateP25["5000"])
+	}
+	if rateP25["10"] > 5 {
+		t.Errorf("budget 10 active-rate p25 = %.1f Gbps, want throttled", rateP25["10"])
+	}
+	// The paper's correlation: small budgets create more run-to-run
+	// variability.
+	if cov["10"] <= cov["5000"] {
+		t.Errorf("budget 10 CoV %.1f%% should exceed budget 5000's %.1f%%", cov["10"], cov["5000"])
+	}
+	// Starved buckets stay pinned near empty.
+	if tokens["10"] > 500 {
+		t.Errorf("budget 10 final tokens %g, want near zero", tokens["10"])
+	}
+}
+
+// TestFigure18Shape checks the straggler artifact: the straggler
+// node's low-rate share dominates the regular node's.
+func TestFigure18Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the straggler campaign")
+	}
+	tbl, err := Generate("figure18", Config{Seed: 5, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("figure18 rows: %d", len(tbl.Rows))
+	}
+	var regular, straggler float64
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[0], "regular") {
+			regular = parseF(t, row[1])
+		} else {
+			straggler = parseF(t, row[1])
+		}
+	}
+	if straggler < 10 {
+		t.Errorf("straggler low-rate time %.1f%%, want substantial", straggler)
+	}
+	if straggler < regular*3 {
+		t.Errorf("straggler (%.1f%%) should dwarf regular node (%.1f%%)", straggler, regular)
+	}
+}
+
+// TestExtensionArtifacts checks the extension tables' core claims.
+func TestExtensionArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs extension campaigns")
+	}
+	cpuTbl, err := Generate("ext-cpuburst", Config{Seed: 5, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixedDeg, burstDeg float64
+	for _, row := range cpuTbl.Rows {
+		deg := parseF(t, strings.TrimSuffix(row[3], "x"))
+		if row[0] == "fixed-performance" {
+			fixedDeg = deg
+		} else {
+			burstDeg = deg
+		}
+	}
+	if fixedDeg > 1.1 {
+		t.Errorf("fixed instances degraded %.2fx across runs", fixedDeg)
+	}
+	if burstDeg < 1.5 {
+		t.Errorf("burstable instances degraded only %.2fx; credits should bite", burstDeg)
+	}
+
+	diurnalTbl, err := Generate("ext-diurnal", Config{Seed: 5, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diurnalTbl.Rows) != 8 {
+		t.Fatalf("diurnal bins: %d", len(diurnalTbl.Rows))
+	}
+}

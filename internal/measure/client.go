@@ -1,0 +1,173 @@
+package measure
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// IntervalStat is one summarisation window of a bulk transfer —
+// the real-socket equivalent of the emulator's 10-second bins.
+type IntervalStat struct {
+	// Start is the window's offset from the transfer start.
+	Start time.Duration
+	// Bytes moved during the window.
+	Bytes int64
+	// Mbps is the achieved goodput in megabits per second.
+	Mbps float64
+}
+
+// BulkResult summarises one bulk-transfer session.
+type BulkResult struct {
+	TotalBytes int64
+	Duration   time.Duration
+	Intervals  []IntervalStat
+}
+
+// MeanMbps returns the whole-session goodput.
+func (r BulkResult) MeanMbps() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.TotalBytes) * 8 / r.Duration.Seconds() / 1e6
+}
+
+// BulkConfig parameterises RunBulk.
+type BulkConfig struct {
+	// Duration of the transfer.
+	Duration time.Duration
+	// Interval is the summarisation window.
+	Interval time.Duration
+	// WriteBytes is the socket write size — the Figure 12 variable.
+	WriteBytes int
+	// Limiter, when non-nil, paces the sender (emulating provider
+	// QoS on a live socket). Nil sends at line rate.
+	Limiter *RateLimiter
+}
+
+// Validate checks the configuration.
+func (c BulkConfig) Validate() error {
+	switch {
+	case c.Duration <= 0:
+		return fmt.Errorf("measure: bulk duration must be positive")
+	case c.Interval <= 0 || c.Interval > c.Duration:
+		return fmt.Errorf("measure: interval must be in (0, duration]")
+	case c.WriteBytes <= 0 || c.WriteBytes > 8<<20:
+		return fmt.Errorf("measure: write size %d outside (0, 8MiB]", c.WriteBytes)
+	}
+	return nil
+}
+
+// RunBulk connects to a measure server and streams bytes for the
+// configured duration, recording per-interval goodput.
+func RunBulk(addr string, cfg BulkConfig) (BulkResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return BulkResult{}, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return BulkResult{}, fmt.Errorf("measure: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{modeBulk}); err != nil {
+		return BulkResult{}, fmt.Errorf("measure: handshake: %w", err)
+	}
+
+	buf := make([]byte, cfg.WriteBytes)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+
+	var res BulkResult
+	start := time.Now()
+	windowStart := start
+	var windowBytes int64
+	deadline := start.Add(cfg.Duration)
+
+	for time.Now().Before(deadline) {
+		if cfg.Limiter != nil {
+			cfg.Limiter.Wait(len(buf))
+		}
+		// Bound individual writes so a stalled receiver cannot hang
+		// the measurement forever.
+		if err := conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+			return res, fmt.Errorf("measure: set deadline: %w", err)
+		}
+		n, err := conn.Write(buf)
+		res.TotalBytes += int64(n)
+		windowBytes += int64(n)
+		if err != nil {
+			return res, fmt.Errorf("measure: write: %w", err)
+		}
+		if since := time.Since(windowStart); since >= cfg.Interval {
+			res.Intervals = append(res.Intervals, IntervalStat{
+				Start: windowStart.Sub(start),
+				Bytes: windowBytes,
+				Mbps:  float64(windowBytes) * 8 / since.Seconds() / 1e6,
+			})
+			windowStart = time.Now()
+			windowBytes = 0
+		}
+	}
+	if windowBytes > 0 {
+		since := time.Since(windowStart)
+		if since > 0 {
+			res.Intervals = append(res.Intervals, IntervalStat{
+				Start: windowStart.Sub(start),
+				Bytes: windowBytes,
+				Mbps:  float64(windowBytes) * 8 / since.Seconds() / 1e6,
+			})
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// MeasureRTT runs an application-level ping-pong session and returns
+// one round-trip time per ping — what the paper's tcpdump/wireshark
+// pipeline extracts from packet timestamps, measured here directly at
+// the socket layer.
+func MeasureRTT(addr string, pings, payloadBytes int) ([]time.Duration, error) {
+	if pings <= 0 {
+		return nil, fmt.Errorf("measure: pings must be positive")
+	}
+	if payloadBytes <= 0 || payloadBytes > maxPingBytes {
+		return nil, fmt.Errorf("measure: payload %d outside (0, %d]", payloadBytes, maxPingBytes)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("measure: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{modeEcho}); err != nil {
+		return nil, fmt.Errorf("measure: handshake: %w", err)
+	}
+
+	payload := make([]byte, payloadBytes)
+	hdr := [4]byte{
+		byte(payloadBytes >> 24), byte(payloadBytes >> 16),
+		byte(payloadBytes >> 8), byte(payloadBytes),
+	}
+	frame := append(hdr[:], payload...)
+	echo := make([]byte, len(frame))
+
+	rtts := make([]time.Duration, 0, pings)
+	for i := 0; i < pings; i++ {
+		if err := conn.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+			return rtts, fmt.Errorf("measure: set deadline: %w", err)
+		}
+		t0 := time.Now()
+		if _, err := conn.Write(frame); err != nil {
+			return rtts, fmt.Errorf("measure: ping %d write: %w", i, err)
+		}
+		if _, err := io.ReadFull(conn, echo); err != nil {
+			return rtts, fmt.Errorf("measure: ping %d read: %w", i, err)
+		}
+		rtts = append(rtts, time.Since(t0))
+	}
+	// Graceful close: zero-length frame.
+	var zero [4]byte
+	_, _ = conn.Write(zero[:])
+	return rtts, nil
+}

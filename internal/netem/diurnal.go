@@ -1,0 +1,92 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+)
+
+// DiurnalShaper modulates an inner shaper's permitted rate with a
+// smooth periodic factor — the day/night contention cycle that shared
+// research clouds exhibit, and the reason the paper (F5.4) recommends
+// spreading repetitions "over longer time frames, different diurnal or
+// calendar cycles". The factor is
+//
+//	1 - Depth/2 + Depth/2 · cos(2π · (t - PhaseSec)/PeriodSec)
+//
+// so capacity peaks at t = PhaseSec and dips by Depth at the opposite
+// phase. The shaper tracks virtual time internally through
+// Transfer/Idle calls, like every other shaper in this package.
+type DiurnalShaper struct {
+	inner     Shaper
+	periodSec float64
+	depth     float64
+	phaseSec  float64
+	elapsed   float64
+}
+
+// NewDiurnalShaper wraps inner with a cycle of the given period and
+// depth (fraction of capacity lost at the trough, in [0, 1)).
+func NewDiurnalShaper(inner Shaper, periodSec, depth, phaseSec float64) (*DiurnalShaper, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("netem: nil inner shaper")
+	}
+	if periodSec <= 0 {
+		return nil, fmt.Errorf("netem: diurnal period must be positive")
+	}
+	if depth < 0 || depth >= 1 {
+		return nil, fmt.Errorf("netem: diurnal depth %g outside [0, 1)", depth)
+	}
+	return &DiurnalShaper{
+		inner: inner, periodSec: periodSec, depth: depth, phaseSec: phaseSec,
+	}, nil
+}
+
+// factor returns the current capacity multiplier.
+func (d *DiurnalShaper) factor() float64 {
+	theta := 2 * math.Pi * (d.elapsed - d.phaseSec) / d.periodSec
+	return 1 - d.depth/2 + d.depth/2*math.Cos(theta)
+}
+
+// Rate implements Shaper.
+func (d *DiurnalShaper) Rate(demand float64) float64 {
+	if demand <= 0 {
+		return 0
+	}
+	return math.Min(demand, d.inner.Rate(demand)*d.factor())
+}
+
+// Transfer implements Shaper. The interval is subdivided so the
+// sinusoid is tracked within ~1% of its period.
+func (d *DiurnalShaper) Transfer(demand, dt float64) float64 {
+	if dt < 0 {
+		panic("netem: negative duration")
+	}
+	maxStep := d.periodSec / 128
+	moved := 0.0
+	for dt > 1e-12 {
+		step := math.Min(dt, maxStep)
+		// The effective demand offered to the inner shaper is capped
+		// by the diurnal factor.
+		eff := math.Min(demand, d.inner.Rate(demand)*d.factor())
+		moved += d.inner.Transfer(eff, step)
+		d.elapsed += step
+		dt -= step
+	}
+	return moved
+}
+
+// Idle implements Shaper.
+func (d *DiurnalShaper) Idle(dt float64) {
+	if dt < 0 {
+		panic("netem: negative duration")
+	}
+	d.inner.Idle(dt)
+	d.elapsed += dt
+}
+
+// NextTransition implements Shaper: the sinusoid changes continuously,
+// so steps are bounded to a small fraction of the period (on top of
+// whatever the inner shaper reports).
+func (d *DiurnalShaper) NextTransition(demand float64) float64 {
+	return math.Min(d.periodSec/128, d.inner.NextTransition(demand))
+}

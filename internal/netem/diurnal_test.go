@@ -1,0 +1,110 @@
+package netem
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiurnalShaperValidation(t *testing.T) {
+	inner := &FixedShaper{RateGbps: 10}
+	if _, err := NewDiurnalShaper(nil, 100, 0.5, 0); err == nil {
+		t.Error("nil inner should error")
+	}
+	if _, err := NewDiurnalShaper(inner, 0, 0.5, 0); err == nil {
+		t.Error("zero period should error")
+	}
+	if _, err := NewDiurnalShaper(inner, 100, 1.0, 0); err == nil {
+		t.Error("depth 1 should error")
+	}
+	if _, err := NewDiurnalShaper(inner, 100, -0.1, 0); err == nil {
+		t.Error("negative depth should error")
+	}
+}
+
+func TestDiurnalPeakAndTrough(t *testing.T) {
+	inner := &FixedShaper{RateGbps: 10}
+	d, err := NewDiurnalShaper(inner, 1000, 0.4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t=0 (peak phase): full rate.
+	if got := d.Rate(1e12); math.Abs(got-10) > 1e-9 {
+		t.Errorf("peak rate = %g, want 10", got)
+	}
+	// Advance half a period to the trough: rate dips by depth.
+	d.Idle(500)
+	if got := d.Rate(1e12); math.Abs(got-6) > 1e-6 {
+		t.Errorf("trough rate = %g, want 6", got)
+	}
+	// Full period back to peak.
+	d.Idle(500)
+	if got := d.Rate(1e12); math.Abs(got-10) > 1e-6 {
+		t.Errorf("rate after full period = %g, want 10", got)
+	}
+}
+
+func TestDiurnalTransferVolume(t *testing.T) {
+	inner := &FixedShaper{RateGbps: 10}
+	d, err := NewDiurnalShaper(inner, 1000, 0.4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over exactly one period the mean factor is 1 - depth/2 = 0.8:
+	// expect ~8000 Gbit instead of 10000.
+	moved := d.Transfer(1e12, 1000)
+	if math.Abs(moved-8000) > 100 {
+		t.Errorf("one-period volume = %g, want ~8000", moved)
+	}
+}
+
+func TestDiurnalZeroDepthTransparent(t *testing.T) {
+	inner := &FixedShaper{RateGbps: 7}
+	d, err := NewDiurnalShaper(inner, 100, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Transfer(1e12, 50); math.Abs(got-350) > 1e-6 {
+		t.Errorf("zero-depth transfer = %g, want 350", got)
+	}
+}
+
+func TestDiurnalNextTransitionBounded(t *testing.T) {
+	inner := &FixedShaper{RateGbps: 10}
+	d, err := NewDiurnalShaper(inner, 1280, 0.3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.NextTransition(10); got > 10+1e-9 {
+		t.Errorf("NextTransition = %g, want <= period/128 = 10", got)
+	}
+}
+
+func TestDiurnalPhaseShift(t *testing.T) {
+	inner := &FixedShaper{RateGbps: 10}
+	// Phase 500 on a 1000 s period: trough at t=0.
+	d, err := NewDiurnalShaper(inner, 1000, 0.4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Rate(1e12); math.Abs(got-6) > 1e-6 {
+		t.Errorf("phase-shifted rate at t=0 = %g, want 6 (trough)", got)
+	}
+}
+
+func TestDiurnalNegativeDurationPanics(t *testing.T) {
+	inner := &FixedShaper{RateGbps: 10}
+	d, _ := NewDiurnalShaper(inner, 100, 0.2, 0)
+	for name, fn := range map[string]func(){
+		"transfer": func() { d.Transfer(1, -1) },
+		"idle":     func() { d.Idle(-1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

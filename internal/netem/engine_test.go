@@ -1,0 +1,179 @@
+package netem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cloudvar/internal/simrand"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Drain(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("events fired in order %v", order)
+	}
+	if e.Now() != 3 {
+		t.Errorf("clock at %g, want 3", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(5, func() { order = append(order, "first") })
+	e.Schedule(5, func() { order = append(order, "second") })
+	e.Drain(10)
+	if order[0] != "first" || order[1] != "second" {
+		t.Errorf("simultaneous events fired as %v", order)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func() { fired++ })
+	e.Schedule(2, func() { fired++ })
+	e.Schedule(3, func() { fired++ })
+	e.RunUntil(2)
+	if fired != 2 {
+		t.Errorf("fired %d events by t=2, want 2", fired)
+	}
+	if e.Now() != 2 {
+		t.Errorf("clock = %g, want 2", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineAfterAndCascade(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	var tick func()
+	tick = func() {
+		times = append(times, e.Now())
+		if len(times) < 3 {
+			e.After(10, tick)
+		}
+	}
+	e.After(10, tick)
+	e.Drain(10)
+	want := []float64{10, 20, 30}
+	for i, w := range want {
+		if times[i] != w {
+			t.Errorf("tick %d at %g, want %g", i, times[i], w)
+		}
+	}
+}
+
+func TestEnginePanicsOnPast(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestEngineDrainLimit(t *testing.T) {
+	e := NewEngine()
+	var loop func()
+	loop = func() { e.After(1, loop) }
+	e.After(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("unbounded drain should panic at limit")
+		}
+	}()
+	e.Drain(100)
+}
+
+func TestEngineNegativeAfterPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+// TestEngineHeapProperty checks the heap delivers events in
+// non-decreasing time order for arbitrary schedules.
+func TestEngineHeapProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []float64
+		for _, d := range delays {
+			at := float64(d)
+			e.Schedule(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Drain(len(delays) + 1)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalendarQueueMatchesHeap(t *testing.T) {
+	src := simrand.New(555)
+	for trial := 0; trial < 20; trial++ {
+		n := 50
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = src.Float64() * 1000
+		}
+		var heapOrder, calOrder []float64
+		e := NewEngine()
+		c := newCalendarQueue(10, 128)
+		for _, at := range times {
+			at := at
+			e.Schedule(at, func() { heapOrder = append(heapOrder, at) })
+			c.schedule(at, func() { calOrder = append(calOrder, at) })
+		}
+		e.Drain(n + 1)
+		for c.step() {
+		}
+		if len(heapOrder) != len(calOrder) {
+			t.Fatalf("lengths differ: %d vs %d", len(heapOrder), len(calOrder))
+		}
+		for i := range heapOrder {
+			if heapOrder[i] != calOrder[i] {
+				t.Fatalf("trial %d: order differs at %d: %g vs %g", trial, i, heapOrder[i], calOrder[i])
+			}
+		}
+	}
+}
+
+func BenchmarkEngineHeap(b *testing.B) {
+	src := simrand.New(1)
+	times := make([]float64, 1000)
+	for i := range times {
+		times[i] = src.Float64() * 1e6
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for _, at := range times {
+			e.Schedule(at, func() {})
+		}
+		e.Drain(len(times) + 1)
+	}
+}

@@ -1,0 +1,145 @@
+package spark
+
+import (
+	"math"
+	"testing"
+
+	"cloudvar/internal/netem"
+	"cloudvar/internal/simrand"
+)
+
+// burstCluster builds a cluster of burstable instances with unshaped
+// networking, isolating the CPU-credit mechanism.
+func burstCluster(t *testing.T, budgetCPUSec float64, seed uint64) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{
+		Nodes: 4, SlotsPerNode: 2,
+		NewShaper:   func(int) netem.Shaper { return &netem.FixedShaper{RateGbps: 10} },
+		IngressGbps: 10,
+		CPUBurst: &CPUBurstParams{
+			BudgetCPUSec: budgetCPUSec,
+			BaselineFrac: 0.25,
+			EarnRate:     0.25,
+		},
+	}, simrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func computeJob(taskSec float64, tasks int) Job {
+	return Job{
+		Name:   "cpu-heavy",
+		Stages: []StageSpec{{Name: "compute", Tasks: tasks, ComputeSec: taskSec}},
+	}
+}
+
+func TestCPUBurstParamsValidation(t *testing.T) {
+	bad := []CPUBurstParams{
+		{BudgetCPUSec: 0, BaselineFrac: 0.3, EarnRate: 0.3},
+		{BudgetCPUSec: 100, BaselineFrac: 0, EarnRate: 0.3},
+		{BudgetCPUSec: 100, BaselineFrac: 1.5, EarnRate: 0.3},
+		{BudgetCPUSec: 100, BaselineFrac: 0.3, EarnRate: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %d should fail", i)
+		}
+	}
+	cfg := ClusterConfig{
+		Nodes: 2, SlotsPerNode: 1,
+		NewShaper:   func(int) netem.Shaper { return &netem.FixedShaper{RateGbps: 1} },
+		IngressGbps: 1,
+		CPUBurst:    &CPUBurstParams{BudgetCPUSec: -1, BaselineFrac: 0.3, EarnRate: 0.3},
+	}
+	if _, err := NewCluster(cfg, simrand.New(1)); err == nil {
+		t.Error("cluster must reject invalid burst params")
+	}
+}
+
+func TestCPUBurstFullSpeedWithinBudget(t *testing.T) {
+	// Plenty of credits: tasks run at full speed.
+	c := burstCluster(t, 10000, 1)
+	res, err := c.RunJob(computeJob(10, 8), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Runtime()-10) > 0.5 {
+		t.Errorf("runtime %g, want ~10 (one full-speed wave)", res.Runtime())
+	}
+}
+
+func TestCPUBurstThrottlesAfterDepletion(t *testing.T) {
+	// 15 CPU-s of credits per slot; a 40 CPU-s task runs 15 s fast,
+	// then the remaining 25 CPU-s at effective rate baseline+earn
+	// behaviour: with low = earn = 0.25, the bucket pins and the rest
+	// runs at 0.25 speed -> ~15 + 25/0.25 = 115 s (plus re-engage
+	// wiggles).
+	c := burstCluster(t, 15, 2)
+	res, err := c.RunJob(computeJob(40, 8), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime() < 80 {
+		t.Errorf("runtime %g too fast: credits should have run out", res.Runtime())
+	}
+	credits := c.CPUCredits()
+	if credits == nil {
+		t.Fatal("CPUCredits nil on burst cluster")
+	}
+	for i, cr := range credits {
+		// 2 slots per node, nearly depleted.
+		if cr > 5 {
+			t.Errorf("node %d credits %g, want near zero", i, cr)
+		}
+	}
+}
+
+// TestCPUBurstHistoryDependence is the paper's point: two identical
+// benchmark runs differ because the first drained the (invisible)
+// CPU-credit bucket.
+func TestCPUBurstHistoryDependence(t *testing.T) {
+	// 50 credits per slot: the first 50 CPU-s job drains 37.5 (net
+	// 0.75/s), leaving the second run to hit the baseline mid-task.
+	c := burstCluster(t, 50, 3)
+	first, err := c.RunJob(computeJob(50, 8), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.RunJob(computeJob(50, 8), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Runtime() < first.Runtime()*1.2 {
+		t.Errorf("no history dependence: %.1f then %.1f s", first.Runtime(), second.Runtime())
+	}
+}
+
+func TestCPUBurstRestEarnsCredits(t *testing.T) {
+	c := burstCluster(t, 60, 4)
+	if _, err := c.RunJob(computeJob(60, 8), RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	drained, err := c.RunJob(computeJob(30, 8), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rest long enough to re-earn a meaningful balance (earn 0.25/s).
+	c.Rest(200)
+	rested, err := c.RunJob(computeJob(30, 8), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rested.Runtime() >= drained.Runtime() {
+		t.Errorf("rest did not help: drained %.1f s vs rested %.1f s",
+			drained.Runtime(), rested.Runtime())
+	}
+}
+
+func TestCPUCreditsNilWithoutBurst(t *testing.T) {
+	c := fixedCluster(t, 2, 1)
+	if c.CPUCredits() != nil {
+		t.Error("CPUCredits should be nil without CPUBurst")
+	}
+}

@@ -1,0 +1,279 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ANOVAResult is the outcome of a one-way analysis of variance.
+type ANOVAResult struct {
+	FStatistic float64
+	PValue     float64
+	// DFBetween and DFWithin are the degrees of freedom.
+	DFBetween, DFWithin int
+	// Groups is the number of groups compared.
+	Groups int
+	// RejectAt05 reports rejection of "all group means equal" at 5%.
+	RejectAt05 bool
+}
+
+func (r ANOVAResult) String() string {
+	return fmt.Sprintf("F(%d,%d)=%.3f p=%.4g", r.DFBetween, r.DFWithin, r.FStatistic, r.PValue)
+}
+
+// OneWayANOVA tests whether several groups share a common mean — the
+// classic tool the paper (F5.3) lists for separating systematic
+// factors from noise when variability is well-behaved stochastic
+// noise. Note the paper's caveat: ANOVA assumes normality and
+// independence; run ShapiroWilk and IndependenceCheck first, and fall
+// back to KruskalWallis when they fail.
+func OneWayANOVA(groups ...[]float64) (ANOVAResult, error) {
+	k := len(groups)
+	if k < 2 {
+		return ANOVAResult{}, fmt.Errorf("stats: ANOVA needs >= 2 groups, got %d", k)
+	}
+	n := 0
+	grand := 0.0
+	for i, g := range groups {
+		if len(g) < 2 {
+			return ANOVAResult{}, fmt.Errorf("stats: ANOVA group %d has %d samples, need >= 2: %w",
+				i, len(g), ErrInsufficientData)
+		}
+		n += len(g)
+		grand += Sum(g)
+	}
+	grand /= float64(n)
+
+	ssBetween, ssWithin := 0.0, 0.0
+	for _, g := range groups {
+		m := Mean(g)
+		d := m - grand
+		ssBetween += float64(len(g)) * d * d
+		for _, x := range g {
+			e := x - m
+			ssWithin += e * e
+		}
+	}
+
+	dfB := k - 1
+	dfW := n - k
+	if ssWithin == 0 {
+		// All groups internally constant: if the means differ the
+		// F statistic is infinite (certain rejection); if not, there
+		// is no evidence at all.
+		res := ANOVAResult{DFBetween: dfB, DFWithin: dfW, Groups: k}
+		if ssBetween > 0 {
+			res.FStatistic = math.Inf(1)
+			res.PValue = 0
+			res.RejectAt05 = true
+		} else {
+			res.FStatistic = 0
+			res.PValue = 1
+		}
+		return res, nil
+	}
+
+	f := (ssBetween / float64(dfB)) / (ssWithin / float64(dfW))
+	res := ANOVAResult{
+		FStatistic: f,
+		DFBetween:  dfB,
+		DFWithin:   dfW,
+		Groups:     k,
+		PValue:     1 - FCDF(f, float64(dfB), float64(dfW)),
+	}
+	res.RejectAt05 = res.PValue < 0.05
+	return res, nil
+}
+
+// FCDF returns the CDF of the F distribution with (d1, d2) degrees of
+// freedom at x, via the regularised incomplete beta function.
+func FCDF(x, d1, d2 float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return RegIncBeta(d1/2, d2/2, d1*x/(d1*x+d2))
+}
+
+// ChiSquareCDF returns the chi-square CDF with k degrees of freedom,
+// via the regularised lower incomplete gamma function.
+func ChiSquareCDF(x, k float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncGammaLower(k/2, x/2)
+}
+
+// RegIncBeta computes the regularised incomplete beta function
+// I_x(a, b) using the continued-fraction expansion (Numerical Recipes
+// style, Lentz's algorithm).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a+math.Log(1-x)*b+lbeta) / a
+	// Use the symmetry relation for faster convergence.
+	if x > (a+1)/(a+b+2) {
+		return 1 - RegIncBeta(b, a, 1-x)
+	}
+	// Lentz's continued fraction.
+	const (
+		tiny    = 1e-30
+		epsilon = 1e-14
+		maxIter = 300
+	)
+	f, c, d := 1.0, 1.0, 0.0
+	for i := 0; i <= maxIter; i++ {
+		m := i / 2
+		var numerator float64
+		switch {
+		case i == 0:
+			numerator = 1
+		case i%2 == 0:
+			numerator = float64(m) * (b - float64(m)) * x /
+				((a + 2*float64(m) - 1) * (a + 2*float64(m)))
+		default:
+			numerator = -(a + float64(m)) * (a + b + float64(m)) * x /
+				((a + 2*float64(m)) * (a + 2*float64(m) + 1))
+		}
+		d = 1 + numerator*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + numerator/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		cd := c * d
+		f *= cd
+		if math.Abs(1-cd) < epsilon {
+			break
+		}
+	}
+	return front * (f - 1)
+}
+
+// regIncGammaLower computes P(a, x), the regularised lower incomplete
+// gamma function, by series (x < a+1) or continued fraction.
+func regIncGammaLower(a, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x < a+1:
+		// Series expansion.
+		sum := 1.0 / a
+		term := sum
+		for n := 1; n < 300; n++ {
+			term *= x / (a + float64(n))
+			sum += term
+			if math.Abs(term) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lgamma(a))
+	default:
+		// Continued fraction for Q(a, x), then P = 1 - Q.
+		const tiny = 1e-30
+		b := x + 1 - a
+		c := 1 / tiny
+		d := 1 / b
+		h := d
+		for i := 1; i < 300; i++ {
+			an := -float64(i) * (float64(i) - a)
+			b += 2
+			d = an*d + b
+			if math.Abs(d) < tiny {
+				d = tiny
+			}
+			c = b + an/c
+			if math.Abs(c) < tiny {
+				c = tiny
+			}
+			d = 1 / d
+			del := d * c
+			h *= del
+			if math.Abs(del-1) < 1e-15 {
+				break
+			}
+		}
+		q := math.Exp(-x+a*math.Log(x)-lgamma(a)) * h
+		return 1 - q
+	}
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// KruskalWallis is the nonparametric analogue of one-way ANOVA: it
+// tests whether k samples come from the same distribution using only
+// ranks, which is what F5.4 prescribes once normality fails (as it
+// does for token-bucket-shaped runtimes, which are bimodal).
+func KruskalWallis(groups ...[]float64) (TestResult, error) {
+	k := len(groups)
+	if k < 2 {
+		return TestResult{}, fmt.Errorf("stats: Kruskal-Wallis needs >= 2 groups")
+	}
+	type obs struct {
+		v     float64
+		group int
+	}
+	var all []obs
+	for gi, g := range groups {
+		if len(g) < 2 {
+			return TestResult{}, fmt.Errorf("stats: Kruskal-Wallis group %d has %d samples: %w",
+				gi, len(g), ErrInsufficientData)
+		}
+		for _, v := range g {
+			all = append(all, obs{v, gi})
+		}
+	}
+	n := len(all)
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	ranks := make([]float64, n)
+	tieCorr := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2
+		for t := i; t < j; t++ {
+			ranks[t] = mid
+		}
+		tl := float64(j - i)
+		tieCorr += tl*tl*tl - tl
+		i = j
+	}
+
+	rankSum := make([]float64, k)
+	for i, o := range all {
+		rankSum[o.group] += ranks[i]
+	}
+	h := 0.0
+	for gi, g := range groups {
+		h += rankSum[gi] * rankSum[gi] / float64(len(g))
+	}
+	nf := float64(n)
+	h = 12/(nf*(nf+1))*h - 3*(nf+1)
+
+	// Tie correction.
+	denom := 1 - tieCorr/(nf*nf*nf-nf)
+	if denom <= 0 {
+		// Everything tied: no evidence against the null.
+		return TestResult{N: n, PValue: 1}, nil
+	}
+	h /= denom
+
+	res := TestResult{Statistic: h, N: n}
+	res.PValue = 1 - ChiSquareCDF(h, float64(k-1))
+	res.RejectAt05 = res.PValue < 0.05
+	return res, nil
+}

@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"cloudvar/internal/simrand"
+)
+
+func TestOneWayANOVASameMeans(t *testing.T) {
+	src := simrand.New(1)
+	rejections := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		g1 := make([]float64, 20)
+		g2 := make([]float64, 20)
+		g3 := make([]float64, 20)
+		for i := range g1 {
+			g1[i] = src.Normal(10, 2)
+			g2[i] = src.Normal(10, 2)
+			g3[i] = src.Normal(10, 2)
+		}
+		res, err := OneWayANOVA(g1, g2, g3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RejectAt05 {
+			rejections++
+		}
+	}
+	if rejections > trials/5 {
+		t.Errorf("type-I error too high: %d/%d", rejections, trials)
+	}
+}
+
+func TestOneWayANOVADifferentMeans(t *testing.T) {
+	src := simrand.New(3)
+	g1 := make([]float64, 25)
+	g2 := make([]float64, 25)
+	for i := range g1 {
+		g1[i] = src.Normal(10, 1)
+		g2[i] = src.Normal(13, 1)
+	}
+	res, err := OneWayANOVA(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RejectAt05 {
+		t.Errorf("3-sigma mean gap not detected: %v", res)
+	}
+	if res.DFBetween != 1 || res.DFWithin != 48 {
+		t.Errorf("df = (%d, %d), want (1, 48)", res.DFBetween, res.DFWithin)
+	}
+}
+
+func TestOneWayANOVAKnownValue(t *testing.T) {
+	// Hand-computed example: groups {1,2,3}, {2,3,4}, {6,7,8}.
+	// Grand mean 4. SSB = 3*(2-4)^2 + 3*(3-4)^2 + 3*(7-4)^2 = 42.
+	// SSW = 2+2+2 = 6. F = (42/2)/(6/6) = 21.
+	res, err := OneWayANOVA([]float64{1, 2, 3}, []float64{2, 3, 4}, []float64{6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FStatistic-21) > 1e-9 {
+		t.Errorf("F = %g, want 21", res.FStatistic)
+	}
+	if !res.RejectAt05 {
+		t.Error("F=21 with (2,6) df should reject")
+	}
+}
+
+func TestOneWayANOVAEdgeCases(t *testing.T) {
+	if _, err := OneWayANOVA([]float64{1, 2}); err == nil {
+		t.Error("single group should error")
+	}
+	if _, err := OneWayANOVA([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("tiny group should error")
+	}
+	// Constant groups, equal means: no rejection.
+	res, err := OneWayANOVA([]float64{5, 5}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectAt05 {
+		t.Error("identical constant groups should not reject")
+	}
+	// Constant groups, different means: certain rejection.
+	res, err = OneWayANOVA([]float64{5, 5}, []float64{9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RejectAt05 || !math.IsInf(res.FStatistic, 1) {
+		t.Errorf("separated constant groups should reject with F=Inf: %v", res)
+	}
+}
+
+func TestFCDFKnownValues(t *testing.T) {
+	// F(1,1) at x=1 is 0.5 by symmetry.
+	if got := FCDF(1, 1, 1); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("FCDF(1;1,1) = %g, want 0.5", got)
+	}
+	// 95th percentile of F(2,6) is 5.1433; CDF there should be 0.95.
+	if got := FCDF(5.1433, 2, 6); math.Abs(got-0.95) > 1e-3 {
+		t.Errorf("FCDF(5.1433;2,6) = %g, want ~0.95", got)
+	}
+	if FCDF(0, 3, 3) != 0 {
+		t.Error("FCDF at 0 should be 0")
+	}
+	if got := FCDF(1e9, 3, 3); got < 0.999 {
+		t.Errorf("FCDF at huge x = %g", got)
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Chi-square with 2 df is Exponential(1/2): CDF(x) = 1-exp(-x/2).
+	for _, x := range []float64{0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-x/2)
+		if got := ChiSquareCDF(x, 2); math.Abs(got-want) > 1e-9 {
+			t.Errorf("ChiSquareCDF(%g;2) = %g, want %g", x, got, want)
+		}
+	}
+	// 95th percentile of chi-square(1) is 3.8415.
+	if got := ChiSquareCDF(3.8415, 1); math.Abs(got-0.95) > 1e-3 {
+		t.Errorf("ChiSquareCDF(3.8415;1) = %g, want ~0.95", got)
+	}
+	if ChiSquareCDF(-1, 3) != 0 {
+		t.Error("negative x should give 0")
+	}
+}
+
+func TestRegIncBetaProperties(t *testing.T) {
+	// Boundary values.
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.8} {
+		lhs := RegIncBeta(2.5, 4, x)
+		rhs := 1 - RegIncBeta(4, 2.5, 1-x)
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("symmetry broken at x=%g: %g vs %g", x, lhs, rhs)
+		}
+	}
+	// I_x(1,1) = x (uniform).
+	for _, x := range []float64{0.2, 0.7} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%g(1,1) = %g", x, got)
+		}
+	}
+	// Monotone in x.
+	prev := -1.0
+	for x := 0.0; x <= 1.0; x += 0.05 {
+		v := RegIncBeta(3, 2, x)
+		if v < prev-1e-12 {
+			t.Fatalf("RegIncBeta not monotone at %g", x)
+		}
+		prev = v
+	}
+}
+
+func TestKruskalWallisSameDistribution(t *testing.T) {
+	src := simrand.New(5)
+	rejections := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		g1 := make([]float64, 15)
+		g2 := make([]float64, 15)
+		g3 := make([]float64, 15)
+		for i := range g1 {
+			g1[i] = src.Exponential(1)
+			g2[i] = src.Exponential(1)
+			g3[i] = src.Exponential(1)
+		}
+		res, err := KruskalWallis(g1, g2, g3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RejectAt05 {
+			rejections++
+		}
+	}
+	if rejections > trials/5 {
+		t.Errorf("type-I error too high: %d/%d", rejections, trials)
+	}
+}
+
+func TestKruskalWallisShifted(t *testing.T) {
+	src := simrand.New(7)
+	g1 := make([]float64, 30)
+	g2 := make([]float64, 30)
+	for i := range g1 {
+		g1[i] = src.Exponential(1)
+		g2[i] = src.Exponential(1) + 2
+	}
+	res, err := KruskalWallis(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RejectAt05 {
+		t.Errorf("large shift not detected: %v", res)
+	}
+}
+
+// TestKruskalWallisOnBimodalRuntimes exercises the F5.4 use case: the
+// parametric ANOVA assumptions fail for token-bucket bimodal runtimes,
+// but rank-based Kruskal-Wallis still separates budget regimes.
+func TestKruskalWallisOnBimodalRuntimes(t *testing.T) {
+	src := simrand.New(9)
+	highBudget := make([]float64, 20) // fast runs
+	lowBudget := make([]float64, 20)  // bimodal slow/fast runs
+	for i := range highBudget {
+		highBudget[i] = src.Normal(100, 3)
+		if i%2 == 0 {
+			lowBudget[i] = src.Normal(100, 3)
+		} else {
+			lowBudget[i] = src.Normal(220, 10)
+		}
+	}
+	res, err := KruskalWallis(highBudget, lowBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RejectAt05 {
+		t.Errorf("budget regimes not separated: %v", res)
+	}
+}
+
+func TestKruskalWallisEdgeCases(t *testing.T) {
+	if _, err := KruskalWallis([]float64{1, 2}); err == nil {
+		t.Error("single group should error")
+	}
+	if _, err := KruskalWallis([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("tiny group should error")
+	}
+	// Fully tied data: p = 1.
+	res, err := KruskalWallis([]float64{3, 3, 3}, []float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue != 1 {
+		t.Errorf("all-tied p = %g, want 1", res.PValue)
+	}
+}

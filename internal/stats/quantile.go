@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the p-quantile of xs using linear interpolation
+// between order statistics (Hyndman-Fan type 7, the default of R and
+// NumPy). It copies and sorts the input; use QuantileSorted in hot
+// paths that already hold sorted data. Returns NaN for empty input or
+// p outside [0, 1].
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, p)
+}
+
+// QuantileSorted is Quantile for data that is already sorted ascending.
+func QuantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 || p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Percentiles evaluates several quantiles at once, sorting only once.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = QuantileSorted(sorted, p)
+	}
+	return out
+}
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs (copied and sorted).
+func NewECDF(xs []float64) *ECDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}
+}
+
+// At returns the fraction of the sample <= x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	// Index of first element > x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Points returns up to max evenly spaced (value, cumulative fraction)
+// pairs for plotting, always including the first and last sample. This
+// is how Figure 6's CDFs are serialised.
+func (e *ECDF) Points(max int) (values, fractions []float64) {
+	n := len(e.sorted)
+	if n == 0 || max <= 0 {
+		return nil, nil
+	}
+	if max > n {
+		max = n
+	}
+	values = make([]float64, max)
+	fractions = make([]float64, max)
+	for i := 0; i < max; i++ {
+		idx := i * (n - 1) / maxInt(max-1, 1)
+		values[i] = e.sorted[idx]
+		fractions[i] = float64(idx+1) / float64(n)
+	}
+	return values, fractions
+}
+
+// Quantile returns the p-quantile of the underlying sample.
+func (e *ECDF) Quantile(p float64) float64 { return QuantileSorted(e.sorted, p) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Histogram bins a sample into equal-width buckets over [lo, hi).
+// Values outside the range are clamped into the first or last bucket,
+// so the counts always sum to len(xs).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram bins xs into bins equal-width buckets spanning [lo, hi).
+// It panics if bins <= 0 or hi <= lo.
+func NewHistogram(xs []float64, lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: NewHistogram requires bins > 0")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram requires hi > lo")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Densities returns the fraction of samples in each bucket. Used to
+// render the violin plot of Figure 9 (plot thickness proportional to
+// probability density).
+func (h *Histogram) Densities() []float64 {
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	out := make([]float64, len(h.Counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// BucketCenter returns the midpoint value of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*width
+}

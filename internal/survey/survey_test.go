@@ -1,0 +1,159 @@
+package survey
+
+import (
+	"testing"
+
+	"cloudvar/internal/simrand"
+	"cloudvar/internal/stats"
+)
+
+func corpus(t *testing.T) []Article {
+	t.Helper()
+	return GenerateCorpus(simrand.New(2019))
+}
+
+func TestFunnelMatchesTable2(t *testing.T) {
+	f := RunFunnel(corpus(t), Keywords)
+	if f.Total != 1867 {
+		t.Errorf("total = %d, want 1867", f.Total)
+	}
+	if f.KeywordFiltered != 138 {
+		t.Errorf("keyword-filtered = %d, want 138", f.KeywordFiltered)
+	}
+	if f.CloudExperiments != 44 {
+		t.Errorf("cloud experiments = %d, want 44", f.CloudExperiments)
+	}
+	wantVenues := map[string]int{"NSDI": 15, "OSDI": 7, "SOSP": 7, "SC": 15}
+	for v, want := range wantVenues {
+		if f.VenueCounts[v] != want {
+			t.Errorf("venue %s = %d, want %d", v, f.VenueCounts[v], want)
+		}
+	}
+	// The paper reports 11,203 citations; the synthetic corpus only
+	// needs to be "highly cited" in aggregate.
+	if f.TotalCitations < 2000 {
+		t.Errorf("selected citations = %d, implausibly low", f.TotalCitations)
+	}
+}
+
+func TestSelectedConsistentWithFunnel(t *testing.T) {
+	c := corpus(t)
+	sel := Selected(c, Keywords)
+	f := RunFunnel(c, Keywords)
+	if len(sel) != f.CloudExperiments {
+		t.Errorf("Selected returned %d, funnel says %d", len(sel), f.CloudExperiments)
+	}
+	for _, a := range sel {
+		if !a.CloudExperiments {
+			t.Error("non-cloud article selected")
+		}
+	}
+}
+
+func TestFigure1aAggregates(t *testing.T) {
+	sel := Selected(corpus(t), Keywords)
+	fig, err := AnalyzeReporting(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: over 60% severely under-specified.
+	if fig.UnderspecifiedPct < 55 || fig.UnderspecifiedPct > 70 {
+		t.Errorf("under-specified = %.1f%%, want ~61%%", fig.UnderspecifiedPct)
+	}
+	// Paper: of the central-tendency reporters, only 37% report
+	// variance or confidence.
+	if fig.VariabilityAmongCentralPct < 25 || fig.VariabilityAmongCentralPct > 50 {
+		t.Errorf("variability among reporters = %.1f%%, want ~37%%", fig.VariabilityAmongCentralPct)
+	}
+	// Aspects are percentages.
+	for _, pct := range []float64{fig.ReportingCentralPct, fig.ReportingVariabilityPct, fig.UnderspecifiedPct} {
+		if pct < 0 || pct > 100 {
+			t.Errorf("percentage %g out of range", pct)
+		}
+	}
+}
+
+func TestKappaAlmostPerfect(t *testing.T) {
+	sel := Selected(corpus(t), Keywords)
+	fig, err := AnalyzeReporting(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 0.95, 0.81, 0.85 — all above the 0.8 threshold.
+	for i, k := range fig.Kappa {
+		if k < 0.7 {
+			t.Errorf("kappa[%d] = %.2f, want near the paper's >= 0.8", i, k)
+		}
+		if k > 1 {
+			t.Errorf("kappa[%d] = %.2f > 1", i, k)
+		}
+	}
+	if stats.KappaInterpretation(fig.Kappa[0]) != "almost perfect agreement" {
+		t.Errorf("central kappa %.2f should be almost perfect", fig.Kappa[0])
+	}
+}
+
+func TestFigure1bRepetitions(t *testing.T) {
+	sel := Selected(corpus(t), Keywords)
+	h := AnalyzeRepetitions(sel)
+	if h.Specified == 0 {
+		t.Fatal("no articles specify repetitions")
+	}
+	// Paper: repetition counts come from {3, 5, 9, 10, 15, 20, 100}.
+	allowed := map[int]bool{3: true, 5: true, 9: true, 10: true, 15: true, 20: true, 100: true}
+	for _, v := range h.RepetitionValues() {
+		if !allowed[v] {
+			t.Errorf("unexpected repetition count %d", v)
+		}
+	}
+	// Paper: 76% of properly specified studies use <= 15 repetitions.
+	if h.AtMost15Pct < 65 || h.AtMost15Pct > 90 {
+		t.Errorf("<=15 repetitions = %.1f%%, want ~76%%", h.AtMost15Pct)
+	}
+	// Mode at 3-10 (most articles that do report use 3, 5 or 10).
+	if h.Counts[3] == 0 || h.Counts[5] == 0 || h.Counts[10] == 0 {
+		t.Errorf("histogram missing the common 3/5/10 counts: %v", h.Counts)
+	}
+}
+
+func TestAnalyzeReportingEmpty(t *testing.T) {
+	if _, err := AnalyzeReporting(nil); err == nil {
+		t.Error("empty selection should error")
+	}
+}
+
+func TestMatchesKeywords(t *testing.T) {
+	a := Article{Title: "A Big Data System", Abstract: "nothing else"}
+	if !a.MatchesKeywords(Keywords) {
+		t.Error("title keyword not matched")
+	}
+	b := Article{Title: "Kernel study", Abstract: "uses MapReduce internally"}
+	if !b.MatchesKeywords(Keywords) {
+		t.Error("abstract keyword not matched (case-insensitive)")
+	}
+	c := Article{Title: "Kernel study", Abstract: "scheduler"}
+	if c.MatchesKeywords(Keywords) {
+		t.Error("false keyword match")
+	}
+}
+
+func TestCorpusDeterminism(t *testing.T) {
+	a := GenerateCorpus(simrand.New(7))
+	b := GenerateCorpus(simrand.New(7))
+	if len(a) != len(b) {
+		t.Fatal("corpus lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corpus diverges at %d", i)
+		}
+	}
+}
+
+func TestYearRangeRespected(t *testing.T) {
+	for _, a := range corpus(t) {
+		if a.Year < YearRange[0] || a.Year > YearRange[1] {
+			t.Fatalf("article %d year %d outside %v", a.ID, a.Year, YearRange)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package tokenbucket
+
+import "math"
+
+// TimeToTransfer returns the wall-clock seconds needed to move
+// volumeGbit at the given sustained demand, advancing the bucket
+// state. It is the inverse of Transfer: where Transfer integrates
+// volume over fixed time, TimeToTransfer integrates time over fixed
+// volume, walking regime phases closed-form.
+//
+// Beyond network transfers, this is the primitive behind the
+// burstable-CPU model (Section 4.2 of the paper notes that "cloud
+// providers use token buckets for other resources such as CPU
+// scheduling"): a task needing W seconds of full-speed CPU completes
+// in TimeToTransfer(1, W) wall seconds against a credit bucket whose
+// high rate is 1 and whose low rate is the instance's baseline
+// fraction.
+//
+// Returns +Inf when the demand can never move the volume (zero
+// demand).
+func (b *Bucket) TimeToTransfer(demandGbps, volumeGbit float64) float64 {
+	if volumeGbit <= 0 {
+		return 0
+	}
+	if demandGbps <= 0 {
+		return math.Inf(1)
+	}
+
+	total := 0.0
+	remaining := volumeGbit
+	// Each iteration handles one regime phase; the loop bound guards
+	// against pathological oscillation (low < refill with tiny
+	// re-engage thresholds).
+	for iter := 0; iter < 10000 && remaining > 1e-12; iter++ {
+		rate := b.Rate(demandGbps)
+		if rate <= 0 {
+			return math.Inf(1)
+		}
+		// Time until the current regime flips under sustained demand.
+		phase := math.Inf(1)
+		if !b.throttled {
+			drain := math.Min(demandGbps, b.params.HighGbps) - b.params.RefillGbps
+			if drain > 0 {
+				phase = b.tokens / drain
+			}
+		} else {
+			r := math.Min(demandGbps, b.params.LowGbps)
+			if r < b.params.RefillGbps {
+				phase = (b.params.reengage() - b.tokens) / (b.params.RefillGbps - r)
+			}
+		}
+		finish := remaining / rate
+		step := math.Min(phase, finish)
+		if math.IsInf(step, 1) {
+			// Rate never changes: finish at the current rate.
+			step = finish
+		}
+		if step < 1e-9 {
+			// Floor the step so float-boundary residues (a phase of
+			// ~1e-15 s left by exact-depletion arithmetic) cannot
+			// stall the walk.
+			step = 1e-9
+		}
+		moved := b.Transfer(demandGbps, step)
+		remaining -= moved
+		total += step
+	}
+	return total
+}

@@ -1,0 +1,90 @@
+package tokenbucket
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeToTransferHighPhaseOnly(t *testing.T) {
+	b := MustNew(c5xlarge())
+	// 50 Gbit at 10 Gbps, far below the budget: 5 s.
+	if got := b.TimeToTransfer(10, 50); math.Abs(got-5) > 1e-9 {
+		t.Errorf("TimeToTransfer = %g, want 5", got)
+	}
+}
+
+func TestTimeToTransferSpansThrottle(t *testing.T) {
+	b := MustNew(Params{BudgetGbit: 90, RefillGbps: 1, HighGbps: 10, LowGbps: 1})
+	// High phase: 90/(10-1) = 10 s moving 100 Gbit. Remaining 50 Gbit
+	// at 1 Gbps: 50 s. Total 60 s.
+	got := b.TimeToTransfer(10, 150)
+	if math.Abs(got-60) > 0.1 {
+		t.Errorf("TimeToTransfer = %g, want ~60", got)
+	}
+	if b.Tokens() > 1e-6 {
+		t.Errorf("tokens = %g after depleting transfer", b.Tokens())
+	}
+}
+
+func TestTimeToTransferEdgeCases(t *testing.T) {
+	b := MustNew(c5xlarge())
+	if got := b.TimeToTransfer(10, 0); got != 0 {
+		t.Errorf("zero volume = %g", got)
+	}
+	if !math.IsInf(b.TimeToTransfer(0, 10), 1) {
+		t.Error("zero demand should be +Inf")
+	}
+}
+
+// TestTimeToTransferInvertsTransfer: for any state and volume, moving
+// for the returned duration transfers (at least) the requested volume.
+func TestTimeToTransferInvertsTransfer(t *testing.T) {
+	f := func(initRaw, volRaw, demandRaw uint16) bool {
+		p := Params{BudgetGbit: 1000, RefillGbps: 1, HighGbps: 10, LowGbps: 1}
+		forward := MustNew(p)
+		inverse := MustNew(p)
+		init := float64(initRaw%1001) / 1000 * p.BudgetGbit
+		forward.SetTokens(init)
+		inverse.SetTokens(init)
+		volume := float64(volRaw%2000)/10 + 0.1  // 0.1..200 Gbit
+		demand := float64(demandRaw%95)/10 + 0.5 // 0.5..10 Gbps
+
+		dt := inverse.TimeToTransfer(demand, volume)
+		if math.IsInf(dt, 1) {
+			return false
+		}
+		moved := forward.Transfer(demand, dt)
+		return moved >= volume-1e-6 && moved <= volume+demand*1e-6+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeToTransferCPUSemantics(t *testing.T) {
+	// The burstable-CPU reading: 30 credits, baseline 0.25. A task
+	// needing 60 CPU-s runs full speed until credits drain
+	// (30/(1-0.25) = 40 s wall moving 40 CPU-s), then the remaining
+	// 20 CPU-s at 0.25 speed: 80 s. Total 120 s.
+	b := MustNew(Params{BudgetGbit: 30, RefillGbps: 0.25, HighGbps: 1, LowGbps: 0.25})
+	got := b.TimeToTransfer(1, 60)
+	if math.Abs(got-120) > 0.5 {
+		t.Errorf("CPU wall time = %g, want ~120", got)
+	}
+}
+
+func TestTimeToTransferOscillationTerminates(t *testing.T) {
+	// demand below refill while throttled: the bucket re-engages and
+	// the phase walker must terminate, not spin.
+	b := MustNew(Params{BudgetGbit: 10, RefillGbps: 1, HighGbps: 10, LowGbps: 0.5})
+	b.SetTokens(0)
+	got := b.TimeToTransfer(0.4, 100) // demand 0.4 < refill 1
+	if math.IsInf(got, 1) || got <= 0 {
+		t.Errorf("TimeToTransfer = %g", got)
+	}
+	// At demand 0.4 the long-run rate is 0.4: expect ~250 s.
+	if math.Abs(got-250) > 5 {
+		t.Errorf("TimeToTransfer = %g, want ~250", got)
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"cloudvar/internal/stats"
+)
+
+// WindowMedians discretises the series into fixed windows and returns
+// the median bandwidth of each — the paper's F5.4 technique: "it can
+// also be helpful to discretize performance evaluation into units of
+// time, e.g., one hour. Gathering median performance for each
+// interval ... results in statistically significant and realistic
+// performance data. Large time periods can smooth out noise."
+// Windows with no samples are skipped.
+func WindowMedians(s *Series, windowSec float64) ([]float64, error) {
+	if windowSec <= 0 {
+		return nil, fmt.Errorf("trace: window must be positive")
+	}
+	if len(s.Points) == 0 {
+		return nil, fmt.Errorf("trace: empty series")
+	}
+	var out []float64
+	var window []float64
+	windowEnd := s.Points[0].TimeSec + windowSec
+	flush := func() {
+		if len(window) > 0 {
+			out = append(out, stats.Median(window))
+			window = window[:0]
+		}
+	}
+	for _, p := range s.Points {
+		for p.TimeSec >= windowEnd {
+			flush()
+			windowEnd += windowSec
+		}
+		window = append(window, p.BandwidthGbps)
+	}
+	flush()
+	return out, nil
+}
+
+// DiurnalProfile folds the series onto a repeating period (pass 86400
+// for day-of-time analysis) and returns per-bin medians and sample
+// counts — the F5.4 advice to spread repetitions "over longer time
+// frames, different diurnal or calendar cycles" made inspectable:
+// a flat profile means time-of-day does not matter; a wavy one means
+// single-burst experiments are unrepresentative.
+type DiurnalProfile struct {
+	PeriodSec float64
+	// BinMedians[i] is the median bandwidth of phase bin i.
+	BinMedians []float64
+	// BinCounts[i] is the number of samples in bin i.
+	BinCounts []int
+}
+
+// Diurnal computes the folded profile with the given bin count.
+func Diurnal(s *Series, periodSec float64, bins int) (DiurnalProfile, error) {
+	if periodSec <= 0 {
+		return DiurnalProfile{}, fmt.Errorf("trace: period must be positive")
+	}
+	if bins <= 0 {
+		return DiurnalProfile{}, fmt.Errorf("trace: bins must be positive")
+	}
+	if len(s.Points) == 0 {
+		return DiurnalProfile{}, fmt.Errorf("trace: empty series")
+	}
+	buckets := make([][]float64, bins)
+	for _, p := range s.Points {
+		phase := math.Mod(p.TimeSec, periodSec) / periodSec
+		i := int(phase * float64(bins))
+		if i >= bins {
+			i = bins - 1
+		}
+		buckets[i] = append(buckets[i], p.BandwidthGbps)
+	}
+	prof := DiurnalProfile{
+		PeriodSec:  periodSec,
+		BinMedians: make([]float64, bins),
+		BinCounts:  make([]int, bins),
+	}
+	for i, b := range buckets {
+		prof.BinCounts[i] = len(b)
+		if len(b) > 0 {
+			prof.BinMedians[i] = stats.Median(b)
+		} else {
+			prof.BinMedians[i] = math.NaN()
+		}
+	}
+	return prof, nil
+}
+
+// Amplitude returns (max-min)/median of the non-empty bin medians: a
+// dimensionless measure of how strongly performance depends on the
+// phase of the cycle.
+func (p DiurnalProfile) Amplitude() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var all []float64
+	for _, m := range p.BinMedians {
+		if math.IsNaN(m) {
+			continue
+		}
+		lo = math.Min(lo, m)
+		hi = math.Max(hi, m)
+		all = append(all, m)
+	}
+	if len(all) == 0 {
+		return math.NaN()
+	}
+	med := stats.Median(all)
+	if med == 0 {
+		return math.NaN()
+	}
+	return (hi - lo) / med
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func seriesWithBandwidths(t *testing.T, interval float64, bws []float64) *Series {
+	t.Helper()
+	s := NewSeries("test", interval)
+	for i, bw := range bws {
+		if err := s.Append(Point{TimeSec: float64(i) * interval, BandwidthGbps: bw}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestWindowMedians(t *testing.T) {
+	// 6 samples at 10 s, windows of 30 s: medians of {1,2,3}, {10,20,30}.
+	s := seriesWithBandwidths(t, 10, []float64{1, 2, 3, 10, 20, 30})
+	meds, err := WindowMedians(s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meds) != 2 || meds[0] != 2 || meds[1] != 20 {
+		t.Errorf("window medians = %v, want [2 20]", meds)
+	}
+}
+
+func TestWindowMediansSkipsEmpty(t *testing.T) {
+	s := NewSeries("gappy", 10)
+	_ = s.Append(Point{TimeSec: 0, BandwidthGbps: 5})
+	_ = s.Append(Point{TimeSec: 100, BandwidthGbps: 9}) // gap of several windows
+	meds, err := WindowMedians(s, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meds) != 2 || meds[0] != 5 || meds[1] != 9 {
+		t.Errorf("medians = %v, want [5 9]", meds)
+	}
+}
+
+func TestWindowMediansErrors(t *testing.T) {
+	s := seriesWithBandwidths(t, 10, []float64{1})
+	if _, err := WindowMedians(s, 0); err == nil {
+		t.Error("zero window should error")
+	}
+	empty := NewSeries("e", 10)
+	if _, err := WindowMedians(empty, 10); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestDiurnalFlatProfile(t *testing.T) {
+	// Constant bandwidth: amplitude ~0.
+	bws := make([]float64, 200)
+	for i := range bws {
+		bws[i] = 8
+	}
+	s := seriesWithBandwidths(t, 10, bws)
+	prof, err := Diurnal(s, 500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amp := prof.Amplitude(); amp > 1e-12 {
+		t.Errorf("flat profile amplitude = %g", amp)
+	}
+	total := 0
+	for _, c := range prof.BinCounts {
+		total += c
+	}
+	if total != 200 {
+		t.Errorf("bin counts sum to %d, want 200", total)
+	}
+}
+
+func TestDiurnalDetectsCycle(t *testing.T) {
+	// Sinusoidal bandwidth with period 400 s.
+	var bws []float64
+	for i := 0; i < 400; i++ {
+		tt := float64(i) * 10
+		bws = append(bws, 8+2*math.Sin(2*math.Pi*tt/400))
+	}
+	s := seriesWithBandwidths(t, 10, bws)
+	prof, err := Diurnal(s, 400, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak-to-trough 4 around a median of ~8: amplitude ~0.5.
+	if amp := prof.Amplitude(); amp < 0.3 || amp > 0.7 {
+		t.Errorf("cycle amplitude = %g, want ~0.5", amp)
+	}
+}
+
+func TestDiurnalErrors(t *testing.T) {
+	s := seriesWithBandwidths(t, 10, []float64{1, 2})
+	if _, err := Diurnal(s, 0, 4); err == nil {
+		t.Error("zero period should error")
+	}
+	if _, err := Diurnal(s, 100, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	empty := NewSeries("e", 10)
+	if _, err := Diurnal(empty, 100, 4); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestDiurnalEmptyBinsNaN(t *testing.T) {
+	// All samples land in the first phase bin.
+	s := NewSeries("x", 1)
+	_ = s.Append(Point{TimeSec: 0, BandwidthGbps: 3})
+	_ = s.Append(Point{TimeSec: 100, BandwidthGbps: 5}) // phase 0 of period 100
+	prof, err := Diurnal(s, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(prof.BinMedians[0]) {
+		t.Error("occupied bin should have a median")
+	}
+	if !math.IsNaN(prof.BinMedians[2]) {
+		t.Error("empty bin should be NaN")
+	}
+}

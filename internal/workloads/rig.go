@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cloudvar/internal/netem"
+	"cloudvar/internal/simrand"
+	"cloudvar/internal/spark"
+	"cloudvar/internal/tokenbucket"
+)
+
+// Table4Nodes and Table4Slots describe the paper's big-data cluster
+// (Table 4): 12 nodes of 16 cores; we model 4 executor slots per node
+// (4-core executors, Spark's common sizing).
+const (
+	Table4Nodes = 12
+	Table4Slots = 4
+)
+
+// BucketCapacityGbit is the c5.xlarge-class bucket capacity used in
+// Section 4's experiments; initial budgets are varied below it.
+const BucketCapacityGbit = 5000
+
+// StandardBudgets are the initial token budgets swept by Figures 15,
+// 16 and 17.
+var StandardBudgets = []float64{5000, 1000, 100, 10}
+
+// Table4Cluster builds the Section 4 experiment rig: every node's
+// egress shaped by an emulated-EC2 token bucket (10 Gbps high, 1 Gbps
+// low, 1 Gbit/s refill) with the given initial budget — the "emulated
+// setup of the c5.xlarge instance type".
+func Table4Cluster(initialBudgetGbit float64, src *simrand.Source) (*spark.Cluster, error) {
+	if initialBudgetGbit < 0 || initialBudgetGbit > BucketCapacityGbit {
+		return nil, fmt.Errorf("workloads: initial budget %g outside [0, %d]",
+			initialBudgetGbit, BucketCapacityGbit)
+	}
+	return spark.NewCluster(spark.ClusterConfig{
+		Nodes:        Table4Nodes,
+		SlotsPerNode: Table4Slots,
+		NewShaper: func(int) netem.Shaper {
+			sh, err := netem.NewBucketShaper(tokenbucket.Params{
+				BudgetGbit: BucketCapacityGbit,
+				RefillGbps: 1,
+				HighGbps:   10,
+				LowGbps:    1,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("workloads: table4 shaper: %v", err))
+			}
+			sh.Bucket.SetTokens(initialBudgetGbit)
+			return sh
+		},
+		IngressGbps:      10,
+		ComputeNoiseFrac: 0.03,
+	}, src)
+}
+
+// EmulationCluster builds the Section 2.1 rig: 16 nodes behind links
+// whose capacity is resampled from one of the Ballani A-H clouds
+// every resampleSec seconds. dist must be in Gbps.
+func EmulationCluster(newShaper func(node int) netem.Shaper, src *simrand.Source) (*spark.Cluster, error) {
+	return spark.NewCluster(spark.ClusterConfig{
+		Nodes:            16,
+		SlotsPerNode:     4,
+		NewShaper:        newShaper,
+		IngressGbps:      10,
+		ComputeNoiseFrac: 0.03,
+	}, src)
+}
