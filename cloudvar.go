@@ -34,6 +34,7 @@ import (
 	"cloudvar/internal/confirm"
 	"cloudvar/internal/core"
 	"cloudvar/internal/figures"
+	"cloudvar/internal/fleet"
 	"cloudvar/internal/netem"
 	"cloudvar/internal/simrand"
 	"cloudvar/internal/spark"
@@ -178,6 +179,40 @@ var (
 	WorkloadByName = workloads.ByName
 	// Table4Cluster builds the paper's 12-node token-bucket rig.
 	Table4Cluster = workloads.Table4Cluster
+)
+
+// Fleet orchestration: deterministic concurrent campaign matrices.
+type (
+	// CampaignSpec declares a clouds x regimes x repetitions matrix.
+	CampaignSpec = fleet.CampaignSpec
+	// CampaignCell is one (profile, regime, repetition) unit.
+	CampaignCell = fleet.Cell
+	// CampaignCellResult is one cell's outcome.
+	CampaignCellResult = fleet.CellResult
+	// CampaignFleetResult aggregates a whole fleet run.
+	CampaignFleetResult = fleet.CampaignResult
+	// CampaignProgress reports cell completions to a progress hook.
+	CampaignProgress = fleet.Progress
+	// CampaignConfig parameterises one measurement campaign cell.
+	CampaignConfig = cloudmodel.CampaignConfig
+	// RegimeComparison holds one profile's per-regime series.
+	RegimeComparison = cloudmodel.RegimeComparison
+)
+
+// Fleet and campaign functions.
+var (
+	// RunFleet executes a campaign matrix across a bounded worker
+	// pool; output is bit-identical at any worker count.
+	RunFleet = fleet.Run
+	// RunCampaign measures one profile under one regime.
+	RunCampaign = cloudmodel.RunCampaign
+	// RunAllRegimes measures one profile under every standard regime,
+	// concurrently and deterministically.
+	RunAllRegimes = cloudmodel.RunAllRegimes
+	// DefaultCampaignConfig returns the paper's campaign settings.
+	DefaultCampaignConfig = cloudmodel.DefaultCampaignConfig
+	// BuildExperimentResult assembles a Result from collected samples.
+	BuildExperimentResult = core.BuildResult
 )
 
 // Figure regeneration.

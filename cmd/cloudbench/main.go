@@ -3,12 +3,21 @@
 //
 // Usage:
 //
-//	cloudbench -cloud ec2|gce|hpccloud [-instance c5.xlarge|8] \
+//	cloudbench [-cloud ec2,gce,...] [-instance c5.xlarge|8|...] \
 //	           [-regime full-speed|10-30|5-30|all] [-hours H] \
-//	           [-seed N] [-csv FILE]
+//	           [-reps N] [-workers N] [-seed N] [-csv FILE]
 //
-// Output: a per-regime statistical summary; with -csv, the raw
-// 10-second series in the released-data format.
+// -cloud takes a comma-separated list; -instance takes either a single
+// value applied to every cloud (empty means each cloud's default) or a
+// comma-separated list aligned 1:1 with -cloud. The full matrix of
+// (cloud, instance) × regime × repetition cells runs concurrently on a
+// bounded worker pool; per-cell randomness is derived from the seed
+// and the cell's identity, so output is bit-identical at any -workers
+// value.
+//
+// Output: a per-cell statistical summary, plus a per-(cloud, regime)
+// repetition aggregate when -reps > 1; with -csv, the raw series of a
+// single-cell run in the released-data format.
 package main
 
 import (
@@ -16,68 +25,165 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"cloudvar/internal/cloudmodel"
-	"cloudvar/internal/simrand"
+	"cloudvar/internal/fleet"
 	"cloudvar/internal/trace"
 )
 
 func main() {
-	cloud := flag.String("cloud", "ec2", "cloud profile: ec2, gce or hpccloud")
-	instance := flag.String("instance", "", "instance: EC2 c5.* name, or core count for gce/hpccloud")
+	os.Exit(run())
+}
+
+func run() int {
+	clouds := flag.String("cloud", "ec2", "comma-separated cloud profiles: ec2, gce, hpccloud")
+	instances := flag.String("instance", "", "instance per cloud: EC2 c5.* name, or core count for gce/hpccloud; single value or list aligned with -cloud")
 	regime := flag.String("regime", "all", "access regime: full-speed, 10-30, 5-30 or all")
 	hours := flag.Float64("hours", 6, "emulated campaign duration in hours")
+	reps := flag.Int("reps", 1, "fresh-pair repetitions per (cloud, regime) cell")
+	workers := flag.Int("workers", 0, "concurrent campaign cells; <= 0 means GOMAXPROCS")
 	seed := flag.Uint64("seed", 1, "random seed")
-	csvPath := flag.String("csv", "", "write the raw series to this CSV file (single regime only)")
+	csvPath := flag.String("csv", "", "write the raw series to this CSV file (single-cell run only)")
 	flag.Parse()
 
-	profile, err := buildProfile(*cloud, *instance)
+	profiles, err := buildProfiles(*clouds, *instances)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
-	cfg := cloudmodel.DefaultCampaignConfig(*hours * 3600)
-	src := simrand.New(*seed)
 
 	regimes := trace.Regimes()
 	if *regime != "all" {
 		r, err := trace.RegimeByName(*regime)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		regimes = []trace.Regime{r}
 	}
-	if *csvPath != "" && len(regimes) != 1 {
-		fatal(fmt.Errorf("-csv needs a single -regime"))
+
+	spec := fleet.CampaignSpec{
+		Profiles:    profiles,
+		Regimes:     regimes,
+		Repetitions: *reps,
+		Config:      cloudmodel.DefaultCampaignConfig(*hours * 3600),
+		Seed:        *seed,
+		Workers:     *workers,
+	}
+	cells := spec.Cells()
+	if *csvPath != "" && len(cells) != 1 {
+		return fatal(fmt.Errorf("-csv needs a single cell (one cloud, one regime, -reps 1); matrix has %d", len(cells)))
 	}
 
-	fmt.Printf("campaign: %s/%s, %.1f emulated hours, seed %d\n\n",
-		profile.Cloud, profile.Instance, *hours, *seed)
-	fmt.Printf("%-12s %8s %8s %8s %8s %8s %8s %10s\n",
-		"regime", "p1", "p25", "p50", "p75", "p99", "CoV[%]", "retrans")
-	for _, r := range regimes {
-		s, err := cloudmodel.RunCampaign(profile, r, cfg, src.Substream(r.Name))
-		if err != nil {
-			fatal(err)
+	effReps := len(cells) / (len(profiles) * len(regimes))
+	fmt.Printf("campaign: %d cells (%d profiles x %d regimes x %d reps), %g emulated hours each, seed %d\n\n",
+		len(cells), len(profiles), len(regimes), effReps, *hours, *seed)
+
+	res, err := fleet.Run(spec)
+	if err != nil {
+		return fatal(err)
+	}
+
+	fmt.Printf("%-32s %8s %8s %8s %8s %8s %8s %10s\n",
+		"cell", "p1", "p25", "p50", "p75", "p99", "CoV[%]", "retrans")
+	for _, c := range res.Cells {
+		if c.Err != nil {
+			fmt.Printf("%-32s FAILED: %v\n", c.Cell.Label(), c.Err)
+			continue
 		}
-		sum := s.Summary()
-		fmt.Printf("%-12s %8.2f %8.2f %8.2f %8.2f %8.2f %8.1f %10d\n",
-			r.Name, sum.P01, sum.P25, sum.Median, sum.P75, sum.P99,
-			sum.CoV*100, s.RetransmissionTotal())
+		sum := c.Summary
+		fmt.Printf("%-32s %8.2f %8.2f %8.2f %8.2f %8.2f %8.1f %10d\n",
+			c.Cell.Label(), sum.P01, sum.P25, sum.Median, sum.P75, sum.P99,
+			sum.CoV*100, c.Series.RetransmissionTotal())
 		if *csvPath != "" {
-			if err := writeCSV(*csvPath, s); err != nil {
-				fatal(err)
+			if err := writeCSV(*csvPath, c.Series); err != nil {
+				return fatal(err)
 			}
-			fmt.Printf("raw series written to %s (%d points)\n", *csvPath, len(s.Points))
+			fmt.Printf("raw series written to %s (%d points)\n", *csvPath, len(c.Series.Points))
+		}
+	}
+
+	if spec.Repetitions > 1 {
+		fmt.Printf("\nper-(cloud, regime) repetition aggregates (mean bandwidth per fresh pair):\n")
+		fmt.Printf("%-28s %5s %8s %8s %18s %10s\n", "group", "n", "median", "CoV[%]", "95% median CI", "converged")
+		for _, g := range res.Groups {
+			r := g.Result
+			ci := "n/a"
+			if r.MedianCIErr == nil {
+				ci = fmt.Sprintf("[%.2f, %.2f]", r.MedianCI.Lo, r.MedianCI.Hi)
+			}
+			fmt.Printf("%-28s %5d %8.2f %8.1f %18s %10v\n",
+				r.Name, r.Summary.N, r.Summary.Median, r.Summary.CoV*100, ci, r.Converged)
 		}
 	}
 
 	// Fingerprint-style advice (F5.2): warn when the campaign shows a
 	// deterministic throttle.
-	if *cloud == "ec2" {
-		fmt.Println("\nnote: EC2 profiles carry token-bucket state; rest VMs or allocate fresh")
-		fmt.Println("      ones between experiments (paper F5.4), and record the Figure 11")
-		fmt.Println("      bucket parameters alongside any published numbers (F5.2).")
+	for _, p := range profiles {
+		if p.Cloud == "ec2" {
+			fmt.Println("\nnote: EC2 profiles carry token-bucket state; rest VMs or allocate fresh")
+			fmt.Println("      ones between experiments (paper F5.4), and record the Figure 11")
+			fmt.Println("      bucket parameters alongside any published numbers (F5.2).")
+			break
+		}
 	}
+
+	if err := res.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudbench:", err)
+		return 1
+	}
+	return 0
+}
+
+// buildProfiles expands the -cloud/-instance matrix flags. A single
+// (or empty) instance spec applies to every cloud; otherwise the lists
+// must align element-for-element.
+func buildProfiles(clouds, instances string) ([]cloudmodel.Profile, error) {
+	cloudList := splitList(clouds)
+	if len(cloudList) == 0 {
+		return nil, fmt.Errorf("no clouds given")
+	}
+	instList := splitList(instances)
+	switch {
+	case len(instList) <= 1:
+		inst := ""
+		if len(instList) == 1 {
+			inst = instList[0]
+		}
+		instList = make([]string, len(cloudList))
+		for i := range instList {
+			instList[i] = inst
+		}
+	case len(instList) != len(cloudList):
+		return nil, fmt.Errorf("-instance lists %d values for %d clouds; give one value or align the lists",
+			len(instList), len(cloudList))
+	}
+
+	seen := map[string]bool{}
+	out := make([]cloudmodel.Profile, 0, len(cloudList))
+	for i, cloud := range cloudList {
+		p, err := buildProfile(cloud, instList[i])
+		if err != nil {
+			return nil, err
+		}
+		key := p.Cloud + "/" + p.Instance
+		if seen[key] {
+			return nil, fmt.Errorf("duplicate matrix entry %s", key)
+		}
+		seen[key] = true
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func buildProfile(cloud, instance string) (cloudmodel.Profile, error) {
@@ -124,7 +230,7 @@ func writeCSV(path string, s *trace.Series) error {
 	return f.Close()
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "cloudbench:", err)
-	os.Exit(1)
+	return 1
 }

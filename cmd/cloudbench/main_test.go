@@ -46,3 +46,57 @@ func TestBuildProfileErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestBuildProfilesMatrix(t *testing.T) {
+	ps, err := buildProfiles("ec2,gce,hpccloud", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("%d profiles, want 3", len(ps))
+	}
+	if ps[0].Cloud != "ec2" || ps[1].Cloud != "gce" || ps[2].Cloud != "hpccloud" {
+		t.Fatalf("cloud order not preserved: %v %v %v", ps[0].Cloud, ps[1].Cloud, ps[2].Cloud)
+	}
+
+	ps, err = buildProfiles("gce,hpccloud", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Instance != "4-core" || ps[1].Instance != "4-core" {
+		t.Fatalf("single instance should apply to all clouds: %v %v", ps[0].Instance, ps[1].Instance)
+	}
+
+	ps, err = buildProfiles("ec2,gce", "c5.4xlarge,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Instance != "c5.4xlarge" || ps[1].Instance != "2-core" {
+		t.Fatalf("aligned lists misapplied: %v %v", ps[0].Instance, ps[1].Instance)
+	}
+}
+
+func TestBuildProfilesMatrixErrors(t *testing.T) {
+	cases := [][2]string{
+		{"", ""},                    // no clouds
+		{"ec2,gce,hpccloud", "a,b"}, // misaligned lists
+		{"ec2,ec2", ""},             // duplicate cell
+		{"ec2,azure", ""},           // unknown cloud in list
+		{"gce", "c5.xlarge"},        // wrong instance grammar
+	}
+	for _, c := range cases {
+		if _, err := buildProfiles(c[0], c[1]); err == nil {
+			t.Errorf("buildProfiles(%q, %q) should fail", c[0], c[1])
+		}
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" ec2, gce ,,hpccloud ")
+	if len(got) != 3 || got[0] != "ec2" || got[1] != "gce" || got[2] != "hpccloud" {
+		t.Fatalf("splitList = %v", got)
+	}
+	if out := splitList(""); out != nil {
+		t.Fatalf("splitList(\"\") = %v, want nil", out)
+	}
+}

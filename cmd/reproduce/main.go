@@ -2,9 +2,15 @@
 //
 // Usage:
 //
-//	reproduce [-artifact all|table1|figure3a|...] [-seed N] [-scale F] [-outdir DIR]
+//	reproduce [-artifact all|table1|figure3a|...] [-seed N] [-scale F]
+//	          [-workers N] [-outdir DIR]
 //
-// With -outdir, each artifact is also written to DIR/<id>.txt.
+// Artifacts are generated concurrently across -workers goroutines
+// (default: GOMAXPROCS); output is bit-identical at any worker count.
+// With -outdir, each artifact is also written to DIR/<id>.txt. A
+// failing artifact no longer aborts the run: every other artifact is
+// still generated and rendered, the failures are summarised on stderr,
+// and the exit status is non-zero.
 package main
 
 import (
@@ -17,9 +23,14 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	artifact := flag.String("artifact", "all", "artifact ID to regenerate, or 'all'")
 	seed := flag.Uint64("seed", 191209256, "random seed (default: the paper's arXiv id)")
 	scale := flag.Float64("scale", 0.25, "experiment scale in (0, 1]; 1 = full paper-size runs")
+	workers := flag.Int("workers", 0, "concurrent artifact generators; <= 0 means GOMAXPROCS")
 	outdir := flag.String("outdir", "", "optional directory for per-artifact text files")
 	list := flag.Bool("list", false, "list artifact IDs and exit")
 	flag.Parse()
@@ -28,39 +39,51 @@ func main() {
 		for _, id := range figures.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 
 	cfg := figures.Config{Seed: *seed, Scale: *scale}
 	if err := cfg.Validate(); err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
-	var tables []figures.Table
+	var results []figures.ArtifactResult
 	if *artifact == "all" {
-		all, err := figures.GenerateAll(cfg)
+		all, err := figures.GenerateEach(cfg, *workers)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		tables = all
+		results = all
 	} else {
 		t, err := figures.Generate(*artifact, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		tables = []figures.Table{t}
+		results = []figures.ArtifactResult{{ID: *artifact, Table: t, Err: err}}
 	}
 
-	for _, t := range tables {
-		if err := t.Render(os.Stdout); err != nil {
-			fatal(err)
-		}
-		if *outdir != "" {
-			if err := writeArtifact(*outdir, t); err != nil {
-				fatal(err)
+	var failed []figures.ArtifactResult
+	for _, r := range results {
+		if r.Err == nil {
+			if err := r.Table.Render(os.Stdout); err != nil {
+				r.Err = fmt.Errorf("rendering: %w", err)
 			}
 		}
+		if r.Err == nil && *outdir != "" {
+			if err := writeArtifact(*outdir, r.Table); err != nil {
+				r.Err = fmt.Errorf("writing: %w", err)
+			}
+		}
+		if r.Err != nil {
+			failed = append(failed, r)
+		}
 	}
+
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "reproduce: %d/%d artifacts failed:\n", len(failed), len(results))
+		for _, r := range failed {
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", r.ID, r.Err)
+		}
+		return 1
+	}
+	return 0
 }
 
 func writeArtifact(dir string, t figures.Table) error {
@@ -79,7 +102,7 @@ func writeArtifact(dir string, t figures.Table) error {
 	return f.Close()
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "reproduce:", err)
-	os.Exit(1)
+	return 1
 }

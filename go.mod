@@ -1,0 +1,3 @@
+module cloudvar
+
+go 1.24

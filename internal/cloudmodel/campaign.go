@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"cloudvar/internal/fleet/pool"
 	"cloudvar/internal/netem"
 	"cloudvar/internal/simrand"
 	"cloudvar/internal/stats"
@@ -137,15 +138,34 @@ type RegimeComparison struct {
 }
 
 // RunAllRegimes measures every standard regime against fresh VM pairs
-// from the profile (fresh pair per regime, as the paper did).
+// from the profile (fresh pair per regime, as the paper did). The
+// regimes run concurrently across GOMAXPROCS workers; because each
+// regime draws from its own named substream of src, the result is
+// bit-identical to a sequential run.
 func RunAllRegimes(p Profile, cfg CampaignConfig, src *simrand.Source) (RegimeComparison, error) {
+	return RunAllRegimesWorkers(p, cfg, src, 0)
+}
+
+// RunAllRegimesWorkers is RunAllRegimes with an explicit worker bound
+// (<= 0 means GOMAXPROCS).
+func RunAllRegimesWorkers(p Profile, cfg CampaignConfig, src *simrand.Source, workers int) (RegimeComparison, error) {
+	regimes := trace.Regimes()
+	// Derive every substream up front: Substream reads but never
+	// advances the parent state, so the derivation is order-free and
+	// matches what a sequential loop would hand each regime.
+	srcs := make([]*simrand.Source, len(regimes))
+	for i, regime := range regimes {
+		srcs[i] = src.Substream("campaign/" + regime.Name)
+	}
+	series, errs := pool.Collect(len(regimes), workers, func(i int) (*trace.Series, error) {
+		return RunCampaign(p, regimes[i], cfg, srcs[i])
+	})
 	out := RegimeComparison{Profile: p, Series: make(map[string]*trace.Series)}
-	for _, regime := range trace.Regimes() {
-		s, err := RunCampaign(p, regime, cfg, src.Substream("campaign/"+regime.Name))
-		if err != nil {
-			return out, fmt.Errorf("cloudmodel: regime %s: %w", regime.Name, err)
+	for i, regime := range regimes {
+		if errs[i] != nil {
+			return out, fmt.Errorf("cloudmodel: regime %s: %w", regime.Name, errs[i])
 		}
-		out.Series[regime.Name] = s
+		out.Series[regime.Name] = series[i]
 	}
 	return out, nil
 }

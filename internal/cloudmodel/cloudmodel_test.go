@@ -375,3 +375,51 @@ func TestCampaignSeriesShape(t *testing.T) {
 		}
 	}
 }
+
+// TestRunAllRegimesParallelDeterminism proves the parallel regime fan-
+// out is bit-identical to a sequential run of the same substreams, at
+// any worker count.
+func TestRunAllRegimesParallelDeterminism(t *testing.T) {
+	p, err := EC2Profile("c5.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultCampaignConfig(300)
+
+	// Reference: the pre-fleet sequential loop.
+	want := map[string]*trace.Series{}
+	src := simrand.New(11)
+	for _, regime := range trace.Regimes() {
+		s, err := RunCampaign(p, regime, cfg, src.Substream("campaign/"+regime.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[regime.Name] = s
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		rc, err := RunAllRegimesWorkers(p, cfg, simrand.New(11), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(rc.Series) != len(want) {
+			t.Fatalf("workers=%d: %d series, want %d", workers, len(rc.Series), len(want))
+		}
+		for name, ws := range want {
+			got := rc.Series[name]
+			if got == nil {
+				t.Fatalf("workers=%d: missing regime %s", workers, name)
+			}
+			if len(got.Points) != len(ws.Points) {
+				t.Fatalf("workers=%d: regime %s has %d points, want %d",
+					workers, name, len(got.Points), len(ws.Points))
+			}
+			for i := range ws.Points {
+				if got.Points[i] != ws.Points[i] {
+					t.Fatalf("workers=%d: regime %s point %d = %+v, want %+v",
+						workers, name, i, got.Points[i], ws.Points[i])
+				}
+			}
+		}
+	}
+}

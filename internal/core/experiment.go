@@ -135,6 +135,38 @@ type Result struct {
 	Metadata map[string]string
 }
 
+// BuildResult assembles a Result from already-collected samples: the
+// descriptive summary, nonparametric median CI, CONFIRM planning trace
+// and F5.4 validation battery. Zero confidence/errorBound take the
+// paper defaults (0.95, 0.05). Run, RunSuite and the fleet
+// orchestrator all funnel their samples through here so every path
+// reports identically.
+func BuildResult(name string, samples []float64, confidence, errorBound float64) Result {
+	if confidence == 0 {
+		confidence = 0.95
+	}
+	if errorBound == 0 {
+		errorBound = 0.05
+	}
+	res := Result{
+		Name:     name,
+		Samples:  samples,
+		Summary:  stats.Summarize(samples),
+		Metadata: map[string]string{},
+	}
+	res.MedianCI, res.MedianCIErr = stats.MedianCI(samples, confidence)
+	if res.MedianCIErr == nil && res.MedianCI.RelativeError() <= errorBound {
+		res.Converged = true
+	}
+	if len(samples) >= 2 {
+		if an, err := confirm.Analyze(samples, confidence, errorBound); err == nil {
+			res.Planning = an
+		}
+	}
+	res.Validation = Validate(samples)
+	return res
+}
+
 // Run executes the experiment per the design against the environment.
 func Run(name string, design Design, env Environment, trial Trial) (Result, error) {
 	design = design.withDefaults()
@@ -183,19 +215,9 @@ func Run(name string, design Design, env Environment, trial Trial) (Result, erro
 		}
 	}
 
-	res.Summary = stats.Summarize(res.Samples)
-	iv, err := stats.MedianCI(res.Samples, design.Confidence)
-	res.MedianCI, res.MedianCIErr = iv, err
-	if err == nil && iv.RelativeError() <= design.ErrorBound {
-		res.Converged = true
-	}
-	if len(res.Samples) >= 2 {
-		if an, err := confirm.Analyze(res.Samples, design.Confidence, design.ErrorBound); err == nil {
-			res.Planning = an
-		}
-	}
-	res.Validation = Validate(res.Samples)
-	return res, nil
+	built := BuildResult(name, res.Samples, design.Confidence, design.ErrorBound)
+	built.Converged = built.Converged || res.Converged
+	return built, nil
 }
 
 // SuiteItem names one experiment in a randomised suite.
@@ -264,19 +286,7 @@ func RunSuite(items []SuiteItem, design Design, env Environment, src *simrand.So
 
 	out := make(map[string]Result, len(items))
 	for _, it := range items {
-		xs := samples[it.Name]
-		r := Result{Name: it.Name, Samples: xs, Summary: stats.Summarize(xs), Metadata: map[string]string{}}
-		r.MedianCI, r.MedianCIErr = stats.MedianCI(xs, design.Confidence)
-		if r.MedianCIErr == nil && r.MedianCI.RelativeError() <= design.ErrorBound {
-			r.Converged = true
-		}
-		if len(xs) >= 2 {
-			if an, err := confirm.Analyze(xs, design.Confidence, design.ErrorBound); err == nil {
-				r.Planning = an
-			}
-		}
-		r.Validation = Validate(xs)
-		out[it.Name] = r
+		out[it.Name] = BuildResult(it.Name, samples[it.Name], design.Confidence, design.ErrorBound)
 	}
 	return out, nil
 }

@@ -14,6 +14,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"cloudvar/internal/fleet/pool"
 )
 
 // Config parameterises a figure generation run.
@@ -164,18 +166,52 @@ func Generate(id string, cfg Config) (Table, error) {
 	return g(cfg)
 }
 
-// GenerateAll produces every artifact in ID order.
-func GenerateAll(cfg Config) ([]Table, error) {
+// ArtifactResult pairs one artifact ID with its generation outcome.
+type ArtifactResult struct {
+	ID    string
+	Table Table
+	Err   error
+}
+
+// GenerateEach produces every artifact concurrently across at most
+// workers goroutines (<= 0 means GOMAXPROCS) with per-artifact error
+// isolation: one failing generator does not stop the others. Results
+// come back in ID order regardless of scheduling, and each generator
+// seeds its own randomness from cfg.Seed, so the tables are
+// bit-identical to sequential generation.
+func GenerateEach(cfg Config, workers int) ([]ArtifactResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	var out []Table
-	for _, id := range IDs() {
-		t, err := registry[id](cfg)
-		if err != nil {
-			return out, fmt.Errorf("figures: generating %s: %w", id, err)
+	ids := IDs()
+	tables, errs := pool.Collect(len(ids), workers, func(i int) (Table, error) {
+		return registry[ids[i]](cfg)
+	})
+	out := make([]ArtifactResult, len(ids))
+	for i, id := range ids {
+		out[i] = ArtifactResult{ID: id, Table: tables[i]}
+		if errs[i] != nil {
+			out[i].Err = fmt.Errorf("figures: generating %s: %w", id, errs[i])
 		}
-		out = append(out, t)
+	}
+	return out, nil
+}
+
+// GenerateAll produces every artifact in ID order, running the
+// generators concurrently. On failure it returns the tables preceding
+// the first failing ID plus that artifact's error, matching the
+// historical sequential contract.
+func GenerateAll(cfg Config) ([]Table, error) {
+	results, err := GenerateEach(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []Table
+	for _, r := range results {
+		if r.Err != nil {
+			return out, r.Err
+		}
+		out = append(out, r.Table)
 	}
 	return out, nil
 }

@@ -235,3 +235,73 @@ func BenchmarkFigureTableRender(b *testing.B) {
 		_ = tbl.Render(&buf)
 	}
 }
+
+func tablesEqual(a, b Table) bool {
+	if a.ID != b.ID || a.Title != b.Title || len(a.Columns) != len(b.Columns) ||
+		len(a.Rows) != len(b.Rows) || len(a.Notes) != len(b.Notes) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			return false
+		}
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				return false
+			}
+		}
+	}
+	for i := range a.Notes {
+		if a.Notes[i] != b.Notes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGenerateEachParallelDeterminism proves parallel artifact
+// generation is bit-identical to calling each generator sequentially.
+func TestGenerateEachParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates every artifact")
+	}
+	results, err := GenerateEach(quick, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("GenerateEach returned %d results, want %d", len(results), len(IDs()))
+	}
+	for i, id := range IDs() {
+		if results[i].ID != id {
+			t.Fatalf("results[%d].ID = %s, want %s (ID order must be preserved)", i, results[i].ID, id)
+		}
+		if results[i].Err != nil {
+			t.Fatalf("%s: %v", id, results[i].Err)
+		}
+	}
+	// Deep-compare the cheap artifacts against sequential generation.
+	for _, id := range []string{"table2", "figure1a", "figure2", "figure14"} {
+		seq, err := Generate(id, quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var par Table
+		for _, r := range results {
+			if r.ID == id {
+				par = r.Table
+			}
+		}
+		if !tablesEqual(seq, par) {
+			t.Errorf("%s: parallel table differs from sequential", id)
+		}
+	}
+	if _, err := GenerateEach(Config{Scale: -1}, 2); err == nil {
+		t.Error("invalid config should error")
+	}
+}

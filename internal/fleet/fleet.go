@@ -1,0 +1,309 @@
+// Package fleet is a deterministic concurrent campaign orchestrator.
+//
+// The paper's methodology (Section 3) multiplies measurement campaigns
+// across clouds × instances × access regimes × repetitions; running
+// those cells one at a time makes figure regeneration and sweep
+// studies needlessly slow on multicore hosts. fleet fans the cells of
+// a declarative CampaignSpec out across a bounded worker pool while
+// keeping the paper's reproducibility bar: every cell draws its
+// randomness from an independent simrand substream keyed by a stable
+// cell label, so the output is bit-identical to a sequential run
+// regardless of worker count or completion order.
+//
+// Failure of one cell never aborts the fleet: errors are isolated per
+// cell (including recovered panics) and reported in the aggregate
+// CampaignResult, which also rolls repetitions up into per-(profile,
+// regime) core.Results for the Section 5 statistical machinery.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/core"
+	"cloudvar/internal/fleet/pool"
+	"cloudvar/internal/simrand"
+	"cloudvar/internal/stats"
+	"cloudvar/internal/trace"
+)
+
+// CampaignSpec declares a measurement campaign matrix: every listed
+// profile is measured under every listed regime, Repetitions times,
+// each repetition against a fresh VM pair (a fresh substream and
+// shaper incarnation, the paper's reset protocol).
+type CampaignSpec struct {
+	// Profiles are the cloud/instance combinations to measure.
+	Profiles []cloudmodel.Profile
+	// Regimes are the access regimes; nil means trace.Regimes().
+	Regimes []trace.Regime
+	// Repetitions is the number of fresh-pair repetitions per
+	// (profile, regime); 0 means 1.
+	Repetitions int
+	// Config is the per-campaign measurement configuration.
+	Config cloudmodel.CampaignConfig
+	// Seed drives all randomness. Each cell derives an independent
+	// substream from (Seed, cell label), so equal seeds give
+	// bit-identical results at any worker count.
+	Seed uint64
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Confidence and ErrorBound parameterise the per-group median CI
+	// (zero takes the paper defaults 0.95 and 0.05).
+	Confidence float64
+	ErrorBound float64
+	// Progress, when non-nil, is invoked serially (under a lock) as
+	// each cell finishes, in completion order.
+	Progress func(ev Progress)
+}
+
+// Validate checks the specification.
+func (s CampaignSpec) Validate() error {
+	if len(s.Profiles) == 0 {
+		return fmt.Errorf("fleet: spec has no profiles")
+	}
+	for i, p := range s.Profiles {
+		if p.NewShaper == nil {
+			return fmt.Errorf("fleet: profile %d (%s/%s) has nil shaper factory", i, p.Cloud, p.Instance)
+		}
+	}
+	if s.Repetitions < 0 {
+		return fmt.Errorf("fleet: negative repetitions")
+	}
+	if err := s.Config.Validate(); err != nil {
+		return err
+	}
+	// Cell labels key the per-cell substreams: a duplicate label would
+	// silently replay the same stream, turning "independent
+	// repetitions" into identical copies — the exact methodological
+	// error the paper warns against.
+	seen := make(map[string]bool)
+	for _, c := range s.Cells() {
+		label := c.Label()
+		if seen[label] {
+			return fmt.Errorf("fleet: duplicate cell %s (profiles or regimes repeat in the spec)", label)
+		}
+		seen[label] = true
+	}
+	return nil
+}
+
+// regimes returns the effective regime list.
+func (s CampaignSpec) regimes() []trace.Regime {
+	if len(s.Regimes) == 0 {
+		return trace.Regimes()
+	}
+	return s.Regimes
+}
+
+// repetitions returns the effective repetition count.
+func (s CampaignSpec) repetitions() int {
+	if s.Repetitions <= 0 {
+		return 1
+	}
+	return s.Repetitions
+}
+
+// Cell is one unit of fleet work: a (profile, regime, repetition)
+// triple.
+type Cell struct {
+	Profile cloudmodel.Profile
+	Regime  trace.Regime
+	// Rep is the repetition index, 0-based.
+	Rep int
+}
+
+// Label is the cell's stable identity: it keys the cell's random
+// substream and names its series, so it must be unique within a spec
+// and must not depend on enumeration order.
+func (c Cell) Label() string {
+	return fmt.Sprintf("%s/%s/%s/rep%d", c.Profile.Cloud, c.Profile.Instance, c.Regime.Name, c.Rep)
+}
+
+// Cells enumerates the spec's matrix in deterministic order:
+// profiles outermost, then regimes, then repetitions.
+func (s CampaignSpec) Cells() []Cell {
+	regimes := s.regimes()
+	reps := s.repetitions()
+	out := make([]Cell, 0, len(s.Profiles)*len(regimes)*reps)
+	for _, p := range s.Profiles {
+		for _, r := range regimes {
+			for rep := 0; rep < reps; rep++ {
+				out = append(out, Cell{Profile: p, Regime: r, Rep: rep})
+			}
+		}
+	}
+	return out
+}
+
+// CellResult is the outcome of one cell.
+type CellResult struct {
+	Cell   Cell
+	Series *trace.Series
+	// Summary describes the bandwidth column; zero when Err != nil.
+	Summary stats.Summary
+	Err     error
+}
+
+// Progress reports one completed cell to the spec's hook.
+type Progress struct {
+	// Done counts cells completed so far (including this one); Total
+	// is the matrix size.
+	Done, Total int
+	// Result is the cell that just finished.
+	Result CellResult
+}
+
+// GroupResult aggregates the repetitions of one (profile, regime)
+// matrix entry: each repetition contributes its mean send-phase
+// bandwidth as one sample of a core.Result, giving the F5.3
+// repetition statistics (median CI, CONFIRM planning, validation)
+// over fresh-pair repetitions.
+type GroupResult struct {
+	Cloud    string
+	Instance string
+	Regime   string
+	// Result summarises per-repetition mean bandwidths; only
+	// successful cells contribute samples.
+	Result core.Result
+	// Failed counts repetitions that errored.
+	Failed int
+}
+
+// CampaignResult is the aggregate outcome of a fleet run.
+type CampaignResult struct {
+	// Cells holds every cell outcome in Cells() enumeration order,
+	// regardless of completion order.
+	Cells []CellResult
+	// Groups holds per-(profile, regime) aggregates in enumeration
+	// order.
+	Groups []GroupResult
+}
+
+// Failed returns the cells that errored, in enumeration order.
+func (r CampaignResult) Failed() []CellResult {
+	var out []CellResult
+	for _, c := range r.Cells {
+		if c.Err != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Err summarises cell failures: nil when every cell succeeded,
+// otherwise an error naming the count and the first failure.
+func (r CampaignResult) Err() error {
+	failed := r.Failed()
+	if len(failed) == 0 {
+		return nil
+	}
+	return fmt.Errorf("fleet: %d/%d cells failed, first %s: %w",
+		len(failed), len(r.Cells), failed[0].Cell.Label(), failed[0].Err)
+}
+
+// Series returns the successful series keyed by cell label.
+func (r CampaignResult) Series() map[string]*trace.Series {
+	out := make(map[string]*trace.Series)
+	for _, c := range r.Cells {
+		if c.Err == nil {
+			out[c.Cell.Label()] = c.Series
+		}
+	}
+	return out
+}
+
+// CellSource derives the random substream for one cell of a campaign
+// seeded with seed. Exposed so tests and external replayers can
+// regenerate any single cell without running the fleet.
+func CellSource(seed uint64, c Cell) *simrand.Source {
+	return simrand.New(seed).Substream("fleet/" + c.Label())
+}
+
+// Run executes the campaign matrix across the worker pool. The
+// returned CampaignResult is bit-identical for equal (spec minus
+// Workers/Progress): cell ordering, series contents and group
+// statistics do not depend on scheduling. Cell errors are isolated —
+// Run only returns a non-nil error for an invalid spec.
+func Run(spec CampaignSpec) (CampaignResult, error) {
+	if err := spec.Validate(); err != nil {
+		return CampaignResult{}, err
+	}
+	cells := spec.Cells()
+
+	var mu sync.Mutex
+	done := 0
+	results, errs := pool.Collect(len(cells), spec.Workers, func(i int) (CellResult, error) {
+		res := runCell(spec, cells[i])
+		if spec.Progress != nil {
+			mu.Lock()
+			done++
+			ev := Progress{Done: done, Total: len(cells), Result: res}
+			// The deferred unlock keeps a panicking hook from
+			// deadlocking the other workers; the panic itself is
+			// recovered by the pool and folded into the cell below.
+			func() {
+				defer mu.Unlock()
+				spec.Progress(ev)
+			}()
+		}
+		return res, nil
+	})
+	// runCell recovers its own panics into CellResult.Err, so the only
+	// way errs[i] is set is a panic in the Progress hook; mark the cell
+	// failed rather than returning a zero CellResult with a nil Err.
+	for i, err := range errs {
+		if err != nil {
+			results[i] = CellResult{Cell: cells[i], Err: err}
+		}
+	}
+
+	return CampaignResult{Cells: results, Groups: groupResults(spec, results)}, nil
+}
+
+// runCell measures one cell on its own substream. Panics are folded
+// into the cell's Err before the caller reports progress, so Done
+// reaches Total even when a cell blows up.
+func runCell(spec CampaignSpec, c Cell) (res CellResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = CellResult{Cell: c, Err: fmt.Errorf("fleet: cell %s panicked: %v", c.Label(), r)}
+		}
+	}()
+	src := CellSource(spec.Seed, c)
+	series, err := cloudmodel.RunCampaign(c.Profile, c.Regime, spec.Config, src)
+	if err != nil {
+		return CellResult{Cell: c, Err: fmt.Errorf("fleet: cell %s: %w", c.Label(), err)}
+	}
+	// Relabel with the repetition-qualified identity so cells of the
+	// same (profile, regime) stay distinguishable downstream.
+	series.Label = c.Label()
+	return CellResult{Cell: c, Series: series, Summary: series.Summary()}
+}
+
+// groupResults rolls cell results up into per-(profile, regime)
+// aggregates, preserving enumeration order.
+func groupResults(spec CampaignSpec, cells []CellResult) []GroupResult {
+	type key struct{ cloud, instance, regime string }
+	idx := make(map[key]int)
+	var groups []GroupResult
+	samples := make(map[key][]float64)
+
+	for _, c := range cells {
+		k := key{c.Cell.Profile.Cloud, c.Cell.Profile.Instance, c.Cell.Regime.Name}
+		if _, ok := idx[k]; !ok {
+			idx[k] = len(groups)
+			groups = append(groups, GroupResult{Cloud: k.cloud, Instance: k.instance, Regime: k.regime})
+		}
+		if c.Err != nil {
+			groups[idx[k]].Failed++
+			continue
+		}
+		samples[k] = append(samples[k], c.Summary.Mean)
+	}
+	for k, gi := range idx {
+		name := fmt.Sprintf("%s/%s/%s", k.cloud, k.instance, k.regime)
+		groups[gi].Result = core.BuildResult(name, samples[k], spec.Confidence, spec.ErrorBound)
+	}
+	return groups
+}

@@ -1,0 +1,73 @@
+// Package pool provides a deterministic bounded-concurrency fan-out
+// primitive: results are keyed by input index, so the output of a
+// parallel run is independent of worker count and completion order.
+// It is the low-level substrate of internal/fleet, small enough that
+// packages fleet itself depends on (cloudmodel, figures) can use it
+// without an import cycle.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes
+// workers <= 0: the process's GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// clampWorkers normalises a requested worker count against n tasks.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// Collect runs fn(i) for every i in [0, n) across at most workers
+// goroutines and returns the results and errors slotted by index.
+// workers <= 0 means DefaultWorkers. A panicking fn is recovered into
+// that index's error, so one bad task cannot take down the fleet.
+// Collect never reorders: out[i] and errs[i] always belong to task i,
+// regardless of which worker ran it or when it finished.
+func Collect[T any](n, workers int, fn func(i int) (T, error)) (out []T, errs []error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out = make([]T, n)
+	errs = make([]error, n)
+	workers = clampWorkers(workers, n)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = protect(fn, i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errs
+}
+
+// protect invokes fn(i), converting a panic into an error.
+func protect[T any](fn func(int) (T, error), i int) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			out, err = zero, fmt.Errorf("pool: task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}

@@ -1,0 +1,117 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func countErrors(errs []error) int {
+	n := 0
+	for _, err := range errs {
+		if err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCollectOrderIndependent(t *testing.T) {
+	fn := func(i int) (int, error) { return i * i, nil }
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, errs := Collect(50, workers, fn)
+		if n := countErrors(errs); n != 0 {
+			t.Fatalf("workers=%d: %d errors", workers, n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestCollectBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	_, errs := Collect(64, workers, func(i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if n := countErrors(errs); n != 0 {
+		t.Fatalf("%d errors", n)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, want <= %d", p, workers)
+	}
+}
+
+func TestCollectErrorIsolation(t *testing.T) {
+	boom := errors.New("boom")
+	out, errs := Collect(10, 4, func(i int) (int, error) {
+		if i == 3 || i == 7 {
+			return 0, fmt.Errorf("task %d: %w", i, boom)
+		}
+		return i, nil
+	})
+	if got := countErrors(errs); got != 2 {
+		t.Fatalf("countErrors = %d, want 2", got)
+	}
+	if !errors.Is(errs[3], boom) || !errors.Is(errs[7], boom) {
+		t.Fatalf("errors not slotted by index: %v", errs)
+	}
+	// Healthy indices still produced results.
+	for _, i := range []int{0, 1, 2, 4, 5, 6, 8, 9} {
+		if out[i] != i || errs[i] != nil {
+			t.Fatalf("task %d perturbed by sibling failures: out=%d err=%v", i, out[i], errs[i])
+		}
+	}
+}
+
+func TestCollectPanicRecovered(t *testing.T) {
+	_, errs := Collect(4, 2, func(i int) (int, error) {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	if errs[2] == nil {
+		t.Fatal("panic not converted to error")
+	}
+	if got := countErrors(errs); got != 1 {
+		t.Fatalf("countErrors = %d, want 1", got)
+	}
+}
+
+func TestCollectEmpty(t *testing.T) {
+	out, errs := Collect(0, 4, func(i int) (int, error) { return 0, nil })
+	if out != nil || errs != nil {
+		t.Fatalf("Collect(0) = %v, %v; want nil, nil", out, errs)
+	}
+}
+
+func TestCollectDefaultWorkers(t *testing.T) {
+	var ran atomic.Int64
+	_, errs := Collect(9, 0, func(i int) (struct{}, error) {
+		ran.Add(1)
+		return struct{}{}, nil
+	})
+	if ran.Load() != 9 {
+		t.Fatalf("ran %d tasks, want 9", ran.Load())
+	}
+	if n := countErrors(errs); n != 0 {
+		t.Fatalf("%d errors", n)
+	}
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}
