@@ -15,6 +15,8 @@
 //     internal/cloudmodel)
 //   - the Spark-like execution simulator and workload suites
 //     (internal/spark, internal/workloads)
+//   - the persistent campaign store and longitudinal drift analysis
+//     (internal/store, internal/longitudinal)
 //   - figure/table regeneration (internal/figures)
 //
 // Quick start:
@@ -35,11 +37,14 @@ import (
 	"cloudvar/internal/core"
 	"cloudvar/internal/figures"
 	"cloudvar/internal/fleet"
+	"cloudvar/internal/longitudinal"
 	"cloudvar/internal/netem"
 	"cloudvar/internal/simrand"
 	"cloudvar/internal/spark"
 	"cloudvar/internal/stats"
+	"cloudvar/internal/store"
 	"cloudvar/internal/tokenbucket"
+	"cloudvar/internal/trace"
 	"cloudvar/internal/workloads"
 )
 
@@ -197,6 +202,9 @@ type (
 	CampaignConfig = cloudmodel.CampaignConfig
 	// RegimeComparison holds one profile's per-regime series.
 	RegimeComparison = cloudmodel.RegimeComparison
+	// TransferRegime is a network access pattern (full-speed, 10-30,
+	// 5-30).
+	TransferRegime = trace.Regime
 )
 
 // Fleet and campaign functions.
@@ -209,10 +217,58 @@ var (
 	// RunAllRegimes measures one profile under every standard regime,
 	// concurrently and deterministically.
 	RunAllRegimes = cloudmodel.RunAllRegimes
+	// StandardRegimes returns the paper's three access regimes.
+	StandardRegimes = trace.Regimes
+	// RegimeByName resolves a standard regime by its paper label.
+	RegimeByName = trace.RegimeByName
 	// DefaultCampaignConfig returns the paper's campaign settings.
 	DefaultCampaignConfig = cloudmodel.DefaultCampaignConfig
 	// BuildExperimentResult assembles a Result from collected samples.
 	BuildExperimentResult = core.BuildResult
+)
+
+// Persistent results store and longitudinal drift analysis.
+type (
+	// ResultStore is the on-disk, content-addressed campaign store.
+	ResultStore = store.Store
+	// StoredRun is one open run; it implements CampaignSink.
+	StoredRun = store.Run
+	// RunManifest describes a stored run (spec identity + keys,
+	// platform fingerprints).
+	RunManifest = store.Manifest
+	// StoredCellRecord is one persisted campaign cell.
+	StoredCellRecord = store.CellRecord
+	// CampaignSpecIdentity is the canonical hashable form of a spec.
+	CampaignSpecIdentity = store.SpecIdentity
+	// CampaignSink receives completed cells and supplies persisted
+	// ones for resume.
+	CampaignSink = fleet.Sink
+	// DriftRunData is one stored run loaded for drift analysis.
+	DriftRunData = longitudinal.RunData
+	// DriftOptions parameterises the drift analysis.
+	DriftOptions = longitudinal.Options
+	// DriftReport is the cross-run replication verdict.
+	DriftReport = longitudinal.Report
+)
+
+// Store and drift functions.
+var (
+	// OpenStore opens (creating if needed) a results store directory.
+	OpenStore = store.Open
+	// CampaignSpecKey hashes a spec's full identity, seed included —
+	// the resume gate.
+	CampaignSpecKey = store.SpecKey
+	// CampaignMatrixKey hashes the seed-independent identity — the
+	// longitudinal comparability gate.
+	CampaignMatrixKey = store.MatrixKey
+	// LoadStoredRuns loads stored runs for drift analysis, baseline
+	// first.
+	LoadStoredRuns = longitudinal.Load
+	// AnalyzeDrift compares two or more runs of the same matrix.
+	AnalyzeDrift = longitudinal.Analyze
+	// FingerprintCampaign measures the F5.2 baseline of every profile
+	// in a spec, on substreams independent of all campaign cells.
+	FingerprintCampaign = fleet.FingerprintProfiles
 )
 
 // Figure regeneration.

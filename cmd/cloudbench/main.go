@@ -5,7 +5,8 @@
 //
 //	cloudbench [-cloud ec2,gce,...] [-instance c5.xlarge|8|...] \
 //	           [-regime full-speed|10-30|5-30|all] [-hours H] \
-//	           [-reps N] [-workers N] [-seed N] [-csv FILE]
+//	           [-reps N] [-workers N] [-seed N] [-csv FILE] \
+//	           [-store DIR -run-id ID [-resume]]
 //
 // -cloud takes a comma-separated list; -instance takes either a single
 // value applied to every cloud (empty means each cloud's default) or a
@@ -14,6 +15,14 @@
 // bounded worker pool; per-cell randomness is derived from the seed
 // and the cell's identity, so output is bit-identical at any -workers
 // value.
+//
+// With -store, every completed cell is persisted to the named results
+// store under -run-id, together with a manifest recording the spec's
+// content address and the F5.2 platform fingerprints. -resume reopens
+// an interrupted run and re-executes only the missing cells — the
+// final output is bit-identical to an uninterrupted run. Stored runs
+// of the same matrix (typically under different seeds, i.e. different
+// emulated days) are compared by cmd/drift.
 //
 // Output: a per-cell statistical summary, plus a per-(cloud, regime)
 // repetition aggregate when -reps > 1; with -csv, the raw series of a
@@ -26,9 +35,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/core"
 	"cloudvar/internal/fleet"
+	"cloudvar/internal/store"
 	"cloudvar/internal/trace"
 )
 
@@ -45,6 +57,9 @@ func run() int {
 	workers := flag.Int("workers", 0, "concurrent campaign cells; <= 0 means GOMAXPROCS")
 	seed := flag.Uint64("seed", 1, "random seed")
 	csvPath := flag.String("csv", "", "write the raw series to this CSV file (single-cell run only)")
+	storeDir := flag.String("store", "", "persist results to this store directory (requires -run-id)")
+	runID := flag.String("run-id", "", "name of the stored run (e.g. a date)")
+	resume := flag.Bool("resume", false, "reopen an interrupted stored run and execute only its missing cells")
 	flag.Parse()
 
 	profiles, err := buildProfiles(*clouds, *instances)
@@ -77,6 +92,21 @@ func run() int {
 	effReps := len(cells) / (len(profiles) * len(regimes))
 	fmt.Printf("campaign: %d cells (%d profiles x %d regimes x %d reps), %g emulated hours each, seed %d\n\n",
 		len(cells), len(profiles), len(regimes), effReps, *hours, *seed)
+
+	run, err := openStoreRun(*storeDir, *runID, *resume, spec)
+	if err != nil {
+		return fatal(err)
+	}
+	if run != nil {
+		defer run.Close()
+		spec.Sink = run
+		done, err := run.Completed()
+		if err != nil {
+			return fatal(err)
+		}
+		fmt.Printf("store: run %q (spec %.12s), %d/%d cells already persisted\n\n",
+			*runID, run.Manifest().SpecKey, len(done), len(cells))
+	}
 
 	res, err := fleet.Run(spec)
 	if err != nil {
@@ -127,11 +157,52 @@ func run() int {
 		}
 	}
 
+	if run != nil {
+		persisted := 0
+		for _, c := range res.Cells {
+			if c.Err == nil {
+				persisted++
+			}
+		}
+		fmt.Printf("\nstore: %d/%d cells persisted under run %q; compare runs with cmd/drift\n",
+			persisted, len(res.Cells), *runID)
+	}
+
 	if err := res.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudbench:", err)
 		return 1
 	}
 	return 0
+}
+
+// openStoreRun opens the persistence sink named by the store flags:
+// nil when no store was requested, a resumed run with -resume (the
+// store verifies the spec still hashes to the run's recorded key), or
+// a freshly created run whose manifest records the F5.2 platform
+// fingerprints of every profile in the matrix.
+func openStoreRun(dir, runID string, resume bool, spec fleet.CampaignSpec) (*store.Run, error) {
+	if dir == "" {
+		if resume || runID != "" {
+			return nil, fmt.Errorf("-run-id/-resume need -store")
+		}
+		return nil, nil
+	}
+	if runID == "" {
+		return nil, fmt.Errorf("-store needs -run-id (name the run, e.g. a date)")
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if resume {
+		return st.Resume(runID, spec)
+	}
+	fmt.Printf("store: fingerprinting %d profile(s) for the run manifest (F5.2)...\n", len(spec.Profiles))
+	fps, err := fleet.FingerprintProfiles(spec, core.FingerprintConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return st.Create(runID, spec, fps, time.Now().Unix())
 }
 
 // buildProfiles expands the -cloud/-instance matrix flags. A single

@@ -1,0 +1,134 @@
+// Command drift renders the longitudinal drift report over stored
+// campaign runs: the paper's "do conclusions replicate?" question
+// made executable. Given two or more runs of the same campaign matrix
+// (written by cloudbench -store), it checks the F5.2 fingerprint
+// gate, compares per-group medians with nonparametric CIs, and scores
+// per-cell conclusion agreement with Cohen's kappa.
+//
+// Usage:
+//
+//	drift -store DIR                  # compare every run in the store
+//	drift -store DIR -runs day1,day8  # compare named runs, baseline first
+//	drift -store DIR -list            # list stored runs
+//
+// -fail-on-drift exits 2 when any drift signal fires, so a scheduled
+// campaign can gate on it.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cloudvar/internal/longitudinal"
+	"cloudvar/internal/store"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("drift", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", "", "results store directory (required)")
+	runList := fs.String("runs", "", "comma-separated run IDs, baseline first; empty means every run in the store")
+	list := fs.Bool("list", false, "list stored runs and exit")
+	tolerance := fs.Float64("tolerance", 0.15, "relative tolerance for the fingerprint gate")
+	confidence := fs.Float64("confidence", 0.95, "confidence level for per-group median CIs")
+	errorBound := fs.Float64("error-bound", 0.05, "relative error bound echoed into per-group results")
+	failOnDrift := fs.Bool("fail-on-drift", false, "exit 2 when a drift signal fires")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 1
+	}
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "drift:", err)
+		return 1
+	}
+
+	if *storeDir == "" {
+		return fatal(fmt.Errorf("-store is required"))
+	}
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		return fatal(err)
+	}
+
+	if *list {
+		return listRuns(st, stdout, stderr)
+	}
+
+	ids := splitList(*runList)
+	if len(ids) == 0 {
+		manifests, err := st.ListRuns()
+		if err != nil {
+			return fatal(err)
+		}
+		for _, m := range manifests {
+			ids = append(ids, m.RunID)
+		}
+	}
+	if len(ids) < 2 {
+		return fatal(fmt.Errorf("need >= 2 runs to compare, have %d (run cloudbench -store first, or see -list)", len(ids)))
+	}
+
+	runs, err := longitudinal.Load(st, ids...)
+	if err != nil {
+		return fatal(err)
+	}
+	report, err := longitudinal.Analyze(runs, longitudinal.Options{
+		Confidence:           *confidence,
+		ErrorBound:           *errorBound,
+		FingerprintTolerance: *tolerance,
+	})
+	if err != nil {
+		return fatal(err)
+	}
+	if err := report.WriteMarkdown(stdout); err != nil {
+		return fatal(err)
+	}
+	if *failOnDrift && report.Drifted() {
+		fmt.Fprintln(stderr, "drift: drift detected")
+		return 2
+	}
+	return 0
+}
+
+func listRuns(st *store.Store, stdout, stderr io.Writer) int {
+	manifests, err := st.ListRuns()
+	if len(manifests) == 0 && err != nil {
+		fmt.Fprintln(stderr, "drift:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%-20s %-14s %-14s %6s %6s\n", "run", "matrix", "spec", "seed", "cells")
+	for _, m := range manifests {
+		cells, cellsErr := st.Cells(m.RunID)
+		n := fmt.Sprintf("%d", len(cells))
+		if cellsErr != nil {
+			n = "ERR"
+		}
+		fmt.Fprintf(stdout, "%-20s %-14.12s %-14.12s %6d %6s\n", m.RunID, m.MatrixKey, m.SpecKey, m.Spec.Seed, n)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "drift:", err)
+		return 1
+	}
+	return 0
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/fleet"
+	"cloudvar/internal/store"
+	"cloudvar/internal/trace"
+)
+
+// seedStore persists two comparable runs (same matrix, different
+// seeds) into a fresh store and returns its directory.
+func seedStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec2, err := cloudmodel.EC2Profile("c5.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, day := range []struct {
+		id   string
+		seed uint64
+	}{{"day1", 1}, {"day8", 8}} {
+		spec := fleet.CampaignSpec{
+			Profiles:    []cloudmodel.Profile{ec2},
+			Regimes:     []trace.Regime{trace.FullSpeed},
+			Repetitions: 2,
+			Config:      cloudmodel.DefaultCampaignConfig(60),
+			Seed:        day.seed,
+		}
+		run, err := st.Create(day.id, spec, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Sink = run
+		res, err := fleet.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		run.Close()
+	}
+	return dir
+}
+
+func TestRunReport(t *testing.T) {
+	dir := seedStore(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-store", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"# Longitudinal drift report", "baseline day1", "## Per-group medians", "**Verdict:**"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Explicit run list, reversed baseline.
+	out.Reset()
+	if code := run([]string{"-store", dir, "-runs", "day8,day1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "baseline day8") {
+		t.Error("-runs order should pick the baseline")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	dir := seedStore(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-store", dir, "-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"day1", "day8"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := seedStore(t)
+	cases := [][]string{
+		{},                                  // no -store
+		{"-store", dir, "-runs", "day1"},    // one run is not longitudinal
+		{"-store", dir, "-runs", "day1,xx"}, // unknown run
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -14,8 +14,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cloudvar/internal/core"
@@ -25,17 +27,32 @@ import (
 )
 
 func main() {
-	appName := flag.String("app", "terasort", "workload: HiBench name or TPC-DS query (q65)")
-	budget := flag.Float64("budget", 5000, "initial token budget in Gbit")
-	reps := flag.Int("reps", 10, "repetitions")
-	consecutive := flag.Bool("consecutive", false, "reuse one cluster across repetitions")
-	rest := flag.Float64("rest", 0, "rest seconds between consecutive runs")
-	seed := flag.Uint64("seed", 1, "random seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sparkbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	appName := fs.String("app", "terasort", "workload: HiBench name or TPC-DS query (q65)")
+	budget := fs.Float64("budget", 5000, "initial token budget in Gbit")
+	reps := fs.Int("reps", 10, "repetitions")
+	consecutive := fs.Bool("consecutive", false, "reuse one cluster across repetitions")
+	rest := fs.Float64("rest", 0, "rest seconds between consecutive runs")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 1
+	}
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "sparkbench:", err)
+		return 1
+	}
 
 	app, err := workloads.ByName(*appName)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	src := simrand.New(*seed)
 
@@ -44,7 +61,7 @@ func main() {
 	if *consecutive {
 		cluster, err := workloads.Table4Cluster(*budget, src)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		env = clusterEnv{cluster: cluster, rest: *rest}
 		trial = func() (float64, error) {
@@ -74,29 +91,30 @@ func main() {
 	design.RestSec = *rest
 	result, err := core.Run(app.Name, design, env, trial)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
-	fmt.Printf("workload: %s (%s, network intensity %.2f)\n", app.Name, app.Suite, app.NetworkIntensity)
-	fmt.Printf("budget:   %g Gbit, %d repetitions, consecutive=%v\n\n", *budget, len(result.Samples), *consecutive)
+	fmt.Fprintf(stdout, "workload: %s (%s, network intensity %.2f)\n", app.Name, app.Suite, app.NetworkIntensity)
+	fmt.Fprintf(stdout, "budget:   %g Gbit, %d repetitions, consecutive=%v\n\n", *budget, len(result.Samples), *consecutive)
 	s := result.Summary
-	fmt.Printf("runtime [s]: median %.1f  mean %.1f  p25 %.1f  p75 %.1f  CoV %.1f%%\n",
+	fmt.Fprintf(stdout, "runtime [s]: median %.1f  mean %.1f  p25 %.1f  p75 %.1f  CoV %.1f%%\n",
 		s.Median, s.Mean, s.P25, s.P75, s.CoV*100)
 	if result.MedianCIErr == nil {
-		fmt.Printf("95%% median CI: [%.1f, %.1f] (rel. err %.1f%%)\n",
+		fmt.Fprintf(stdout, "95%% median CI: [%.1f, %.1f] (rel. err %.1f%%)\n",
 			result.MedianCI.Lo, result.MedianCI.Hi, result.MedianCI.RelativeError()*100)
 	} else {
-		fmt.Printf("95%% median CI: unavailable (%v)\n", result.MedianCIErr)
+		fmt.Fprintf(stdout, "95%% median CI: unavailable (%v)\n", result.MedianCIErr)
 	}
 	if req := result.Planning.RequiredRepetitions(); req > 0 {
-		fmt.Printf("CONFIRM: ~%d repetitions for a 5%% bound\n", req)
+		fmt.Fprintf(stdout, "CONFIRM: ~%d repetitions for a 5%% bound\n", req)
 	}
 	if findings := result.Validation.Findings(); len(findings) > 0 {
-		fmt.Println("\nstatistical findings:")
+		fmt.Fprintln(stdout, "\nstatistical findings:")
 		for _, msg := range findings {
-			fmt.Println("  -", msg)
+			fmt.Fprintln(stdout, "  -", msg)
 		}
 	}
+	return 0
 }
 
 // clusterEnv adapts a spark cluster to core.Environment.
@@ -109,9 +127,4 @@ func (e clusterEnv) Reset() error { return nil } // consecutive mode keeps state
 func (e clusterEnv) Rest(sec float64) error {
 	e.cluster.Rest(sec)
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sparkbench:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the full command path (flag parsing, workload
+// lookup, cluster construction, the designed experiment, and report
+// rendering) on a small repetition count.
+func TestRunSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-app", "terasort", "-reps", "3", "-seed", "7"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"workload: terasort", "runtime [s]: median", "95% median CI"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunSmokeConsecutive exercises the shared-cluster mode, which is
+// the Figure 19 pathology path.
+func TestRunSmokeConsecutive(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-app", "terasort", "-reps", "3", "-consecutive", "-rest", "5"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "consecutive=true") {
+		t.Errorf("output missing consecutive mode banner:\n%s", out.String())
+	}
+}
+
+// TestRunDeterministic: equal seeds must render byte-identical
+// reports; this is the repo-wide reproducibility contract applied to
+// the CLI surface.
+func TestRunDeterministic(t *testing.T) {
+	render := func() string {
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-reps", "3", "-seed", "42"}, &out, &errOut); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		return out.String()
+	}
+	if render() != render() {
+		t.Fatal("equal seeds produced different reports")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-app", "no-such-workload"},
+		{"-reps", "1"}, // below the fixed-design minimum
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -8,27 +8,41 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cloudvar/internal/figures"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 2019, "corpus seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("surveystats", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 2019, "corpus seed")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 1
+	}
 
 	cfg := figures.Config{Seed: *seed, Scale: 1}
 	for _, id := range []string{"table1", "table2", "figure1a", "figure1b"} {
 		t, err := figures.Generate(id, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "surveystats:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "surveystats:", err)
+			return 1
 		}
-		if err := t.Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "surveystats:", err)
-			os.Exit(1)
+		if err := t.Render(stdout); err != nil {
+			fmt.Fprintln(stderr, "surveystats:", err)
+			return 1
 		}
 	}
+	return 0
 }

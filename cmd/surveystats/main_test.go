@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the full command path: all four survey
+// artifacts generate and render.
+func TestRunSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(nil, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"table1", "table2", "figure1a", "figure1b", "Cohen's Kappa"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestRunDeterministic: the survey corpus is seeded, so equal seeds
+// must render byte-identical output.
+func TestRunDeterministic(t *testing.T) {
+	render := func(seed string) string {
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-seed", seed}, &out, &errOut); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		return out.String()
+	}
+	if render("2019") != render("2019") {
+		t.Fatal("equal seeds produced different survey output")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errOut); code == 0 {
+		t.Fatal("unknown flag should fail")
+	}
+}

@@ -1,0 +1,85 @@
+package cloudvar_test
+
+import (
+	"fmt"
+	"log"
+
+	"cloudvar"
+)
+
+// ExampleFingerprint measures the F5.2 platform baseline of an
+// emulated EC2 c5.xlarge path: base latency and bandwidth, latency
+// under load, and the reverse-engineered token-bucket parameters. The
+// paper's rule is to publish this fingerprint alongside any result
+// and to re-verify it before comparing against future runs.
+func ExampleFingerprint() {
+	profile, err := cloudvar.EC2Profile("c5.xlarge")
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := cloudvar.NewRand(7)
+	fp, err := cloudvar.Fingerprint(func() cloudvar.Shaper {
+		return profile.NewShaper(src)
+	}, profile.VNIC, cloudvar.FingerprintConfig{}, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fp)
+	// Output:
+	// base RTT 0.150 ms, base bandwidth 9.85 Gbps, loaded RTT 0.214 ms; token bucket: high 9.8 Gbps, low 1.0 Gbps, budget 4682 Gbit, time-to-empty 530 s
+}
+
+// ExampleConfirm runs CONFIRM repetition planning over a measurement
+// sequence: how many repetitions until the nonparametric median CI is
+// within the error bound, and how many more would be needed if it is
+// not there yet.
+func ExampleConfirm() {
+	// Runtimes (s) of 10 repetitions of the same job on a variable
+	// platform.
+	runtimes := []float64{41.2, 39.8, 44.5, 40.1, 43.3, 39.9, 42.7, 40.4, 41.8, 40.9}
+	analysis, err := cloudvar.Confirm(runtimes, 0.95, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	final := analysis.FinalPoint()
+	fmt.Printf("after %d repetitions: median CI relative half-width %.3f\n", final.N, final.RelErr)
+	fmt.Printf("converged at the 5%% bound: %v\n", final.RelErr <= 0.05)
+	fmt.Printf("repetitions needed: %d\n", analysis.RequiredRepetitions())
+	// Output:
+	// after 10 repetitions: median CI relative half-width 0.041
+	// converged at the 5% bound: true
+	// repetitions needed: 9
+}
+
+// ExampleRunFleet executes a small campaign matrix — one cloud
+// profile, the three standard access regimes, two fresh-pair
+// repetitions — across a worker pool. The output is bit-identical at
+// any Workers value because every cell draws from its own substream.
+func ExampleRunFleet() {
+	profile, err := cloudvar.EC2Profile("c5.xlarge")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := cloudvar.CampaignSpec{
+		Profiles:    []cloudvar.CloudProfile{profile},
+		Repetitions: 2,
+		Config:      cloudvar.DefaultCampaignConfig(120), // 2 emulated minutes
+		Seed:        7,
+		Workers:     4, // any value gives the same output
+	}
+	res, err := cloudvar.RunFleet(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range res.Groups {
+		fmt.Printf("%s: median %.2f Gbps over %d repetitions\n",
+			g.Result.Name, g.Result.Summary.Median, g.Result.Summary.N)
+	}
+	// Output:
+	// ec2/c5.xlarge/full-speed: median 10.23 Gbps over 2 repetitions
+	// ec2/c5.xlarge/10-30: median 9.95 Gbps over 2 repetitions
+	// ec2/c5.xlarge/5-30: median 7.62 Gbps over 2 repetitions
+}

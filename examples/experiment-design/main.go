@@ -1,4 +1,4 @@
-// experiment-design demonstrates the core methodology library: plan
+// Command experiment-design demonstrates the core methodology library: plan
 // repetitions adaptively, validate the iid assumptions, and compare
 // two systems honestly — including the trap where consecutive runs on
 // the same cluster share token-bucket state (Figure 19).

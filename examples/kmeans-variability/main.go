@@ -1,4 +1,4 @@
-// kmeans-variability reruns the paper's Section 2.1 emulation in
+// Command kmeans-variability reruns the paper's Section 2.1 emulation in
 // miniature: the same K-Means job on clusters whose links follow the
 // Ballani et al. bandwidth distributions for clouds A-H, showing how
 // 3-run medians mislead while 30-run confidence intervals do not.

@@ -1,6 +1,6 @@
-// Quickstart: emulate an Amazon EC2 c5.xlarge network path, measure
-// it the way the paper does, and discover the token-bucket QoS policy
-// hiding behind the "up to 10 Gbps" advertisement.
+// Command quickstart emulates an Amazon EC2 c5.xlarge network path,
+// measures it the way the paper does, and discovers the token-bucket
+// QoS policy hiding behind the "up to 10 Gbps" advertisement.
 //
 // Run with: go run ./examples/quickstart
 package main

@@ -1,4 +1,4 @@
-// realtcp demonstrates the phenomena on real sockets: a loopback bulk
+// Command realtcp demonstrates the phenomena on real sockets: a loopback bulk
 // transfer throttled by a live token bucket (the EC2 pattern of
 // Figure 7) and write-size-dependent RTT (the Figure 12 mechanism).
 //

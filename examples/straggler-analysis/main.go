@@ -1,4 +1,4 @@
-// straggler-analysis reproduces Figure 18's token-bucket straggler:
+// Command straggler-analysis reproduces Figure 18's token-bucket straggler:
 // on a cluster with a 2500 Gbit budget per node, a skewed TPC-DS
 // shuffle depletes one node's bucket while the others stay fast; that
 // node then oscillates between the high and low rates and drags every

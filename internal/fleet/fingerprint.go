@@ -1,0 +1,41 @@
+package fleet
+
+import (
+	"fmt"
+
+	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/core"
+	"cloudvar/internal/netem"
+	"cloudvar/internal/simrand"
+)
+
+// ProfileKey is the stable identity of a profile inside a campaign:
+// "cloud/instance". It keys fingerprint maps and drift comparisons.
+func ProfileKey(p cloudmodel.Profile) string {
+	return p.Cloud + "/" + p.Instance
+}
+
+// FingerprintProfiles measures the F5.2 network baseline of every
+// profile in the spec — the record the paper says must accompany any
+// published campaign so future runs can verify the platform still
+// behaves the same before comparing numbers. Each profile is probed
+// on a substream derived from (spec.Seed, "fingerprint/", profile
+// key), fully independent of every cell substream, so fingerprinting
+// neither perturbs campaign results nor varies with the matrix shape.
+// The returned map is keyed by ProfileKey.
+func FingerprintProfiles(spec CampaignSpec, cfg core.FingerprintConfig) (map[string]core.Fingerprint, error) {
+	out := make(map[string]core.Fingerprint, len(spec.Profiles))
+	for _, p := range spec.Profiles {
+		if p.NewShaper == nil {
+			return nil, fmt.Errorf("fleet: profile %s has nil shaper factory", ProfileKey(p))
+		}
+		src := simrand.New(spec.Seed).Substream("fingerprint/" + ProfileKey(p))
+		factory := func() netem.Shaper { return p.NewShaper(src) }
+		fp, err := core.FingerprintShaper(factory, p.VNIC, cfg, src)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: fingerprinting %s: %w", ProfileKey(p), err)
+		}
+		out[ProfileKey(p)] = fp
+	}
+	return out, nil
+}

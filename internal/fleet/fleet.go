@@ -55,6 +55,36 @@ type CampaignSpec struct {
 	// Progress, when non-nil, is invoked serially (under a lock) as
 	// each cell finishes, in completion order.
 	Progress func(ev Progress)
+	// Sink, when non-nil, persists each successful cell as it
+	// completes and supplies previously persisted cells, which Run
+	// restores without re-executing them — resume for interrupted
+	// campaigns. Because every cell's randomness comes from its own
+	// substream, a resumed run is bit-identical to an uninterrupted
+	// one. Sink and Progress do not participate in spec identity.
+	Sink Sink
+}
+
+// Sink is the persistence hook for campaign cells. internal/store
+// implements it on disk; fleet deliberately only knows the interface
+// so the orchestrator stays storage-agnostic.
+//
+// Run calls Completed once before scheduling and Put concurrently
+// from worker goroutines (implementations must be safe for concurrent
+// use). Cells that errored are never offered to Put: failures are
+// re-executed on resume rather than replayed from disk.
+type Sink interface {
+	// Completed returns the already-persisted cells keyed by cell
+	// label. Labels unknown to the spec are ignored.
+	Completed() (map[string]StoredCell, error)
+	// Put persists one successful cell.
+	Put(res CellResult) error
+}
+
+// StoredCell is a previously persisted cell as the Sink returns it.
+// The summary is recomputed from the series on restore, so the sink
+// only needs to round-trip the series itself.
+type StoredCell struct {
+	Series *trace.Series
 }
 
 // Validate checks the specification.
@@ -88,16 +118,19 @@ func (s CampaignSpec) Validate() error {
 	return nil
 }
 
-// regimes returns the effective regime list.
-func (s CampaignSpec) regimes() []trace.Regime {
+// EffectiveRegimes returns the regime list after defaulting: nil
+// means the paper's three standard regimes. Exported so spec hashing
+// (internal/store) sees the same matrix Run executes.
+func (s CampaignSpec) EffectiveRegimes() []trace.Regime {
 	if len(s.Regimes) == 0 {
 		return trace.Regimes()
 	}
 	return s.Regimes
 }
 
-// repetitions returns the effective repetition count.
-func (s CampaignSpec) repetitions() int {
+// EffectiveRepetitions returns the repetition count after defaulting:
+// values <= 0 mean 1.
+func (s CampaignSpec) EffectiveRepetitions() int {
 	if s.Repetitions <= 0 {
 		return 1
 	}
@@ -123,8 +156,8 @@ func (c Cell) Label() string {
 // Cells enumerates the spec's matrix in deterministic order:
 // profiles outermost, then regimes, then repetitions.
 func (s CampaignSpec) Cells() []Cell {
-	regimes := s.regimes()
-	reps := s.repetitions()
+	regimes := s.EffectiveRegimes()
+	reps := s.EffectiveRepetitions()
 	out := make([]Cell, 0, len(s.Profiles)*len(regimes)*reps)
 	for _, p := range s.Profiles {
 		for _, r := range regimes {
@@ -222,19 +255,49 @@ func CellSource(seed uint64, c Cell) *simrand.Source {
 
 // Run executes the campaign matrix across the worker pool. The
 // returned CampaignResult is bit-identical for equal (spec minus
-// Workers/Progress): cell ordering, series contents and group
-// statistics do not depend on scheduling. Cell errors are isolated —
-// Run only returns a non-nil error for an invalid spec.
+// Workers/Progress/Sink): cell ordering, series contents and group
+// statistics do not depend on scheduling, and cells restored from a
+// Sink are indistinguishable from freshly executed ones. Cell errors
+// are isolated — Run only returns a non-nil error for an invalid spec
+// or a Sink whose Completed call fails.
 func Run(spec CampaignSpec) (CampaignResult, error) {
 	if err := spec.Validate(); err != nil {
 		return CampaignResult{}, err
 	}
 	cells := spec.Cells()
 
+	// Restore persisted cells first; only the remainder is scheduled.
+	// The summary is recomputed from the stored series so a restored
+	// cell cannot drift from what runCell would have produced.
+	var stored map[string]StoredCell
+	if spec.Sink != nil {
+		var err error
+		if stored, err = spec.Sink.Completed(); err != nil {
+			return CampaignResult{}, fmt.Errorf("fleet: loading persisted cells: %w", err)
+		}
+	}
+	results := make([]CellResult, len(cells))
+	var pending []int
+	for i, c := range cells {
+		if sc, ok := stored[c.Label()]; ok && sc.Series != nil {
+			results[i] = CellResult{Cell: c, Series: sc.Series, Summary: sc.Series.Summary()}
+			continue
+		}
+		pending = append(pending, i)
+	}
+
 	var mu sync.Mutex
-	done := 0
-	results, errs := pool.Collect(len(cells), spec.Workers, func(i int) (CellResult, error) {
-		res := runCell(spec, cells[i])
+	done := len(cells) - len(pending)
+	fresh, errs := pool.Collect(len(pending), spec.Workers, func(j int) (CellResult, error) {
+		res := runCell(spec, cells[pending[j]])
+		if spec.Sink != nil && res.Err == nil {
+			if err := spec.Sink.Put(res); err != nil {
+				// The measurement succeeded but did not persist; fail
+				// the cell so the loss is visible and the cell is
+				// re-executed on the next resume.
+				res = CellResult{Cell: res.Cell, Err: fmt.Errorf("fleet: cell %s: persisting: %w", res.Cell.Label(), err)}
+			}
+		}
 		if spec.Progress != nil {
 			mu.Lock()
 			done++
@@ -250,11 +313,12 @@ func Run(spec CampaignSpec) (CampaignResult, error) {
 		return res, nil
 	})
 	// runCell recovers its own panics into CellResult.Err, so the only
-	// way errs[i] is set is a panic in the Progress hook; mark the cell
+	// way errs[j] is set is a panic in the Progress hook; mark the cell
 	// failed rather than returning a zero CellResult with a nil Err.
-	for i, err := range errs {
-		if err != nil {
-			results[i] = CellResult{Cell: cells[i], Err: err}
+	for j, i := range pending {
+		results[i] = fresh[j]
+		if errs[j] != nil {
+			results[i] = CellResult{Cell: cells[i], Err: errs[j]}
 		}
 	}
 

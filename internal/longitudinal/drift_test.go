@@ -1,0 +1,340 @@
+package longitudinal
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/core"
+	"cloudvar/internal/fleet"
+	"cloudvar/internal/store"
+	"cloudvar/internal/trace"
+)
+
+func testSpec(t *testing.T, seed uint64, workers int) fleet.CampaignSpec {
+	t.Helper()
+	ec2, err := cloudmodel.EC2Profile("c5.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet.CampaignSpec{
+		Profiles:    []cloudmodel.Profile{ec2},
+		Regimes:     []trace.Regime{trace.FullSpeed, trace.Send10R30},
+		Repetitions: 3,
+		Config:      cloudmodel.DefaultCampaignConfig(60),
+		Seed:        seed,
+		Workers:     workers,
+	}
+}
+
+// encodeResult renders every observable fact of a campaign result so
+// two results can be compared byte-for-byte.
+func encodeResult(t *testing.T, res fleet.CampaignResult) string {
+	t.Helper()
+	var b strings.Builder
+	for _, c := range res.Cells {
+		fmt.Fprintf(&b, "cell %s err=%v summary=%+v\n", c.Cell.Label(), c.Err, c.Summary)
+		if c.Series != nil {
+			if err := c.Series.WriteJSON(&b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, g := range res.Groups {
+		fmt.Fprintf(&b, "group %s/%s/%s failed=%d samples=%v summary=%+v ciErr=%v\n",
+			g.Cloud, g.Instance, g.Regime, g.Failed, g.Result.Samples, g.Result.Summary, g.Result.MedianCIErr)
+	}
+	return b.String()
+}
+
+// runPersisted executes the spec into a new store run and returns the
+// result plus the number of cells that actually executed (vs were
+// restored from disk).
+func runPersisted(t *testing.T, st *store.Store, runID string, spec fleet.CampaignSpec) (fleet.CampaignResult, int) {
+	t.Helper()
+	run, err := st.Create(runID, spec, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	return runWith(t, run, spec)
+}
+
+func runWith(t *testing.T, sink fleet.Sink, spec fleet.CampaignSpec) (fleet.CampaignResult, int) {
+	t.Helper()
+	executed := 0
+	spec.Sink = sink
+	spec.Progress = func(fleet.Progress) { executed++ }
+	res, err := fleet.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return res, executed
+}
+
+// TestResumeByteIdentical is the tentpole acceptance criterion: a
+// campaign interrupted partway and resumed re-executes zero completed
+// cells, and both the final CampaignResult and the drift report
+// against a second run are byte-identical to an uninterrupted run —
+// at workers=1 and workers=8.
+func TestResumeByteIdentical(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			st, err := store.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The second "day": same matrix, different seed — the
+			// drift comparison partner for both variants.
+			day2, _ := runPersisted(t, st, "day2", testSpec(t, 8, workers))
+			_ = day2
+
+			// Uninterrupted reference run. (The run IDs are chosen
+			// not to be substrings of any other report text, since
+			// the byte comparison normalises them away.)
+			spec := testSpec(t, 7, workers)
+			full, _ := runPersisted(t, st, "alpha", spec)
+
+			// Interrupted run: persist only the first half of the
+			// cells, as if the process died mid-campaign.
+			interrupted, err := st.Create("bravo", spec, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			half := len(full.Cells) / 2
+			persisted := make(map[string]bool)
+			for _, c := range full.Cells[:half] {
+				if err := interrupted.Put(c); err != nil {
+					t.Fatal(err)
+				}
+				persisted[c.Cell.Label()] = true
+			}
+
+			// Resume. Zero persisted cells may re-execute.
+			resumed, executed := runWith(t, interrupted, spec)
+			interrupted.Close()
+			if want := len(full.Cells) - half; executed != want {
+				t.Fatalf("resume executed %d cells, want exactly the %d missing ones", executed, want)
+			}
+
+			if got, want := encodeResult(t, resumed), encodeResult(t, full); got != want {
+				t.Fatal("resumed CampaignResult is not byte-identical to the uninterrupted run")
+			}
+
+			// The drift report against day2 must not see any
+			// difference either.
+			report := func(runID string) []byte {
+				runs, err := Load(st, runID, "day2")
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := Analyze(runs, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				// The run ID appears in the rendered report; normalise
+				// it away so the byte comparison sees only data.
+				if err := rep.WriteMarkdown(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return bytes.ReplaceAll(buf.Bytes(), []byte(runID), []byte("RUN"))
+			}
+			if !bytes.Equal(report("alpha"), report("bravo")) {
+				t.Fatal("drift report from the resumed run is not byte-identical to the uninterrupted run's")
+			}
+		})
+	}
+}
+
+// TestResumeAcrossWorkerCounts: a run persisted at workers=1 then
+// resumed at workers=8 (and vice versa) still reproduces the
+// sequential result exactly.
+func TestResumeAcrossWorkerCounts(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := runPersisted(t, st, "ref", testSpec(t, 7, 1))
+
+	spec1 := testSpec(t, 7, 1)
+	partial, err := st.Create("mixed", spec1, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partial.Put(ref.Cells[0]); err != nil {
+		t.Fatal(err)
+	}
+	res, executed := runWith(t, partial, testSpec(t, 7, 8))
+	partial.Close()
+	if executed != len(ref.Cells)-1 {
+		t.Fatalf("executed %d, want %d", executed, len(ref.Cells)-1)
+	}
+	if encodeResult(t, res) != encodeResult(t, ref) {
+		t.Fatal("worker-count change across resume broke determinism")
+	}
+}
+
+// syntheticRun fabricates a stored-run shape directly, bypassing the
+// store, so drift scenarios can be scripted precisely.
+func syntheticRun(runID, matrixKey string, seed uint64, bandwidth func(rep int, regime string) []float64) RunData {
+	rd := RunData{Manifest: store.Manifest{
+		Schema: store.SchemaVersion, RunID: runID,
+		SpecKey: "spec-" + runID, MatrixKey: matrixKey,
+		Spec: store.SpecIdentity{Seed: seed},
+	}}
+	for _, regime := range []string{"full-speed", "10-30"} {
+		for rep := 0; rep < 6; rep++ {
+			s := trace.NewSeries(fmt.Sprintf("ec2/c5.xlarge/%s/rep%d", regime, rep), 10)
+			for i, bw := range bandwidth(rep, regime) {
+				s.Points = append(s.Points, trace.Point{TimeSec: float64(i) * 10, BandwidthGbps: bw})
+			}
+			rd.Cells = append(rd.Cells, store.CellRecord{
+				Schema: store.SchemaVersion,
+				Label:  s.Label, Cloud: "ec2", Instance: "c5.xlarge",
+				Regime: regime, Rep: rep, Series: s,
+			})
+		}
+	}
+	return rd
+}
+
+func TestAnalyzeDetectsDrift(t *testing.T) {
+	// steady produces low-CoV series whose per-repetition means spread
+	// by ±0.25 around the level, so same-level runs have overlapping
+	// median CIs (no detectable drift) while halved-level runs do not.
+	steady := func(level, jitter float64) func(rep int, regime string) []float64 {
+		return func(rep int, regime string) []float64 {
+			out := make([]float64, 20)
+			for i := range out {
+				out[i] = level + 0.1*float64(rep) + jitter*float64(i%5)
+			}
+			return out
+		}
+	}
+	base := syntheticRun("day1", "m1", 1, steady(9, 0.05))
+
+	t.Run("no drift", func(t *testing.T) {
+		same := syntheticRun("day2", "m1", 2, steady(9, 0.06))
+		rep, err := Analyze([]RunData{base, same}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Drifted() {
+			t.Fatal("near-identical runs flagged as drifted")
+		}
+		for _, k := range rep.Kappa {
+			if k.Err != nil || k.Kappa != 1 {
+				t.Fatalf("kappa = %v (%v), want 1", k.Kappa, k.Err)
+			}
+		}
+	})
+
+	t.Run("median drift", func(t *testing.T) {
+		// Halved bandwidth: medians must become distinguishable.
+		slower := syntheticRun("day2", "m1", 2, steady(4.5, 0.05))
+		rep, err := Analyze([]RunData{base, slower}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Drifted() {
+			t.Fatal("halved bandwidth not flagged as drift")
+		}
+		found := false
+		for _, g := range rep.Groups {
+			if g.CompareErr[1] == nil && g.Distinguishable[1] {
+				found = true
+				if g.MedianShift[1] > -0.4 {
+					t.Fatalf("median shift %.2f, want about -0.5", g.MedianShift[1])
+				}
+			}
+		}
+		if !found {
+			t.Fatal("no group distinguishable from baseline")
+		}
+	})
+
+	t.Run("conclusion flip lowers kappa", func(t *testing.T) {
+		// Same medians, wildly different variability: the per-cell
+		// conclusion bands flip even though medians hold.
+		noisy := syntheticRun("day2", "m1", 2, func(rep int, regime string) []float64 {
+			out := make([]float64, 20)
+			for i := range out {
+				out[i] = 9 + 6*float64(i%2) - 3 // alternates 6 and 12
+			}
+			return out
+		})
+		rep, err := Analyze([]RunData{base, noisy}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Kappa) != 1 {
+			t.Fatalf("%d kappa results, want 1", len(rep.Kappa))
+		}
+		k := rep.Kappa[0]
+		if k.Err == nil && k.Kappa >= 0.8 {
+			t.Fatalf("kappa %.2f despite every conclusion flipping", k.Kappa)
+		}
+		if len(k.Disagreements) != 12 {
+			t.Fatalf("%d disagreements, want 12", len(k.Disagreements))
+		}
+		if !rep.Drifted() {
+			t.Fatal("conclusion flips not flagged as drift")
+		}
+	})
+}
+
+func TestAnalyzeRejectsIncomparableRuns(t *testing.T) {
+	a := syntheticRun("day1", "m1", 1, func(int, string) []float64 { return []float64{9, 9, 9} })
+	b := syntheticRun("day2", "m2", 2, func(int, string) []float64 { return []float64{9, 9, 9} })
+	if _, err := Analyze([]RunData{a, b}, Options{}); err == nil {
+		t.Fatal("different matrix keys must be rejected")
+	}
+	if _, err := Analyze([]RunData{a}, Options{}); err == nil {
+		t.Fatal("a single run is not a longitudinal analysis")
+	}
+}
+
+func TestWriteMarkdownSections(t *testing.T) {
+	a := syntheticRun("day1", "m1", 1, func(rep int, _ string) []float64 {
+		return []float64{9, 9.1, 9.2, 9 + float64(rep)/10}
+	})
+	b := syntheticRun("day2", "m1", 2, func(rep int, _ string) []float64 {
+		return []float64{9.1, 9.2, 9.15, 9.05 + float64(rep)/10}
+	})
+	a.Manifest.Fingerprints = map[string]core.Fingerprint{
+		"ec2/c5.xlarge": {BaseRTTms: 0.1, BaseBandwidthGbps: 9.6},
+	}
+	b.Manifest.Fingerprints = map[string]core.Fingerprint{
+		"ec2/c5.xlarge": {BaseRTTms: 0.1, BaseBandwidthGbps: 9.5},
+	}
+	rep, err := Analyze([]RunData{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Longitudinal drift report",
+		"## Runs",
+		"## Fingerprint gate",
+		"baselines match",
+		"## Per-group medians",
+		"ec2/c5.xlarge/full-speed",
+		"## Conclusion agreement",
+		"**Verdict:**",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/fleet"
+	"cloudvar/internal/trace"
+)
+
+// SchemaVersion is the on-disk format version. It participates in the
+// spec key, so results written by an incompatible schema can never be
+// silently compared against current ones.
+const SchemaVersion = 1
+
+// ProfileID is the code-relevant identity of a cloud profile. The
+// shaper factory itself is a function and cannot be hashed; Cloud and
+// Instance name the catalog entry it came from and LineRateGbps
+// guards against a catalog entry being redefined.
+type ProfileID struct {
+	Cloud        string  `json:"cloud"`
+	Instance     string  `json:"instance"`
+	LineRateGbps float64 `json:"line_rate_gbps"`
+}
+
+// SpecIdentity is the canonical, hashable form of a campaign spec:
+// every field that changes what Run computes, and none of the fields
+// that only change how it is scheduled or observed (Workers,
+// Progress, Sink). Defaults are applied before hashing so a spec
+// written with explicit defaults keys identically to one that relied
+// on the zero values.
+type SpecIdentity struct {
+	Schema      int                       `json:"schema"`
+	Profiles    []ProfileID               `json:"profiles"`
+	Regimes     []trace.Regime            `json:"regimes"`
+	Repetitions int                       `json:"repetitions"`
+	Config      cloudmodel.CampaignConfig `json:"config"`
+	Seed        uint64                    `json:"seed"`
+	Confidence  float64                   `json:"confidence"`
+	ErrorBound  float64                   `json:"error_bound"`
+}
+
+// Identity extracts the canonical identity of a spec.
+func Identity(spec fleet.CampaignSpec) SpecIdentity {
+	id := SpecIdentity{
+		Schema:      SchemaVersion,
+		Regimes:     spec.EffectiveRegimes(),
+		Repetitions: spec.EffectiveRepetitions(),
+		Config:      spec.Config,
+		Seed:        spec.Seed,
+		Confidence:  spec.Confidence,
+		ErrorBound:  spec.ErrorBound,
+	}
+	if id.Confidence == 0 {
+		id.Confidence = 0.95
+	}
+	if id.ErrorBound == 0 {
+		id.ErrorBound = 0.05
+	}
+	for _, p := range spec.Profiles {
+		id.Profiles = append(id.Profiles, ProfileID{
+			Cloud: p.Cloud, Instance: p.Instance, LineRateGbps: p.LineRateGbps,
+		})
+	}
+	return id
+}
+
+// SpecKey returns the content address of a campaign spec: the SHA-256
+// of its canonical JSON identity (domain-tagged), hex-encoded. It
+// includes the seed, so it identifies one exact reproducible run —
+// the gate for resume, where mixing cells from different seeds would
+// silently splice unrelated random streams.
+func SpecKey(spec fleet.CampaignSpec) (string, error) {
+	return Identity(spec).Key()
+}
+
+// MatrixKey returns the seed-independent content address of a
+// campaign spec: the same hash with the seed normalised out. It
+// identifies "the same campaign run on a different day" — the gate
+// for longitudinal drift comparison, where equal seeds would make the
+// emulated runs trivially identical and unequal matrices would make
+// them incomparable.
+func MatrixKey(spec fleet.CampaignSpec) (string, error) {
+	return Identity(spec).MatrixKey()
+}
+
+// Key hashes an already-extracted identity, seed included.
+func (id SpecIdentity) Key() (string, error) {
+	return id.hash("spec")
+}
+
+// MatrixKey hashes the identity with the seed normalised out.
+func (id SpecIdentity) MatrixKey() (string, error) {
+	id.Seed = 0
+	return id.hash("matrix")
+}
+
+// hash serialises the identity under a domain tag so the two key
+// namespaces can never collide.
+func (id SpecIdentity) hash(domain string) (string, error) {
+	// encoding/json is canonical here: struct fields serialise in
+	// declaration order and float64s round-trip via the shortest
+	// representation, so equal identities give equal bytes.
+	b, err := json.Marshal(id)
+	if err != nil {
+		return "", fmt.Errorf("store: hashing spec: %w", err)
+	}
+	sum := sha256.Sum256(append([]byte(domain+"\n"), b...))
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,388 @@
+// Package store is the persistent, content-addressed results store
+// for measurement campaigns. The paper's core warning is that cloud
+// performance results decay: baselines drift, so a single-shot result
+// that lives only in process memory cannot support the longitudinal
+// question "does my conclusion still hold?" (F5.2, F5.5). store gives
+// every campaign run a durable on-disk identity so runs can be
+// resumed after interruption and compared across days or months by
+// internal/longitudinal.
+//
+// Layout, one directory per store:
+//
+//	<dir>/runs/<runID>/manifest.json  — schema version, spec identity
+//	                                    + key, platform fingerprints
+//	<dir>/runs/<runID>/cells.jsonl    — one JSON record per completed
+//	                                    cell, append-only
+//
+// The manifest carries two content addresses, both stable hashes of
+// everything that changes what fleet.Run computes (profiles, regimes,
+// repetitions, config, schema version) and nothing that merely
+// changes how it is scheduled: SpecKey includes the seed and gates
+// resume (equal keys mean bit-identical expected results), MatrixKey
+// excludes it and gates longitudinal comparison (equal keys mean "the
+// same campaign on a different day"). Runs of different matrix keys
+// must never be compared, which is exactly the check the drift
+// analyser enforces.
+//
+// Durability model: run creation is atomic (the run directory is
+// staged under a temporary name and renamed into place), each cell is
+// appended as one fsynced line, and loading tolerates a torn trailing
+// line from a crashed writer by ignoring it — the interrupted cell
+// simply re-executes on resume.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"cloudvar/internal/core"
+	"cloudvar/internal/fleet"
+	"cloudvar/internal/trace"
+)
+
+// Manifest describes one stored run. It is written once, at run
+// creation, and never mutated.
+type Manifest struct {
+	// Schema is the on-disk format version of the run.
+	Schema int `json:"schema"`
+	// RunID names the run inside its store (e.g. "2026-07-29").
+	RunID string `json:"run_id"`
+	// SpecKey is the full content address of the campaign spec, seed
+	// included — equal keys mean bit-identical expected results, the
+	// precondition for resume.
+	SpecKey string `json:"spec_key"`
+	// MatrixKey is the seed-independent address — equal keys mean
+	// "the same campaign on a different day", the precondition for
+	// longitudinal comparison.
+	MatrixKey string `json:"matrix_key"`
+	// Spec is the canonical identity the key was computed from, kept
+	// readable so a human can diff two manifests.
+	Spec SpecIdentity `json:"spec"`
+	// Fingerprints holds the F5.2 platform baselines measured when
+	// the run was created, keyed by "cloud/instance". The drift
+	// analyser refuses to trust cross-run comparisons whose
+	// fingerprints diverge.
+	Fingerprints map[string]core.Fingerprint `json:"fingerprints,omitempty"`
+	// CreatedUnix is the caller-supplied creation time (seconds).
+	// Caller-supplied so stores built in tests are reproducible.
+	CreatedUnix int64 `json:"created_unix"`
+}
+
+// CellRecord is one persisted campaign cell. Failed cells are never
+// persisted: an error is a fact about one execution, not about the
+// campaign matrix, and re-executing it on resume is the correct
+// recovery.
+type CellRecord struct {
+	Schema   int    `json:"schema"`
+	Label    string `json:"label"`
+	Cloud    string `json:"cloud"`
+	Instance string `json:"instance"`
+	Regime   string `json:"regime"`
+	Rep      int    `json:"rep"`
+	// Series is the full measurement series; JSON round-trips float64
+	// exactly, so a restored series is bit-identical to the measured
+	// one. Derived statistics are deliberately not stored: summaries
+	// can contain NaN (which JSON cannot carry) and would be redundant
+	// anyway — resume and drift recompute them from the series.
+	Series *trace.Series `json:"series"`
+}
+
+// Store is a directory of runs.
+type Store struct {
+	dir string
+}
+
+var runIDPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+// Open opens (creating if needed) the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) runDir(runID string) string {
+	return filepath.Join(s.dir, "runs", runID)
+}
+
+// Create starts a new run from a spec: it computes the spec key,
+// stages the manifest in a temporary directory and renames it into
+// place, so a run either exists completely or not at all. It fails if
+// the run ID is already taken — resuming an existing run goes through
+// Resume, which re-checks the spec key instead.
+func (s *Store) Create(runID string, spec fleet.CampaignSpec, fingerprints map[string]core.Fingerprint, createdUnix int64) (*Run, error) {
+	if !runIDPattern.MatchString(runID) {
+		return nil, fmt.Errorf("store: run id %q must match %s", runID, runIDPattern)
+	}
+	id := Identity(spec)
+	key, err := id.Key()
+	if err != nil {
+		return nil, err
+	}
+	matrixKey, err := id.MatrixKey()
+	if err != nil {
+		return nil, err
+	}
+	m := Manifest{
+		Schema:       SchemaVersion,
+		RunID:        runID,
+		SpecKey:      key,
+		MatrixKey:    matrixKey,
+		Spec:         id,
+		Fingerprints: fingerprints,
+		CreatedUnix:  createdUnix,
+	}
+	final := s.runDir(runID)
+	if _, err := os.Stat(final); err == nil {
+		return nil, fmt.Errorf("store: run %q already exists (use resume)", runID)
+	}
+	tmp, err := os.MkdirTemp(filepath.Join(s.dir, "runs"), ".staging-")
+	if err != nil {
+		return nil, fmt.Errorf("store: staging run %q: %w", runID, err)
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "manifest.json"), append(b, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return nil, fmt.Errorf("store: committing run %q: %w", runID, err)
+	}
+	return s.openRun(m)
+}
+
+// Resume opens an existing run for appending. spec must hash to the
+// run's recorded key: resuming an interrupted campaign with a
+// different matrix, seed or config would silently mix incomparable
+// cells, the exact failure mode the store exists to prevent.
+func (s *Store) Resume(runID string, spec fleet.CampaignSpec) (*Run, error) {
+	m, err := s.Manifest(runID)
+	if err != nil {
+		return nil, err
+	}
+	key, err := SpecKey(spec)
+	if err != nil {
+		return nil, err
+	}
+	if key != m.SpecKey {
+		return nil, fmt.Errorf("store: run %q was recorded for spec %.12s but the current spec hashes to %.12s — change the spec back or start a new run",
+			runID, m.SpecKey, key)
+	}
+	return s.openRun(m)
+}
+
+// Manifest loads one run's manifest.
+func (s *Store) Manifest(runID string) (Manifest, error) {
+	if !runIDPattern.MatchString(runID) {
+		return Manifest{}, fmt.Errorf("store: run id %q must match %s", runID, runIDPattern)
+	}
+	b, err := os.ReadFile(filepath.Join(s.runDir(runID), "manifest.json"))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("store: run %q: %w", runID, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Manifest{}, fmt.Errorf("store: run %q manifest: %w", runID, err)
+	}
+	if m.Schema != SchemaVersion {
+		return Manifest{}, fmt.Errorf("store: run %q has schema %d, this binary speaks %d", runID, m.Schema, SchemaVersion)
+	}
+	return m, nil
+}
+
+// ListRuns returns every run's manifest, sorted by run ID. Staging
+// leftovers and unreadable runs are skipped with their errors
+// collected into the returned error (the readable manifests are still
+// returned).
+func (s *Store) ListRuns() ([]Manifest, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "runs"))
+	if err != nil {
+		return nil, fmt.Errorf("store: listing runs: %w", err)
+	}
+	var out []Manifest
+	var broken []string
+	for _, e := range entries {
+		if !e.IsDir() || !runIDPattern.MatchString(e.Name()) {
+			continue
+		}
+		m, err := s.Manifest(e.Name())
+		if err != nil {
+			broken = append(broken, fmt.Sprintf("%s (%v)", e.Name(), err))
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RunID < out[j].RunID })
+	if len(broken) > 0 {
+		return out, fmt.Errorf("store: unreadable runs: %s", strings.Join(broken, "; "))
+	}
+	return out, nil
+}
+
+// Cells loads one run's persisted cells in append order, dropping a
+// torn trailing line (a crashed writer) and any duplicate labels
+// (first write wins — later appends of a label can only come from
+// concurrent writers, which the store does not arbitrate between).
+func (s *Store) Cells(runID string) ([]CellRecord, error) {
+	if !runIDPattern.MatchString(runID) {
+		return nil, fmt.Errorf("store: run id %q must match %s", runID, runIDPattern)
+	}
+	path := filepath.Join(s.runDir(runID), "cells.jsonl")
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil // a created-but-never-measured run
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: run %q cells: %w", runID, err)
+	}
+	var out []CellRecord
+	seen := make(map[string]bool)
+	lines := strings.Split(string(b), "\n")
+	complete := len(lines) - 1 // text after the last '\n' is torn
+	for i := 0; i < complete; i++ {
+		line := strings.TrimSpace(lines[i])
+		if line == "" {
+			continue
+		}
+		var rec CellRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("store: run %q cells line %d: %w", runID, i+1, err)
+		}
+		if rec.Schema != SchemaVersion {
+			return nil, fmt.Errorf("store: run %q cell %q has schema %d, this binary speaks %d",
+				runID, rec.Label, rec.Schema, SchemaVersion)
+		}
+		if rec.Series == nil || seen[rec.Label] {
+			continue
+		}
+		seen[rec.Label] = true
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Run is an open, appendable run. It implements fleet.Sink, so it
+// plugs directly into fleet.CampaignSpec.Sink.
+type Run struct {
+	store    *Store
+	manifest Manifest
+
+	mu sync.Mutex
+	f  *os.File
+	// completed caches the first Completed load so callers (a CLI
+	// banner, then fleet.Run) do not re-read and re-decode the whole
+	// cells file.
+	completed map[string]fleet.StoredCell
+}
+
+func (s *Store) openRun(m Manifest) (*Run, error) {
+	path := filepath.Join(s.runDir(m.RunID), "cells.jsonl")
+	// A crashed writer can leave a torn trailing record (no final
+	// newline). Readers already ignore it, but appending after it
+	// would corrupt the next record — drop the torn tail before
+	// opening for append.
+	if err := truncateTornTail(path); err != nil {
+		return nil, fmt.Errorf("store: repairing run %q cells: %w", m.RunID, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening run %q cells: %w", m.RunID, err)
+	}
+	return &Run{store: s, manifest: m, f: f}, nil
+}
+
+// truncateTornTail truncates path to its last complete line. Missing
+// files are fine (a fresh run).
+func truncateTornTail(path string) error {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if i := strings.LastIndexByte(string(b), '\n'); i != len(b)-1 {
+		return os.Truncate(path, int64(i+1))
+	}
+	return nil
+}
+
+// Manifest returns the run's manifest.
+func (r *Run) Manifest() Manifest { return r.manifest }
+
+// Completed implements fleet.Sink: the persisted cells by label. The
+// result is loaded once per open run and cached — it reflects the
+// state at first call and deliberately excludes cells appended
+// through this handle afterwards. Callers must not mutate the
+// returned map.
+func (r *Run) Completed() (map[string]fleet.StoredCell, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.completed != nil {
+		return r.completed, nil
+	}
+	recs, err := r.store.Cells(r.manifest.RunID)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]fleet.StoredCell, len(recs))
+	for _, rec := range recs {
+		out[rec.Label] = fleet.StoredCell{Series: rec.Series}
+	}
+	r.completed = out
+	return out, nil
+}
+
+// Put implements fleet.Sink: append one successful cell as a single
+// fsynced JSONL line. Safe for concurrent use; errored cells are
+// rejected rather than persisted.
+func (r *Run) Put(res fleet.CellResult) error {
+	if res.Err != nil {
+		return fmt.Errorf("store: refusing to persist failed cell %s: %w", res.Cell.Label(), res.Err)
+	}
+	if res.Series == nil {
+		return fmt.Errorf("store: cell %s has no series", res.Cell.Label())
+	}
+	rec := CellRecord{
+		Schema:   SchemaVersion,
+		Label:    res.Cell.Label(),
+		Cloud:    res.Cell.Profile.Cloud,
+		Instance: res.Cell.Profile.Instance,
+		Regime:   res.Cell.Regime.Name,
+		Rep:      res.Cell.Rep,
+		Series:   res.Series,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding cell %s: %w", rec.Label, err)
+	}
+	b = append(b, '\n')
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, err := r.f.Write(b); err != nil {
+		return fmt.Errorf("store: appending cell %s: %w", rec.Label, err)
+	}
+	if err := r.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing cell %s: %w", rec.Label, err)
+	}
+	return nil
+}
+
+// Close releases the run's append handle.
+func (r *Run) Close() error { return r.f.Close() }

@@ -1,0 +1,328 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/fleet"
+	"cloudvar/internal/trace"
+)
+
+// Run must satisfy the orchestrator's persistence interface.
+var _ fleet.Sink = (*Run)(nil)
+
+func testSpec(t *testing.T, seed uint64) fleet.CampaignSpec {
+	t.Helper()
+	ec2, err := cloudmodel.EC2Profile("c5.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet.CampaignSpec{
+		Profiles:    []cloudmodel.Profile{ec2},
+		Regimes:     []trace.Regime{trace.FullSpeed, trace.Send10R30},
+		Repetitions: 2,
+		Config:      cloudmodel.DefaultCampaignConfig(60),
+		Seed:        seed,
+	}
+}
+
+func TestSpecKeyNormalisesDefaults(t *testing.T) {
+	base := testSpec(t, 7)
+
+	explicit := base
+	explicit.Confidence = 0.95
+	explicit.ErrorBound = 0.05
+	scheduled := base
+	scheduled.Workers = 8
+	scheduled.Progress = func(fleet.Progress) {}
+
+	want, err := SpecKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, spec := range map[string]fleet.CampaignSpec{
+		"explicit statistical defaults": explicit,
+		"scheduling-only fields":        scheduled,
+	} {
+		got, err := SpecKey(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s changed the spec key", name)
+		}
+	}
+
+	// Nil regimes must hash like the explicit standard list.
+	allRegimes := base
+	allRegimes.Regimes = nil
+	explicitAll := base
+	explicitAll.Regimes = trace.Regimes()
+	a, _ := SpecKey(allRegimes)
+	b, _ := SpecKey(explicitAll)
+	if a != b {
+		t.Error("nil regimes and explicit standard regimes hash differently")
+	}
+}
+
+func TestSpecKeySeparatesContent(t *testing.T) {
+	base := testSpec(t, 7)
+	baseKey, err := SpecKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	otherSeed := base
+	otherSeed.Seed = 8
+	otherReps := base
+	otherReps.Repetitions = 3
+	otherConfig := base
+	otherConfig.Config.BinSec = 5
+	for name, spec := range map[string]fleet.CampaignSpec{
+		"seed":        otherSeed,
+		"repetitions": otherReps,
+		"config":      otherConfig,
+	} {
+		k, err := SpecKey(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == baseKey {
+			t.Errorf("changing %s did not change the spec key", name)
+		}
+	}
+}
+
+func TestMatrixKeyIgnoresSeedOnly(t *testing.T) {
+	base := testSpec(t, 7)
+	otherSeed := testSpec(t, 8)
+
+	mk1, err := MatrixKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk2, err := MatrixKey(otherSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk1 != mk2 {
+		t.Error("matrix key depends on the seed")
+	}
+	sk1, _ := SpecKey(base)
+	sk2, _ := SpecKey(otherSeed)
+	if sk1 == sk2 {
+		t.Error("spec key ignores the seed")
+	}
+	if sk1 == mk1 {
+		t.Error("spec and matrix key namespaces collide")
+	}
+
+	otherMatrix := testSpec(t, 7)
+	otherMatrix.Repetitions = 3
+	mk3, _ := MatrixKey(otherMatrix)
+	if mk3 == mk1 {
+		t.Error("matrix key ignores the repetition count")
+	}
+}
+
+func TestCreateResumeRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(t, 7)
+
+	run, err := st.Create("day1", spec, nil, 1700000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create("day1", spec, nil, 1700000000); err == nil {
+		t.Fatal("duplicate run id should be rejected")
+	}
+
+	// Persist the real campaign through the sink.
+	spec.Sink = run
+	res, err := fleet.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cells, err := st.Cells("day1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(res.Cells) {
+		t.Fatalf("%d cells persisted, want %d", len(cells), len(res.Cells))
+	}
+	for i, rec := range cells {
+		want := res.Cells[i]
+		if rec.Label != want.Cell.Label() {
+			t.Errorf("cell %d label %q, want %q", i, rec.Label, want.Cell.Label())
+		}
+		if rec.Series.Label != want.Series.Label || len(rec.Series.Points) != len(want.Series.Points) {
+			t.Errorf("cell %s series did not round-trip", rec.Label)
+		}
+		for j := range rec.Series.Points {
+			if rec.Series.Points[j] != want.Series.Points[j] {
+				t.Fatalf("cell %s point %d changed across the JSON round-trip", rec.Label, j)
+			}
+		}
+	}
+
+	// Resume with the same spec succeeds; a different seed is the
+	// stream-splicing hazard and must be rejected.
+	spec.Sink = nil
+	r2, err := st.Resume("day1", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := r2.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != len(res.Cells) {
+		t.Fatalf("Completed returned %d cells, want %d", len(done), len(res.Cells))
+	}
+	r2.Close()
+	if _, err := st.Resume("day1", testSpec(t, 99)); err == nil {
+		t.Fatal("resume with a different seed should be rejected")
+	}
+	if _, err := st.Resume("day1", func() fleet.CampaignSpec {
+		s := testSpec(t, 7)
+		s.Config.BinSec = 5
+		return s
+	}()); err == nil {
+		t.Fatal("resume with a different config should be rejected")
+	}
+
+	ms, err := st.ListRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].RunID != "day1" || ms[0].CreatedUnix != 1700000000 {
+		t.Fatalf("ListRuns = %+v", ms)
+	}
+	wantKey, _ := SpecKey(testSpec(t, 7))
+	wantMatrix, _ := MatrixKey(testSpec(t, 7))
+	if ms[0].SpecKey != wantKey || ms[0].MatrixKey != wantMatrix {
+		t.Fatal("manifest keys do not match the spec's")
+	}
+}
+
+func TestCellsToleratesTornTrailingLine(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(t, 7)
+	run, err := st.Create("day1", spec, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Sink = run
+	if _, err := fleet.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	run.Close()
+
+	before, err := st.Cells("day1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a torn, newline-less trailing
+	// record must be ignored, not fail the load.
+	path := filepath.Join(dir, "runs", "day1", "cells.jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":1,"label":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	after, err := st.Cells("day1")
+	if err != nil {
+		t.Fatalf("torn trailing line should be tolerated: %v", err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("%d cells after tear, want %d", len(after), len(before))
+	}
+
+	// Now tear a real record: keep the first complete line plus a
+	// truncated second one. Reopening for append must drop the torn
+	// tail so the resumed cells do not splice onto it — after the
+	// resume, every record in the file must parse.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstNL := strings.IndexByte(string(raw), '\n')
+	if err := os.WriteFile(path, raw[:firstNL+1+30], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec2 := testSpec(t, 7)
+	reopened, err := st.Resume("day1", spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2.Sink = reopened
+	res, err := fleet.Run(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	reopened.Close()
+	healed, err := st.Cells("day1")
+	if err != nil {
+		t.Fatalf("cells file corrupt after resume over a torn tail: %v", err)
+	}
+	if len(healed) != len(before) {
+		t.Fatalf("%d cells after healing resume, want %d", len(healed), len(before))
+	}
+}
+
+func TestPutRejectsFailedCells(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(t, 7)
+	run, err := st.Create("day1", spec, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	bad := fleet.CellResult{Cell: spec.Cells()[0], Err: os.ErrInvalid}
+	if err := run.Put(bad); err == nil {
+		t.Fatal("failed cell should not persist")
+	}
+	if cells, _ := st.Cells("day1"); len(cells) != 0 {
+		t.Fatalf("failed cell reached disk: %d records", len(cells))
+	}
+}
+
+func TestRunIDValidation(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", ".hidden", "a/b", "a b", strings.Repeat("x", 5) + "/../y"} {
+		if _, err := st.Create(id, testSpec(t, 7), nil, 0); err == nil {
+			t.Errorf("run id %q should be rejected", id)
+		}
+	}
+}
