@@ -71,8 +71,9 @@ func BenchmarkFigure19Depletion(b *testing.B)  { benchArtifact(b, "figure19", 0.
 
 // --- Extensions (beyond the paper; DESIGN.md substitutions table) ---
 
-func BenchmarkExtensionCPUBurst(b *testing.B) { benchArtifact(b, "ext-cpuburst", 0.5) }
-func BenchmarkExtensionDiurnal(b *testing.B)  { benchArtifact(b, "ext-diurnal", 0.1) }
+func BenchmarkExtensionCPUBurst(b *testing.B)  { benchArtifact(b, "ext-cpuburst", 0.5) }
+func BenchmarkExtensionDiurnal(b *testing.B)   { benchArtifact(b, "ext-diurnal", 0.1) }
+func BenchmarkExtensionScenarios(b *testing.B) { benchArtifact(b, "ext-scenarios", 0.1) }
 
 // --- Ablations (DESIGN.md §5) ---
 

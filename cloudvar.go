@@ -17,6 +17,7 @@
 //     (internal/spark, internal/workloads)
 //   - the persistent campaign store and longitudinal drift analysis
 //     (internal/store, internal/longitudinal)
+//   - composable adverse-condition scenarios (internal/scenario)
 //   - figure/table regeneration (internal/figures)
 //
 // Quick start:
@@ -39,6 +40,7 @@ import (
 	"cloudvar/internal/fleet"
 	"cloudvar/internal/longitudinal"
 	"cloudvar/internal/netem"
+	"cloudvar/internal/scenario"
 	"cloudvar/internal/simrand"
 	"cloudvar/internal/spark"
 	"cloudvar/internal/stats"
@@ -269,6 +271,62 @@ var (
 	// FingerprintCampaign measures the F5.2 baseline of every profile
 	// in a spec, on substreams independent of all campaign cells.
 	FingerprintCampaign = fleet.FingerprintProfiles
+)
+
+// Adverse-condition scenarios: named, seedable, composable.
+type (
+	// AdverseScenario is a named bundle of adverse-condition
+	// primitives that expands a CampaignSpec into time-varying shaper
+	// schedules.
+	AdverseScenario = scenario.Scenario
+	// ScenarioCondition is one composable adverse-condition primitive.
+	ScenarioCondition = scenario.Condition
+	// ScenarioEnv is the campaign context conditions compile against.
+	ScenarioEnv = scenario.Env
+	// ScenarioIdentity is the name+params record carried into the
+	// store manifest.
+	ScenarioIdentity = fleet.ScenarioID
+)
+
+// Scenario condition primitives, for composing new scenarios.
+type (
+	// ScenarioOverlay is a constant capacity depression.
+	ScenarioOverlay = scenario.Overlay
+	// ScenarioWindow is a depression inside one time window.
+	ScenarioWindow = scenario.Window
+	// ScenarioRamp moves capacity linearly between two factors.
+	ScenarioRamp = scenario.Ramp
+	// ScenarioDiurnal is the day/night cycle condition.
+	ScenarioDiurnal = scenario.Diurnal
+	// ScenarioCorrelate is the correlated cross-VM episode condition.
+	ScenarioCorrelate = scenario.Correlate
+	// ScenarioPerVM is the per-VM persistent slowdown condition.
+	ScenarioPerVM = scenario.PerVM
+	// ScenarioFlipRegime is the mid-campaign token-bucket drain.
+	ScenarioFlipRegime = scenario.FlipRegime
+)
+
+// Scenario registry and primitives.
+var (
+	// ScenarioByName resolves a registered scenario.
+	ScenarioByName = scenario.ByName
+	// ScenarioNames lists the registered scenario names, sorted.
+	ScenarioNames = scenario.Names
+	// AllScenarios returns every registered scenario in name order.
+	AllScenarios = scenario.All
+	// RegisterScenario adds a user-defined scenario to the registry.
+	RegisterScenario = scenario.Register
+	// NoisyNeighborScenario builds the correlated cross-VM depression
+	// scenario with explicit parameters.
+	NoisyNeighborScenario = scenario.NoisyNeighbor
+	// DiurnalCongestionScenario builds the day/night cycle scenario.
+	DiurnalCongestionScenario = scenario.DiurnalCongestion
+	// RegimeFlipScenario builds the mid-campaign bucket-drain scenario.
+	RegimeFlipScenario = scenario.RegimeFlip
+	// LossBurstScenario builds the correlated loss-episode scenario.
+	LossBurstScenario = scenario.LossBurst
+	// StragglersScenario builds the per-VM slowdown scenario.
+	StragglersScenario = scenario.Stragglers
 )
 
 // Figure regeneration.

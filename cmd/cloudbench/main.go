@@ -6,6 +6,7 @@
 //	cloudbench [-cloud ec2,gce,...] [-instance c5.xlarge|8|...] \
 //	           [-regime full-speed|10-30|5-30|all] [-hours H] \
 //	           [-reps N] [-workers N] [-seed N] [-csv FILE] \
+//	           [-scenario NAME | -scenario-list] \
 //	           [-store DIR -run-id ID [-resume]]
 //
 // -cloud takes a comma-separated list; -instance takes either a single
@@ -15,6 +16,13 @@
 // bounded worker pool; per-cell randomness is derived from the seed
 // and the cell's identity, so output is bit-identical at any -workers
 // value.
+//
+// -scenario expands the campaign with a named adverse-condition
+// scenario from the internal/scenario registry (-scenario-list shows
+// them): every VM path is wrapped with the scenario's time-varying
+// conditions, and the scenario identity becomes part of the spec's
+// content address, so stored runs of different scenarios can never be
+// compared by cmd/drift.
 //
 // With -store, every completed cell is persisted to the named results
 // store under -run-id, together with a manifest recording the spec's
@@ -30,8 +38,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -40,27 +50,45 @@ import (
 	"cloudvar/internal/cloudmodel"
 	"cloudvar/internal/core"
 	"cloudvar/internal/fleet"
+	"cloudvar/internal/scenario"
 	"cloudvar/internal/store"
 	"cloudvar/internal/trace"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	clouds := flag.String("cloud", "ec2", "comma-separated cloud profiles: ec2, gce, hpccloud")
-	instances := flag.String("instance", "", "instance per cloud: EC2 c5.* name, or core count for gce/hpccloud; single value or list aligned with -cloud")
-	regime := flag.String("regime", "all", "access regime: full-speed, 10-30, 5-30 or all")
-	hours := flag.Float64("hours", 6, "emulated campaign duration in hours")
-	reps := flag.Int("reps", 1, "fresh-pair repetitions per (cloud, regime) cell")
-	workers := flag.Int("workers", 0, "concurrent campaign cells; <= 0 means GOMAXPROCS")
-	seed := flag.Uint64("seed", 1, "random seed")
-	csvPath := flag.String("csv", "", "write the raw series to this CSV file (single-cell run only)")
-	storeDir := flag.String("store", "", "persist results to this store directory (requires -run-id)")
-	runID := flag.String("run-id", "", "name of the stored run (e.g. a date)")
-	resume := flag.Bool("resume", false, "reopen an interrupted stored run and execute only its missing cells")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cloudbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	clouds := fs.String("cloud", "ec2", "comma-separated cloud profiles: ec2, gce, hpccloud")
+	instances := fs.String("instance", "", "instance per cloud: EC2 c5.* name, or core count for gce/hpccloud; single value or list aligned with -cloud")
+	regime := fs.String("regime", "all", "access regime: full-speed, 10-30, 5-30 or all")
+	hours := fs.Float64("hours", 6, "emulated campaign duration in hours")
+	reps := fs.Int("reps", 1, "fresh-pair repetitions per (cloud, regime) cell")
+	workers := fs.Int("workers", 0, "concurrent campaign cells; <= 0 means GOMAXPROCS")
+	seed := fs.Uint64("seed", 1, "random seed")
+	csvPath := fs.String("csv", "", "write the raw series to this CSV file (single-cell run only)")
+	scenarioName := fs.String("scenario", "", "adverse-condition scenario to expand the campaign with (see -scenario-list)")
+	scenarioList := fs.Bool("scenario-list", false, "list registered scenarios and exit")
+	storeDir := fs.String("store", "", "persist results to this store directory (requires -run-id)")
+	runID := fs.String("run-id", "", "name of the stored run (e.g. a date)")
+	resume := fs.Bool("resume", false, "reopen an interrupted stored run and execute only its missing cells")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 1
+	}
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "cloudbench:", err)
+		return 1
+	}
+
+	if *scenarioList {
+		return listScenarios(stdout)
+	}
 
 	profiles, err := buildProfiles(*clouds, *instances)
 	if err != nil {
@@ -84,16 +112,26 @@ func run() int {
 		Seed:        *seed,
 		Workers:     *workers,
 	}
+	if *scenarioName != "" {
+		sc, err := scenario.ByName(*scenarioName)
+		if err != nil {
+			return fatal(err)
+		}
+		if spec, err = sc.Expand(spec); err != nil {
+			return fatal(err)
+		}
+		fmt.Fprintf(stdout, "scenario: %s — %s\n", spec.Scenario, sc.Description)
+	}
 	cells := spec.Cells()
 	if *csvPath != "" && len(cells) != 1 {
 		return fatal(fmt.Errorf("-csv needs a single cell (one cloud, one regime, -reps 1); matrix has %d", len(cells)))
 	}
 
 	effReps := len(cells) / (len(profiles) * len(regimes))
-	fmt.Printf("campaign: %d cells (%d profiles x %d regimes x %d reps), %g emulated hours each, seed %d\n\n",
+	fmt.Fprintf(stdout, "campaign: %d cells (%d profiles x %d regimes x %d reps), %g emulated hours each, seed %d\n\n",
 		len(cells), len(profiles), len(regimes), effReps, *hours, *seed)
 
-	run, err := openStoreRun(*storeDir, *runID, *resume, spec)
+	run, err := openStoreRun(*storeDir, *runID, *resume, spec, stdout)
 	if err != nil {
 		return fatal(err)
 	}
@@ -104,8 +142,8 @@ func run() int {
 		if err != nil {
 			return fatal(err)
 		}
-		fmt.Printf("store: run %q (spec %.12s), %d/%d cells already persisted\n\n",
-			*runID, run.Manifest().SpecKey, len(done), len(cells))
+		fmt.Fprintf(stdout, "store: run %q (spec %.12s, scenario %s), %d/%d cells already persisted\n\n",
+			*runID, run.Manifest().SpecKey, run.Manifest().Spec.Scenario, len(done), len(cells))
 	}
 
 	res, err := fleet.Run(spec)
@@ -113,35 +151,35 @@ func run() int {
 		return fatal(err)
 	}
 
-	fmt.Printf("%-32s %8s %8s %8s %8s %8s %8s %10s\n",
+	fmt.Fprintf(stdout, "%-32s %8s %8s %8s %8s %8s %8s %10s\n",
 		"cell", "p1", "p25", "p50", "p75", "p99", "CoV[%]", "retrans")
 	for _, c := range res.Cells {
 		if c.Err != nil {
-			fmt.Printf("%-32s FAILED: %v\n", c.Cell.Label(), c.Err)
+			fmt.Fprintf(stdout, "%-32s FAILED: %v\n", c.Cell.Label(), c.Err)
 			continue
 		}
 		sum := c.Summary
-		fmt.Printf("%-32s %8.2f %8.2f %8.2f %8.2f %8.2f %8.1f %10d\n",
+		fmt.Fprintf(stdout, "%-32s %8.2f %8.2f %8.2f %8.2f %8.2f %8.1f %10d\n",
 			c.Cell.Label(), sum.P01, sum.P25, sum.Median, sum.P75, sum.P99,
 			sum.CoV*100, c.Series.RetransmissionTotal())
 		if *csvPath != "" {
 			if err := writeCSV(*csvPath, c.Series); err != nil {
 				return fatal(err)
 			}
-			fmt.Printf("raw series written to %s (%d points)\n", *csvPath, len(c.Series.Points))
+			fmt.Fprintf(stdout, "raw series written to %s (%d points)\n", *csvPath, len(c.Series.Points))
 		}
 	}
 
 	if spec.Repetitions > 1 {
-		fmt.Printf("\nper-(cloud, regime) repetition aggregates (mean bandwidth per fresh pair):\n")
-		fmt.Printf("%-28s %5s %8s %8s %18s %10s\n", "group", "n", "median", "CoV[%]", "95% median CI", "converged")
+		fmt.Fprintf(stdout, "\nper-(cloud, regime) repetition aggregates (mean bandwidth per fresh pair):\n")
+		fmt.Fprintf(stdout, "%-28s %5s %8s %8s %18s %10s\n", "group", "n", "median", "CoV[%]", "95% median CI", "converged")
 		for _, g := range res.Groups {
 			r := g.Result
 			ci := "n/a"
 			if r.MedianCIErr == nil {
 				ci = fmt.Sprintf("[%.2f, %.2f]", r.MedianCI.Lo, r.MedianCI.Hi)
 			}
-			fmt.Printf("%-28s %5d %8.2f %8.1f %18s %10v\n",
+			fmt.Fprintf(stdout, "%-28s %5d %8.2f %8.1f %18s %10v\n",
 				r.Name, r.Summary.N, r.Summary.Median, r.Summary.CoV*100, ci, r.Converged)
 		}
 	}
@@ -150,9 +188,9 @@ func run() int {
 	// deterministic throttle.
 	for _, p := range profiles {
 		if p.Cloud == "ec2" {
-			fmt.Println("\nnote: EC2 profiles carry token-bucket state; rest VMs or allocate fresh")
-			fmt.Println("      ones between experiments (paper F5.4), and record the Figure 11")
-			fmt.Println("      bucket parameters alongside any published numbers (F5.2).")
+			fmt.Fprintln(stdout, "\nnote: EC2 profiles carry token-bucket state; rest VMs or allocate fresh")
+			fmt.Fprintln(stdout, "      ones between experiments (paper F5.4), and record the Figure 11")
+			fmt.Fprintln(stdout, "      bucket parameters alongside any published numbers (F5.2).")
 			break
 		}
 	}
@@ -164,13 +202,22 @@ func run() int {
 				persisted++
 			}
 		}
-		fmt.Printf("\nstore: %d/%d cells persisted under run %q; compare runs with cmd/drift\n",
+		fmt.Fprintf(stdout, "\nstore: %d/%d cells persisted under run %q; compare runs with cmd/drift\n",
 			persisted, len(res.Cells), *runID)
 	}
 
 	if err := res.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "cloudbench:", err)
+		fmt.Fprintln(stderr, "cloudbench:", err)
 		return 1
+	}
+	return 0
+}
+
+// listScenarios renders the scenario registry.
+func listScenarios(stdout io.Writer) int {
+	fmt.Fprintf(stdout, "%-20s %-44s %s\n", "scenario", "identity (name + params, hashed into the spec)", "description")
+	for _, sc := range scenario.All() {
+		fmt.Fprintf(stdout, "%-20s %-44s %s\n", sc.Name, sc.ID(), sc.Description)
 	}
 	return 0
 }
@@ -180,7 +227,7 @@ func run() int {
 // store verifies the spec still hashes to the run's recorded key), or
 // a freshly created run whose manifest records the F5.2 platform
 // fingerprints of every profile in the matrix.
-func openStoreRun(dir, runID string, resume bool, spec fleet.CampaignSpec) (*store.Run, error) {
+func openStoreRun(dir, runID string, resume bool, spec fleet.CampaignSpec, stdout io.Writer) (*store.Run, error) {
 	if dir == "" {
 		if resume || runID != "" {
 			return nil, fmt.Errorf("-run-id/-resume need -store")
@@ -197,7 +244,7 @@ func openStoreRun(dir, runID string, resume bool, spec fleet.CampaignSpec) (*sto
 	if resume {
 		return st.Resume(runID, spec)
 	}
-	fmt.Printf("store: fingerprinting %d profile(s) for the run manifest (F5.2)...\n", len(spec.Profiles))
+	fmt.Fprintf(stdout, "store: fingerprinting %d profile(s) for the run manifest (F5.2)...\n", len(spec.Profiles))
 	fps, err := fleet.FingerprintProfiles(spec, core.FingerprintConfig{})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cloudvar/internal/store"
+)
 
 func TestBuildProfile(t *testing.T) {
 	cases := []struct {
@@ -98,5 +104,98 @@ func TestSplitList(t *testing.T) {
 	}
 	if out := splitList(""); out != nil {
 		t.Fatalf("splitList(\"\") = %v, want nil", out)
+	}
+}
+
+// TestRunScenarioEndToEnd is the acceptance path: a -scenario campaign
+// runs end to end into a store and the manifest carries the scenario
+// identity.
+func TestRunScenarioEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-cloud", "ec2", "-regime", "full-speed", "-hours", "0.02",
+		"-scenario", "noisy-neighbor", "-seed", "7",
+		"-store", dir, "-run-id", "noisy1",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"scenario: noisy-neighbor(", "cells persisted under run \"noisy1\""} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.Manifest("noisy1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spec.Scenario.Name != "noisy-neighbor" {
+		t.Fatalf("manifest scenario = %+v, want noisy-neighbor", m.Spec.Scenario)
+	}
+	if len(m.Spec.Scenario.Params) == 0 {
+		t.Fatal("manifest scenario carries no params")
+	}
+	cells, err := st.Cells("noisy1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("no cells persisted")
+	}
+
+	// The same run ID resumes only under the same scenario.
+	if code := run([]string{
+		"-cloud", "ec2", "-regime", "full-speed", "-hours", "0.02", "-seed", "7",
+		"-store", dir, "-run-id", "noisy1", "-resume",
+	}, &out, &errOut); code == 0 {
+		t.Fatal("resume without the scenario should be rejected (different spec key)")
+	}
+}
+
+// TestRunScenarioDeterministicAcrossWorkers pins the CLI-level
+// determinism contract for expanded campaigns.
+func TestRunScenarioDeterministicAcrossWorkers(t *testing.T) {
+	output := func(workers string) string {
+		t.Helper()
+		var out, errOut bytes.Buffer
+		code := run([]string{
+			"-cloud", "hpccloud", "-regime", "full-speed", "-hours", "0.05",
+			"-scenario", "loss-burst", "-seed", "3", "-reps", "4", "-workers", workers,
+		}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		return out.String()
+	}
+	if output("1") != output("8") {
+		t.Fatal("-scenario output differs between -workers 1 and 8")
+	}
+}
+
+func TestRunScenarioList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scenario-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"noisy-neighbor", "diurnal-congestion", "regime-flip", "loss-burst", "stragglers"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("scenario list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scenario", "quiet-day"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown scenario exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown scenario") {
+		t.Errorf("stderr: %s", errOut.String())
 	}
 }

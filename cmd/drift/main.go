@@ -106,14 +106,15 @@ func listRuns(st *store.Store, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "drift:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "%-20s %-14s %-14s %6s %6s\n", "run", "matrix", "spec", "seed", "cells")
+	fmt.Fprintf(stdout, "%-20s %-14s %-14s %6s %6s %s\n", "run", "matrix", "spec", "seed", "cells", "scenario")
 	for _, m := range manifests {
 		cells, cellsErr := st.Cells(m.RunID)
 		n := fmt.Sprintf("%d", len(cells))
 		if cellsErr != nil {
 			n = "ERR"
 		}
-		fmt.Fprintf(stdout, "%-20s %-14.12s %-14.12s %6d %6s\n", m.RunID, m.MatrixKey, m.SpecKey, m.Spec.Seed, n)
+		fmt.Fprintf(stdout, "%-20s %-14.12s %-14.12s %6d %6s %s\n",
+			m.RunID, m.MatrixKey, m.SpecKey, m.Spec.Seed, n, m.Spec.Scenario)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "drift:", err)

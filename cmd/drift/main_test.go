@@ -7,6 +7,7 @@ import (
 
 	"cloudvar/internal/cloudmodel"
 	"cloudvar/internal/fleet"
+	"cloudvar/internal/scenario"
 	"cloudvar/internal/store"
 	"cloudvar/internal/trace"
 )
@@ -99,5 +100,75 @@ func TestRunErrors(t *testing.T) {
 		if code := run(args, &out, &errOut); code == 0 {
 			t.Errorf("run(%v) should fail", args)
 		}
+	}
+}
+
+// TestRunRefusesMismatchedScenarios seeds one quiet and one
+// noisy-neighbor run and checks drift refuses the comparison, naming
+// the scenario rather than only the opaque matrix hash.
+func TestRunRefusesMismatchedScenarios(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec2, err := cloudmodel.EC2Profile("c5.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fleet.CampaignSpec{
+		Profiles:    []cloudmodel.Profile{ec2},
+		Regimes:     []trace.Regime{trace.FullSpeed},
+		Repetitions: 2,
+		Config:      cloudmodel.DefaultCampaignConfig(60),
+		Seed:        1,
+	}
+	quiet := base
+	noisy, err := func() (fleet.CampaignSpec, error) {
+		sc, err := scenario.ByName("noisy-neighbor")
+		if err != nil {
+			return base, err
+		}
+		s := base
+		s.Seed = 2
+		return sc.Expand(s)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, spec := range map[string]fleet.CampaignSpec{"quiet": quiet, "noisy": noisy} {
+		run, err := st.Create(id, spec, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Sink = run
+		res, err := fleet.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		run.Close()
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-store", dir, "-runs", "noisy,quiet"}, &out, &errOut); code != 1 {
+		t.Fatalf("mismatched scenarios exited %d, want 1", code)
+	}
+	for _, want := range []string{"scenario", "noisy-neighbor"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("stderr does not name the %s: %s", want, errOut.String())
+		}
+	}
+
+	// -list shows the scenario column for both runs.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-store", dir, "-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "noisy-neighbor(") || !strings.Contains(out.String(), "none") {
+		t.Errorf("-list missing scenario identities:\n%s", out.String())
 	}
 }

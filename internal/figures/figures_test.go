@@ -36,7 +36,7 @@ func TestScaledHelpers(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"ext-cpuburst", "ext-diurnal",
+		"ext-cpuburst", "ext-diurnal", "ext-scenarios",
 		"figure10", "figure11", "figure12", "figure13", "figure14",
 		"figure15", "figure16", "figure17", "figure18", "figure19",
 		"figure1a", "figure1b", "figure2", "figure3a", "figure3b",
@@ -82,39 +82,9 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
-// TestSurveyFigures checks the fast artifacts in detail.
-func TestSurveyFigures(t *testing.T) {
-	t2, err := Generate("table2", quick)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if t2.Rows[0][0] != "1867" || t2.Rows[0][2] != "44" {
-		t.Errorf("table2 funnel row: %v", t2.Rows[0])
-	}
-
-	f1a, err := Generate("figure1a", quick)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(f1a.Rows) != 3 {
-		t.Fatalf("figure1a rows: %d", len(f1a.Rows))
-	}
-	underspec, err := strconv.ParseFloat(f1a.Rows[2][1], 64)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if underspec < 55 {
-		t.Errorf("under-specification %% = %g, want >60-ish", underspec)
-	}
-
-	f2, err := Generate("figure2", quick)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(f2.Rows) != 8 {
-		t.Errorf("figure2 should have 8 clouds, got %d", len(f2.Rows))
-	}
-}
+// The survey artifacts' former spot checks (exact funnel cells, row
+// counts, threshold samples) are subsumed by the byte-exact goldens
+// in golden_test.go, which pin every cell instead of a sample.
 
 func TestFigure14Validation(t *testing.T) {
 	tbl, err := Generate("figure14", quick)

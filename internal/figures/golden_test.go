@@ -1,0 +1,65 @@
+package figures
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/golden from current output")
+
+// goldenArtifacts are the artifacts pinned byte-for-byte. They are
+// the fast, fully deterministic ones (survey tables plus the scenario
+// sweep), rendered at the quick config every test already uses. A
+// golden is strictly stronger than the spot checks these artifacts
+// used to get: any drift in any cell — numeric formatting, row order,
+// notes — fails the diff, not just the sampled cells.
+var goldenArtifacts = []string{
+	"table1", "table2", "figure1a", "figure1b", "figure2", "figure14",
+	"ext-scenarios",
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".golden")
+}
+
+// TestGoldenArtifacts renders each pinned artifact and diffs it
+// against its committed fixture. Regenerate intentionally changed
+// fixtures with:
+//
+//	go test ./internal/figures -run TestGoldenArtifacts -update
+func TestGoldenArtifacts(t *testing.T) {
+	for _, id := range goldenArtifacts {
+		t.Run(id, func(t *testing.T) {
+			tbl, err := Generate(id, quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tbl.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := goldenPath(id)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, buf.Len())
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s drifted from its golden.\n--- got ---\n%s\n--- want ---\n%s\nIf the change is intentional, rerun with -update.",
+					id, buf.Bytes(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package figures
+
+import (
+	"fmt"
+
+	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/fleet"
+	"cloudvar/internal/scenario"
+	"cloudvar/internal/stats"
+	"cloudvar/internal/trace"
+)
+
+func init() {
+	register("ext-scenarios", ExtScenarios)
+}
+
+// ExtScenarios sweeps every registered adverse-condition scenario over
+// one small campaign and contrasts it with the undisturbed baseline —
+// the summary a reader needs before choosing a scenario for their own
+// reproducibility experiment: how much median bandwidth it costs, how
+// much variability it injects, and how deep its worst bins go.
+// (Extension artifact: not a figure in the paper; the scenario layer
+// generates new experiments rather than replaying published ones.)
+func ExtScenarios(cfg Config) (Table, error) {
+	hpc, err := cloudmodel.HPCCloudProfile(8)
+	if err != nil {
+		return Table{}, err
+	}
+	baseSpec := fleet.CampaignSpec{
+		Profiles:    []cloudmodel.Profile{hpc},
+		Regimes:     []trace.Regime{trace.FullSpeed},
+		Repetitions: cfg.scaled(4, 2),
+		Config:      cloudmodel.DefaultCampaignConfig(cfg.scaledF(3600, 600)),
+		Seed:        cfg.Seed,
+	}
+
+	measure := func(spec fleet.CampaignSpec) (stats.Summary, error) {
+		res, err := fleet.Run(spec)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		if err := res.Err(); err != nil {
+			return stats.Summary{}, err
+		}
+		var all []float64
+		for _, c := range res.Cells {
+			all = append(all, c.Series.Bandwidths()...)
+		}
+		return stats.Summarize(all), nil
+	}
+
+	t := Table{
+		ID:      "ext-scenarios",
+		Title:   "EXTENSION — adverse-condition scenarios vs the quiet baseline (HPCCloud 8-core, full-speed)",
+		Columns: []string{"Scenario", "Median Gbps", "CoV [%]", "p01 Gbps", "dMedian [%]"},
+	}
+
+	baseline, err := measure(baseSpec)
+	if err != nil {
+		return Table{}, err
+	}
+	t.AddRow("baseline", f(baseline.Median), f1(baseline.CoV*100), f(baseline.P01), f1(0))
+
+	for _, sc := range scenario.All() {
+		spec, err := sc.Expand(baseSpec)
+		if err != nil {
+			return t, fmt.Errorf("figures: expanding %s: %w", sc.Name, err)
+		}
+		sum, err := measure(spec)
+		if err != nil {
+			return t, fmt.Errorf("figures: measuring %s: %w", sc.Name, err)
+		}
+		shift := 0.0
+		if baseline.Median != 0 {
+			shift = (sum.Median/baseline.Median - 1) * 100
+		}
+		t.AddRow(sc.Name, f(sum.Median), f1(sum.CoV*100), f(sum.P01), f1(shift))
+		t.AddNote("%s: %s", sc.ID(), sc.Description)
+	}
+	t.AddNote("every scenario is seedable and replayable: equal seeds give bit-identical tables")
+	return t, nil
+}

@@ -18,6 +18,8 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"cloudvar/internal/cloudmodel"
@@ -52,6 +54,12 @@ type CampaignSpec struct {
 	// (zero takes the paper defaults 0.95 and 0.05).
 	Confidence float64
 	ErrorBound float64
+	// Scenario records the adverse-condition scenario the profiles
+	// were expanded with (internal/scenario); zero for plain
+	// campaigns. fleet never acts on it — it is carried so spec
+	// hashing (internal/store) makes runs of different scenarios
+	// incomparable, exactly like a changed matrix.
+	Scenario ScenarioID
 	// Progress, when non-nil, is invoked serially (under a lock) as
 	// each cell finishes, in completion order.
 	Progress func(ev Progress)
@@ -62,6 +70,49 @@ type CampaignSpec struct {
 	// substream, a resumed run is bit-identical to an uninterrupted
 	// one. Sink and Progress do not participate in spec identity.
 	Sink Sink
+}
+
+// ScenarioID is the declarative identity of an adverse-condition
+// scenario: its registry name plus the named numeric parameters it was
+// instantiated with. It lives here rather than in internal/scenario so
+// the orchestrator and store can carry it without depending on the
+// scenario engine. encoding/json serialises the params map with sorted
+// keys, so equal identities hash identically in the spec key.
+type ScenarioID struct {
+	Name   string             `json:"name"`
+	Params map[string]float64 `json:"params,omitempty"`
+	// Conditions are the stable IDs of the composed primitives in
+	// application order (e.g. "window(start=3600,end=7200,depth=0.7)").
+	// They encode every compiled parameter, so two scenarios sharing a
+	// name and params but differing in structure — easy to produce
+	// with hand-rolled scenarios whose Params drift from their
+	// Conditions — can never collide in the spec keys.
+	Conditions []string `json:"conditions,omitempty"`
+}
+
+// IsZero reports whether no scenario was applied.
+func (s ScenarioID) IsZero() bool {
+	return s.Name == "" && len(s.Params) == 0 && len(s.Conditions) == 0
+}
+
+// String renders "name(k=v, ...)" with sorted params, or "none".
+func (s ScenarioID) String() string {
+	if s.IsZero() {
+		return "none"
+	}
+	if len(s.Params) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%g", k, s.Params[k])
+	}
+	return s.Name + "(" + strings.Join(parts, ", ") + ")"
 }
 
 // Sink is the persistence hook for campaign cells. internal/store

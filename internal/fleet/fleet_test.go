@@ -1,4 +1,4 @@
-package fleet
+package fleet_test
 
 import (
 	"math"
@@ -6,83 +6,38 @@ import (
 	"sync"
 	"testing"
 
-	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/fleet"
 	"cloudvar/internal/netem"
 	"cloudvar/internal/simrand"
+	"cloudvar/internal/testutil"
 	"cloudvar/internal/trace"
 )
 
-// testSpec builds a small but real matrix: two clouds, all three
-// regimes, two repetitions — 12 cells.
-func testSpec(t *testing.T, workers int) CampaignSpec {
-	t.Helper()
-	ec2, err := cloudmodel.EC2Profile("c5.xlarge")
-	if err != nil {
-		t.Fatal(err)
-	}
-	gce, err := cloudmodel.GCEProfile(4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return CampaignSpec{
-		Profiles:    []cloudmodel.Profile{ec2, gce},
-		Repetitions: 2,
-		Config:      cloudmodel.DefaultCampaignConfig(120),
-		Seed:        7,
-		Workers:     workers,
-	}
-}
-
-func seriesEqual(a, b *trace.Series) bool {
-	if a.Label != b.Label || a.IntervalSec != b.IntervalSec || len(a.Points) != len(b.Points) {
-		return false
-	}
-	for i := range a.Points {
-		if a.Points[i] != b.Points[i] {
-			return false
-		}
-	}
-	return true
+// testSpec builds the shared small-but-real matrix: two clouds, all
+// three regimes, two repetitions — 12 cells.
+func testSpec(t *testing.T, workers int) fleet.CampaignSpec {
+	return testutil.TwoCloudSpec(t, 7, workers)
 }
 
 // TestRunDeterministicAcrossWorkerCounts is the tentpole guarantee:
 // the fleet's output is bit-identical at any worker count.
 func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
-	seq, err := Run(testSpec(t, 1))
+	seq, err := fleet.Run(testSpec(t, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := seq.Err(); err != nil {
 		t.Fatal(err)
 	}
+	testutil.AssertCellLabels(t, testSpec(t, 1), seq)
+	ref := testutil.EncodeResult(t, seq)
 	for _, workers := range []int{2, 8} {
-		par, err := Run(testSpec(t, workers))
+		par, err := fleet.Run(testSpec(t, workers))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(par.Cells) != len(seq.Cells) {
-			t.Fatalf("workers=%d: %d cells, want %d", workers, len(par.Cells), len(seq.Cells))
-		}
-		for i := range seq.Cells {
-			a, b := seq.Cells[i], par.Cells[i]
-			if a.Cell.Label() != b.Cell.Label() {
-				t.Fatalf("workers=%d: cell %d label %q, want %q", workers, i, b.Cell.Label(), a.Cell.Label())
-			}
-			if !seriesEqual(a.Series, b.Series) {
-				t.Fatalf("workers=%d: cell %s series differs from sequential run", workers, a.Cell.Label())
-			}
-			if a.Summary != b.Summary {
-				t.Fatalf("workers=%d: cell %s summary differs: %+v vs %+v", workers, a.Cell.Label(), b.Summary, a.Summary)
-			}
-		}
-		if len(par.Groups) != len(seq.Groups) {
-			t.Fatalf("workers=%d: %d groups, want %d", workers, len(par.Groups), len(seq.Groups))
-		}
-		for i := range seq.Groups {
-			a, b := seq.Groups[i], par.Groups[i]
-			if a.Cloud != b.Cloud || a.Regime != b.Regime || a.Result.Summary != b.Result.Summary {
-				t.Fatalf("workers=%d: group %d differs: %+v vs %+v", workers, i, b, a)
-			}
+		if got := testutil.EncodeResult(t, par); got != ref {
+			t.Fatalf("workers=%d: output differs from sequential run", workers)
 		}
 	}
 }
@@ -99,7 +54,7 @@ func TestRunCellFailureIsolation(t *testing.T) {
 
 	var mu sync.Mutex
 	seen := 0
-	mixed.Progress = func(ev Progress) {
+	mixed.Progress = func(ev fleet.Progress) {
 		mu.Lock()
 		seen++
 		mu.Unlock()
@@ -108,11 +63,11 @@ func TestRunCellFailureIsolation(t *testing.T) {
 		}
 	}
 
-	hres, err := Run(healthy)
+	hres, err := fleet.Run(healthy)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mres, err := Run(mixed)
+	mres, err := fleet.Run(mixed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +104,7 @@ func TestRunCellFailureIsolation(t *testing.T) {
 		if !ok {
 			t.Fatalf("mixed run lost series %s", label)
 		}
-		if !seriesEqual(hs, ms) {
+		if !testutil.SeriesEqual(hs, ms) {
 			t.Fatalf("series %s perturbed by sibling failures", label)
 		}
 	}
@@ -173,7 +128,7 @@ func TestRunGroupStatistics(t *testing.T) {
 	spec := testSpec(t, 0)
 	spec.Regimes = []trace.Regime{trace.FullSpeed}
 	spec.Repetitions = 3
-	res, err := Run(spec)
+	res, err := fleet.Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +153,7 @@ func TestRunGroupStatistics(t *testing.T) {
 }
 
 func TestSpecValidate(t *testing.T) {
-	if err := (CampaignSpec{}).Validate(); err == nil {
+	if err := (fleet.CampaignSpec{}).Validate(); err == nil {
 		t.Fatal("empty spec should fail validation")
 	}
 	spec := testSpec(t, 0)
@@ -226,14 +181,14 @@ func TestCellSourceStability(t *testing.T) {
 	if len(cells) != 12 {
 		t.Fatalf("%d cells, want 12", len(cells))
 	}
-	a := CellSource(spec.Seed, cells[3])
-	b := CellSource(spec.Seed, cells[3])
+	a := fleet.CellSource(spec.Seed, cells[3])
+	b := fleet.CellSource(spec.Seed, cells[3])
 	for i := 0; i < 16; i++ {
 		if a.Uint64() != b.Uint64() {
 			t.Fatal("CellSource not reproducible for equal (seed, cell)")
 		}
 	}
-	if CellSource(1, cells[0]).Uint64() == CellSource(2, cells[0]).Uint64() {
+	if fleet.CellSource(1, cells[0]).Uint64() == fleet.CellSource(2, cells[0]).Uint64() {
 		t.Fatal("distinct seeds should decorrelate cell streams")
 	}
 }
@@ -252,7 +207,7 @@ func TestSpecValidateDuplicateCells(t *testing.T) {
 	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate cell") {
 		t.Fatalf("duplicate regime should fail validation, got %v", err)
 	}
-	if _, err := Run(spec); err == nil {
+	if _, err := fleet.Run(spec); err == nil {
 		t.Fatal("Run should reject a duplicate-cell spec")
 	}
 }
@@ -270,7 +225,7 @@ func TestRunPanickingCellIsolated(t *testing.T) {
 
 	var mu sync.Mutex
 	maxDone, total := 0, 0
-	spec.Progress = func(ev Progress) {
+	spec.Progress = func(ev fleet.Progress) {
 		mu.Lock()
 		defer mu.Unlock()
 		if ev.Done > maxDone {
@@ -279,7 +234,7 @@ func TestRunPanickingCellIsolated(t *testing.T) {
 		total = ev.Total
 	}
 
-	res, err := Run(spec)
+	res, err := fleet.Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,13 +269,13 @@ func TestRunPanickingProgressHook(t *testing.T) {
 	spec := testSpec(t, 4)
 	spec.Regimes = []trace.Regime{trace.FullSpeed} // 4 cells
 	calls := 0
-	spec.Progress = func(ev Progress) {
+	spec.Progress = func(ev fleet.Progress) {
 		calls++ // serialized: the hook runs under the fleet's lock
 		if calls == 2 {
 			panic("hook exploded")
 		}
 	}
-	res, err := Run(spec)
+	res, err := fleet.Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}

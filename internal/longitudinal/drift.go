@@ -185,8 +185,17 @@ func Analyze(runs []RunData, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("longitudinal: need >= 2 runs, got %d", len(runs))
 	}
 	key := runs[0].Manifest.MatrixKey
+	baseScenario := runs[0].Manifest.Spec.Scenario
 	for _, r := range runs[1:] {
 		if r.Manifest.MatrixKey != key {
+			// Mismatched scenarios are the most likely (and most
+			// easily missed) way to land here, so name them: a
+			// noisy-neighbor run drifting against a quiet baseline is
+			// an adverse-condition finding, not platform drift.
+			if s := r.Manifest.Spec.Scenario; s.String() != baseScenario.String() {
+				return nil, fmt.Errorf("longitudinal: run %q was measured under scenario %s but baseline %q under %s — runs under different adverse-condition scenarios are not comparable",
+					r.Manifest.RunID, s, runs[0].Manifest.RunID, baseScenario)
+			}
 			return nil, fmt.Errorf("longitudinal: run %q has matrix %.12s but baseline %q has %.12s — only runs of identical campaign matrices are comparable (F5.2)",
 				r.Manifest.RunID, r.Manifest.MatrixKey, runs[0].Manifest.RunID, key)
 		}
@@ -354,8 +363,8 @@ func (r *Report) WriteMarkdown(w io.Writer) error {
 		_, err := fmt.Fprintf(w, format, args...)
 		return err
 	}
-	if err := p("# Longitudinal drift report\n\nmatrix %.12s, %d runs (baseline %s)\n\n",
-		r.MatrixKey, len(r.Runs), r.Runs[0].RunID); err != nil {
+	if err := p("# Longitudinal drift report\n\nmatrix %.12s, scenario %s, %d runs (baseline %s)\n\n",
+		r.MatrixKey, r.Runs[0].Spec.Scenario, len(r.Runs), r.Runs[0].RunID); err != nil {
 		return err
 	}
 	if err := p("## Runs\n\n"); err != nil {

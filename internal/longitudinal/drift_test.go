@@ -1,4 +1,4 @@
-package longitudinal
+package longitudinal_test
 
 import (
 	"bytes"
@@ -6,47 +6,21 @@ import (
 	"strings"
 	"testing"
 
-	"cloudvar/internal/cloudmodel"
 	"cloudvar/internal/core"
 	"cloudvar/internal/fleet"
+	"cloudvar/internal/longitudinal"
 	"cloudvar/internal/store"
+	"cloudvar/internal/testutil"
 	"cloudvar/internal/trace"
 )
 
+// testSpec is the shared single-profile matrix with the repetition
+// count the drift statistics need.
 func testSpec(t *testing.T, seed uint64, workers int) fleet.CampaignSpec {
 	t.Helper()
-	ec2, err := cloudmodel.EC2Profile("c5.xlarge")
-	if err != nil {
-		t.Fatal(err)
-	}
-	return fleet.CampaignSpec{
-		Profiles:    []cloudmodel.Profile{ec2},
-		Regimes:     []trace.Regime{trace.FullSpeed, trace.Send10R30},
-		Repetitions: 3,
-		Config:      cloudmodel.DefaultCampaignConfig(60),
-		Seed:        seed,
-		Workers:     workers,
-	}
-}
-
-// encodeResult renders every observable fact of a campaign result so
-// two results can be compared byte-for-byte.
-func encodeResult(t *testing.T, res fleet.CampaignResult) string {
-	t.Helper()
-	var b strings.Builder
-	for _, c := range res.Cells {
-		fmt.Fprintf(&b, "cell %s err=%v summary=%+v\n", c.Cell.Label(), c.Err, c.Summary)
-		if c.Series != nil {
-			if err := c.Series.WriteJSON(&b); err != nil {
-				t.Fatal(err)
-			}
-		}
-	}
-	for _, g := range res.Groups {
-		fmt.Fprintf(&b, "group %s/%s/%s failed=%d samples=%v summary=%+v ciErr=%v\n",
-			g.Cloud, g.Instance, g.Regime, g.Failed, g.Result.Samples, g.Result.Summary, g.Result.MedianCIErr)
-	}
-	return b.String()
+	spec := testutil.EC2Spec(t, seed, workers)
+	spec.Repetitions = 3
+	return spec
 }
 
 // runPersisted executes the spec into a new store run and returns the
@@ -85,10 +59,7 @@ func runWith(t *testing.T, sink fleet.Sink, spec fleet.CampaignSpec) (fleet.Camp
 func TestResumeByteIdentical(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			st, err := store.Open(t.TempDir())
-			if err != nil {
-				t.Fatal(err)
-			}
+			st := testutil.TempStore(t)
 
 			// The second "day": same matrix, different seed — the
 			// drift comparison partner for both variants.
@@ -123,18 +94,18 @@ func TestResumeByteIdentical(t *testing.T) {
 				t.Fatalf("resume executed %d cells, want exactly the %d missing ones", executed, want)
 			}
 
-			if got, want := encodeResult(t, resumed), encodeResult(t, full); got != want {
+			if got, want := testutil.EncodeResult(t, resumed), testutil.EncodeResult(t, full); got != want {
 				t.Fatal("resumed CampaignResult is not byte-identical to the uninterrupted run")
 			}
 
 			// The drift report against day2 must not see any
 			// difference either.
 			report := func(runID string) []byte {
-				runs, err := Load(st, runID, "day2")
+				runs, err := longitudinal.Load(st, runID, "day2")
 				if err != nil {
 					t.Fatal(err)
 				}
-				rep, err := Analyze(runs, Options{})
+				rep, err := longitudinal.Analyze(runs, longitudinal.Options{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -157,10 +128,7 @@ func TestResumeByteIdentical(t *testing.T) {
 // resumed at workers=8 (and vice versa) still reproduces the
 // sequential result exactly.
 func TestResumeAcrossWorkerCounts(t *testing.T) {
-	st, err := store.Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := testutil.TempStore(t)
 	ref, _ := runPersisted(t, st, "ref", testSpec(t, 7, 1))
 
 	spec1 := testSpec(t, 7, 1)
@@ -176,15 +144,15 @@ func TestResumeAcrossWorkerCounts(t *testing.T) {
 	if executed != len(ref.Cells)-1 {
 		t.Fatalf("executed %d, want %d", executed, len(ref.Cells)-1)
 	}
-	if encodeResult(t, res) != encodeResult(t, ref) {
+	if testutil.EncodeResult(t, res) != testutil.EncodeResult(t, ref) {
 		t.Fatal("worker-count change across resume broke determinism")
 	}
 }
 
 // syntheticRun fabricates a stored-run shape directly, bypassing the
 // store, so drift scenarios can be scripted precisely.
-func syntheticRun(runID, matrixKey string, seed uint64, bandwidth func(rep int, regime string) []float64) RunData {
-	rd := RunData{Manifest: store.Manifest{
+func syntheticRun(runID, matrixKey string, seed uint64, bandwidth func(rep int, regime string) []float64) longitudinal.RunData {
+	rd := longitudinal.RunData{Manifest: store.Manifest{
 		Schema: store.SchemaVersion, RunID: runID,
 		SpecKey: "spec-" + runID, MatrixKey: matrixKey,
 		Spec: store.SpecIdentity{Seed: seed},
@@ -222,7 +190,7 @@ func TestAnalyzeDetectsDrift(t *testing.T) {
 
 	t.Run("no drift", func(t *testing.T) {
 		same := syntheticRun("day2", "m1", 2, steady(9, 0.06))
-		rep, err := Analyze([]RunData{base, same}, Options{})
+		rep, err := longitudinal.Analyze([]longitudinal.RunData{base, same}, longitudinal.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -239,7 +207,7 @@ func TestAnalyzeDetectsDrift(t *testing.T) {
 	t.Run("median drift", func(t *testing.T) {
 		// Halved bandwidth: medians must become distinguishable.
 		slower := syntheticRun("day2", "m1", 2, steady(4.5, 0.05))
-		rep, err := Analyze([]RunData{base, slower}, Options{})
+		rep, err := longitudinal.Analyze([]longitudinal.RunData{base, slower}, longitudinal.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -270,7 +238,7 @@ func TestAnalyzeDetectsDrift(t *testing.T) {
 			}
 			return out
 		})
-		rep, err := Analyze([]RunData{base, noisy}, Options{})
+		rep, err := longitudinal.Analyze([]longitudinal.RunData{base, noisy}, longitudinal.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -293,11 +261,32 @@ func TestAnalyzeDetectsDrift(t *testing.T) {
 func TestAnalyzeRejectsIncomparableRuns(t *testing.T) {
 	a := syntheticRun("day1", "m1", 1, func(int, string) []float64 { return []float64{9, 9, 9} })
 	b := syntheticRun("day2", "m2", 2, func(int, string) []float64 { return []float64{9, 9, 9} })
-	if _, err := Analyze([]RunData{a, b}, Options{}); err == nil {
+	if _, err := longitudinal.Analyze([]longitudinal.RunData{a, b}, longitudinal.Options{}); err == nil {
 		t.Fatal("different matrix keys must be rejected")
 	}
-	if _, err := Analyze([]RunData{a}, Options{}); err == nil {
+	if _, err := longitudinal.Analyze([]longitudinal.RunData{a}, longitudinal.Options{}); err == nil {
 		t.Fatal("a single run is not a longitudinal analysis")
+	}
+}
+
+// TestAnalyzeNamesScenarioMismatch checks the scenario gate: two runs
+// whose matrices differ because their scenarios differ get an error
+// that names the scenarios, not just opaque hashes.
+func TestAnalyzeNamesScenarioMismatch(t *testing.T) {
+	flat := func(int, string) []float64 { return []float64{9, 9, 9} }
+	quiet := syntheticRun("day1", "m-quiet", 1, flat)
+	noisy := syntheticRun("day2", "m-noisy", 2, flat)
+	noisy.Manifest.Spec.Scenario = fleet.ScenarioID{
+		Name: "noisy-neighbor", Params: map[string]float64{"depth": 0.45},
+	}
+	_, err := longitudinal.Analyze([]longitudinal.RunData{quiet, noisy}, longitudinal.Options{})
+	if err == nil {
+		t.Fatal("mismatched scenarios must be rejected")
+	}
+	for _, want := range []string{"noisy-neighbor", "scenario"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
 	}
 }
 
@@ -314,7 +303,7 @@ func TestWriteMarkdownSections(t *testing.T) {
 	b.Manifest.Fingerprints = map[string]core.Fingerprint{
 		"ec2/c5.xlarge": {BaseRTTms: 0.1, BaseBandwidthGbps: 9.5},
 	}
-	rep, err := Analyze([]RunData{a, b}, Options{})
+	rep, err := longitudinal.Analyze([]longitudinal.RunData{a, b}, longitudinal.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,6 +314,7 @@ func TestWriteMarkdownSections(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		"# Longitudinal drift report",
+		"scenario none",
 		"## Runs",
 		"## Fingerprint gate",
 		"baselines match",

@@ -16,12 +16,12 @@ import (
 // so capacity peaks at t = PhaseSec and dips by Depth at the opposite
 // phase. The shaper tracks virtual time internally through
 // Transfer/Idle calls, like every other shaper in this package.
+//
+// DiurnalShaper is a thin veneer over EnvelopeShaper with a cosine
+// envelope re-sampled every PeriodSec/128 (so the sinusoid is tracked
+// within ~1% of its period).
 type DiurnalShaper struct {
-	inner     Shaper
-	periodSec float64
-	depth     float64
-	phaseSec  float64
-	elapsed   float64
+	*EnvelopeShaper
 }
 
 // NewDiurnalShaper wraps inner with a cycle of the given period and
@@ -36,57 +36,13 @@ func NewDiurnalShaper(inner Shaper, periodSec, depth, phaseSec float64) (*Diurna
 	if depth < 0 || depth >= 1 {
 		return nil, fmt.Errorf("netem: diurnal depth %g outside [0, 1)", depth)
 	}
-	return &DiurnalShaper{
-		inner: inner, periodSec: periodSec, depth: depth, phaseSec: phaseSec,
-	}, nil
-}
-
-// factor returns the current capacity multiplier.
-func (d *DiurnalShaper) factor() float64 {
-	theta := 2 * math.Pi * (d.elapsed - d.phaseSec) / d.periodSec
-	return 1 - d.depth/2 + d.depth/2*math.Cos(theta)
-}
-
-// Rate implements Shaper.
-func (d *DiurnalShaper) Rate(demand float64) float64 {
-	if demand <= 0 {
-		return 0
+	factor := func(t float64) float64 {
+		theta := 2 * math.Pi * (t - phaseSec) / periodSec
+		return 1 - depth/2 + depth/2*math.Cos(theta)
 	}
-	return math.Min(demand, d.inner.Rate(demand)*d.factor())
-}
-
-// Transfer implements Shaper. The interval is subdivided so the
-// sinusoid is tracked within ~1% of its period.
-func (d *DiurnalShaper) Transfer(demand, dt float64) float64 {
-	if dt < 0 {
-		panic("netem: negative duration")
+	env, err := NewEnvelopeShaper(inner, factor, periodSec/128)
+	if err != nil {
+		return nil, err
 	}
-	maxStep := d.periodSec / 128
-	moved := 0.0
-	for dt > 1e-12 {
-		step := math.Min(dt, maxStep)
-		// The effective demand offered to the inner shaper is capped
-		// by the diurnal factor.
-		eff := math.Min(demand, d.inner.Rate(demand)*d.factor())
-		moved += d.inner.Transfer(eff, step)
-		d.elapsed += step
-		dt -= step
-	}
-	return moved
-}
-
-// Idle implements Shaper.
-func (d *DiurnalShaper) Idle(dt float64) {
-	if dt < 0 {
-		panic("netem: negative duration")
-	}
-	d.inner.Idle(dt)
-	d.elapsed += dt
-}
-
-// NextTransition implements Shaper: the sinusoid changes continuously,
-// so steps are bounded to a small fraction of the period (on top of
-// whatever the inner shaper reports).
-func (d *DiurnalShaper) NextTransition(demand float64) float64 {
-	return math.Min(d.periodSec/128, d.inner.NextTransition(demand))
+	return &DiurnalShaper{EnvelopeShaper: env}, nil
 }

@@ -1,0 +1,83 @@
+package netem
+
+import (
+	"fmt"
+	"testing"
+
+	"cloudvar/internal/simrand"
+)
+
+// The engine's schedule/step loop is the inner loop of every fluid
+// simulation the scenario engine drives (each envelope breakpoint and
+// shaper transition becomes an event). Benchmarks are stable-named
+// and sized in sub-benchmarks so benchstat can compare runs:
+//
+//	go test ./internal/netem -run '^$' -bench BenchmarkEngine -count 10 > old.txt
+//	... change ...
+//	benchstat old.txt new.txt
+
+// BenchmarkEngineStepLoop measures the full schedule-then-drain cycle
+// at several queue depths — the heap's push+pop hot path.
+func BenchmarkEngineStepLoop(b *testing.B) {
+	for _, n := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("events=%d", n), func(b *testing.B) {
+			src := simrand.New(11)
+			times := make([]float64, n)
+			for i := range times {
+				times[i] = src.Float64() * 1e5
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := NewEngine()
+				for _, at := range times {
+					e.Schedule(at, func() {})
+				}
+				e.Drain(n + 1)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineStepChurn measures steady-state churn: a bounded
+// queue where every fired event schedules a successor — the shape a
+// long-running emulation (token-bucket transitions, envelope
+// re-samples) actually produces, as opposed to bulk load-then-drain.
+func BenchmarkEngineStepChurn(b *testing.B) {
+	for _, depth := range []int{16, 256} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := NewEngine()
+				var fire func()
+				remaining := 4096
+				fire = func() {
+					if remaining > 0 {
+						remaining--
+						e.After(1, fire)
+					}
+				}
+				for j := 0; j < depth; j++ {
+					e.After(float64(j), fire)
+				}
+				e.Drain(4096 + depth + 1)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRunUntil measures clock advancement through a sparse
+// schedule — the RunUntil path cloudmodel's campaign loop leans on.
+func BenchmarkEngineRunUntil(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 512; j++ {
+			e.Schedule(float64(j)*10, func() {})
+		}
+		for t := 0.0; t <= 5120; t += 100 {
+			e.RunUntil(t)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package scenario
+
+// The built-in registry: the five adverse conditions the paper (and
+// the follow-up literature) most often blames for non-reproducible
+// results, each assembled from the condition primitives so users can
+// read them as templates for their own. Constructors are exported so
+// variants with different parameters can be built and registered.
+
+// NoisyNeighbor returns a scenario of correlated cross-VM throughput
+// depressions: a shared tenant (or congested spine) that hits every
+// VM in the campaign at the same stochastic episodes.
+func NoisyNeighbor(depth, meanGapSec, meanLenSec float64) Scenario {
+	return Scenario{
+		Name:        "noisy-neighbor",
+		Description: "correlated cross-VM throughput depressions from a shared contender",
+		Params: map[string]float64{
+			"depth":        depth,
+			"mean_gap_sec": meanGapSec,
+			"mean_len_sec": meanLenSec,
+		},
+		Conditions: []Condition{
+			Correlate{Depth: depth, MeanGapSec: meanGapSec, MeanLenSec: meanLenSec},
+		},
+	}
+}
+
+// DiurnalCongestion returns a scenario driving the netem diurnal
+// model: capacity peaks at peakSec into each period and loses depth
+// at the opposite phase.
+func DiurnalCongestion(periodSec, depth, peakSec float64) Scenario {
+	return Scenario{
+		Name:        "diurnal-congestion",
+		Description: "day/night congestion cycle over the netem diurnal model",
+		Params: map[string]float64{
+			"period_sec": periodSec,
+			"depth":      depth,
+			"peak_sec":   peakSec,
+		},
+		Conditions: []Condition{
+			Diurnal{PeriodSec: periodSec, Depth: depth, PeakSec: peakSec},
+		},
+	}
+}
+
+// RegimeFlip returns a scenario that drains every token bucket at
+// atFrac of the campaign — a mid-campaign regime transition. Paths
+// without a bucket degrade by fallbackDepth instead.
+func RegimeFlip(atFrac, fallbackDepth float64) Scenario {
+	return Scenario{
+		Name:        "regime-flip",
+		Description: "mid-campaign token-bucket drain (regime transition)",
+		Params: map[string]float64{
+			"at_frac":        atFrac,
+			"fallback_depth": fallbackDepth,
+		},
+		Conditions: []Condition{
+			FlipRegime{AtFrac: atFrac, FallbackDepth: fallbackDepth},
+		},
+	}
+}
+
+// LossBurst returns a scenario of correlated packet-loss episodes:
+// short, deep goodput collapses (TCP under loss storms) hitting every
+// VM simultaneously, composed with a mild standing overlay for the
+// elevated baseline loss around the bursts.
+func LossBurst(depth, meanGapSec, meanLenSec, baselineDepth float64) Scenario {
+	return Scenario{
+		Name:        "loss-burst",
+		Description: "correlated packet-loss episodes: deep short goodput collapses",
+		Params: map[string]float64{
+			"depth":          depth,
+			"mean_gap_sec":   meanGapSec,
+			"mean_len_sec":   meanLenSec,
+			"baseline_depth": baselineDepth,
+		},
+		Conditions: []Condition{
+			Overlay{Depth: baselineDepth},
+			Correlate{Depth: depth, MeanGapSec: meanGapSec, MeanLenSec: meanLenSec},
+		},
+	}
+}
+
+// Stragglers returns a scenario injecting persistent per-VM slowdown:
+// each VM (fleet cell, or spark node via ApplyCluster) independently
+// straggles with probability prob, losing depth of its capacity for
+// the whole run.
+func Stragglers(prob, depth float64) Scenario {
+	return Scenario{
+		Name:        "stragglers",
+		Description: "per-VM slowdown injection: some VMs persistently degraded",
+		Params: map[string]float64{
+			"prob":  prob,
+			"depth": depth,
+		},
+		Conditions: []Condition{
+			PerVM{Prob: prob, Depth: depth},
+		},
+	}
+}
+
+func init() {
+	// Default parameterisations. Episode scales are chosen so the
+	// hour-scale campaigns cloudbench runs by default meet several
+	// episodes, and depths deep enough to move the Section 3
+	// variability bands.
+	MustRegister(NoisyNeighbor(0.45, 900, 300))
+	MustRegister(DiurnalCongestion(86400, 0.35, 6*3600))
+	MustRegister(RegimeFlip(0.5, 0.6))
+	MustRegister(LossBurst(0.85, 600, 45, 0.05))
+	MustRegister(Stragglers(0.25, 0.5))
+}

@@ -1,0 +1,440 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cloudvar/internal/netem"
+	"cloudvar/internal/simrand"
+)
+
+// The primitives in this file are the vocabulary scenarios compose
+// from. Each compiles to a netem shaper wrapper; most compile to an
+// EnvelopeShaper whose factor function was fully resolved at compile
+// time, which is what keeps wrapped paths deterministic.
+
+// envelopeWrap builds a Wrap applying a deterministic capacity
+// envelope.
+func envelopeWrap(factor func(float64) float64, maxStepSec float64) Wrap {
+	return func(inner netem.Shaper, _ *simrand.Source) netem.Shaper {
+		sh, err := netem.NewEnvelopeShaper(inner, factor, maxStepSec)
+		if err != nil {
+			// Compile validated the parameters; reaching here is a
+			// programming error, not an input error.
+			panic(fmt.Sprintf("scenario: envelope: %v", err))
+		}
+		return sh
+	}
+}
+
+// checkDepth validates a depression depth (fraction of capacity lost).
+func checkDepth(name string, depth float64) error {
+	if depth < 0 || depth >= 1 {
+		return fmt.Errorf("scenario: %s depth %g outside [0, 1)", name, depth)
+	}
+	return nil
+}
+
+// Overlay depresses capacity by a constant factor for the whole
+// campaign — the simplest "a neighbor moved in" condition, and the
+// building block sanity checks compose against.
+type Overlay struct {
+	// Depth is the fraction of capacity lost, in [0, 1).
+	Depth float64
+}
+
+// ID implements Condition.
+func (o Overlay) ID() string { return fmt.Sprintf("overlay(depth=%g)", o.Depth) }
+
+// Compile implements Condition.
+func (o Overlay) Compile(Env) (Wrap, error) {
+	if err := checkDepth("overlay", o.Depth); err != nil {
+		return nil, err
+	}
+	factor := 1 - o.Depth
+	return envelopeWrap(func(float64) float64 { return factor }, math.Inf(1)), nil
+}
+
+// Window depresses capacity inside one absolute time window — a
+// single maintenance event, congestion episode, or (composed with
+// Ramp) the front edge of an incident.
+type Window struct {
+	// StartSec and EndSec bound the window, [start, end).
+	StartSec, EndSec float64
+	// Depth is the capacity fraction lost inside the window.
+	Depth float64
+}
+
+// ID implements Condition.
+func (w Window) ID() string {
+	return fmt.Sprintf("window(start=%g,end=%g,depth=%g)", w.StartSec, w.EndSec, w.Depth)
+}
+
+// Compile implements Condition.
+func (w Window) Compile(Env) (Wrap, error) {
+	if err := checkDepth("window", w.Depth); err != nil {
+		return nil, err
+	}
+	if w.EndSec <= w.StartSec {
+		return nil, fmt.Errorf("scenario: window end %g not after start %g", w.EndSec, w.StartSec)
+	}
+	inside := 1 - w.Depth
+	factor := func(t float64) float64 {
+		if t >= w.StartSec && t < w.EndSec {
+			return inside
+		}
+		return 1
+	}
+	return envelopeWrap(factor, windowStep(w.EndSec-w.StartSec)), nil
+}
+
+// windowStep picks an envelope re-sample interval that tracks windows
+// of the given length to a few percent without making short transfers
+// crawl.
+func windowStep(windowSec float64) float64 {
+	step := windowSec / 16
+	if step < 0.5 {
+		return 0.5
+	}
+	if step > 5 {
+		return 5
+	}
+	return step
+}
+
+// Ramp moves capacity linearly from one factor to another over a
+// fixed interval — warm-up, slow degradation, or recovery edges.
+type Ramp struct {
+	// StartSec is when the ramp begins; before it the factor is From.
+	StartSec float64
+	// DurationSec is the ramp length; after it the factor stays at To.
+	DurationSec float64
+	// From and To are capacity factors in (0, 1].
+	From, To float64
+}
+
+// ID implements Condition.
+func (r Ramp) ID() string {
+	return fmt.Sprintf("ramp(start=%g,dur=%g,from=%g,to=%g)", r.StartSec, r.DurationSec, r.From, r.To)
+}
+
+// Compile implements Condition.
+func (r Ramp) Compile(Env) (Wrap, error) {
+	if r.DurationSec <= 0 {
+		return nil, fmt.Errorf("scenario: ramp duration %g must be positive", r.DurationSec)
+	}
+	for _, f := range []float64{r.From, r.To} {
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("scenario: ramp factor %g outside (0, 1]", f)
+		}
+	}
+	factor := func(t float64) float64 {
+		switch {
+		case t <= r.StartSec:
+			return r.From
+		case t >= r.StartSec+r.DurationSec:
+			return r.To
+		default:
+			return r.From + (r.To-r.From)*(t-r.StartSec)/r.DurationSec
+		}
+	}
+	step := r.DurationSec / 64
+	if step < 0.5 {
+		step = 0.5
+	}
+	return envelopeWrap(factor, step), nil
+}
+
+// Diurnal drives the existing netem diurnal model: a smooth day/night
+// cycle with configurable peak time and trough depth.
+type Diurnal struct {
+	// PeriodSec is the cycle length (86400 for a calendar day).
+	PeriodSec float64
+	// Depth is the capacity fraction lost at the trough, in [0, 1).
+	Depth float64
+	// PeakSec is when capacity peaks within the cycle.
+	PeakSec float64
+}
+
+// ID implements Condition.
+func (d Diurnal) ID() string {
+	return fmt.Sprintf("diurnal(period=%g,depth=%g,peak=%g)", d.PeriodSec, d.Depth, d.PeakSec)
+}
+
+// Compile implements Condition.
+func (d Diurnal) Compile(Env) (Wrap, error) {
+	if d.PeriodSec <= 0 {
+		return nil, fmt.Errorf("scenario: diurnal period %g must be positive", d.PeriodSec)
+	}
+	if err := checkDepth("diurnal", d.Depth); err != nil {
+		return nil, err
+	}
+	return func(inner netem.Shaper, _ *simrand.Source) netem.Shaper {
+		sh, err := netem.NewDiurnalShaper(inner, d.PeriodSec, d.Depth, d.PeakSec)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: diurnal: %v", err))
+		}
+		return sh
+	}, nil
+}
+
+// Correlate depresses every VM simultaneously during stochastic
+// episodes drawn once per campaign from the seed — the cross-VM
+// correlation that distinguishes a shared noisy neighbor (or a
+// congested spine) from independent per-VM noise. Every path wrapped
+// by one compiled Correlate sees the identical episode schedule.
+type Correlate struct {
+	// Depth is the capacity fraction lost during an episode.
+	Depth float64
+	// MeanGapSec is the mean quiet interval between episodes
+	// (exponentially distributed).
+	MeanGapSec float64
+	// MeanLenSec is the mean episode length (exponentially
+	// distributed).
+	MeanLenSec float64
+}
+
+// ID implements Condition.
+func (c Correlate) ID() string {
+	return fmt.Sprintf("correlate(depth=%g,gap=%g,len=%g)", c.Depth, c.MeanGapSec, c.MeanLenSec)
+}
+
+// Compile implements Condition: the episode schedule is drawn here,
+// from a substream keyed by (seed, condition ID), so it is shared by
+// every wrapped path and independent of every fleet cell substream.
+func (c Correlate) Compile(env Env) (Wrap, error) {
+	if err := checkDepth("correlate", c.Depth); err != nil {
+		return nil, err
+	}
+	if c.MeanGapSec <= 0 || c.MeanLenSec <= 0 {
+		return nil, fmt.Errorf("scenario: correlate gap %g and length %g must be positive", c.MeanGapSec, c.MeanLenSec)
+	}
+	if env.DurationSec <= 0 {
+		return nil, fmt.Errorf("scenario: correlate needs a positive campaign duration, got %g", env.DurationSec)
+	}
+	src := simrand.New(env.Seed).Substream("scenario/" + c.ID())
+	var starts, ends []float64
+	for t := 0.0; t < env.DurationSec; {
+		t += src.Exponential(1 / c.MeanGapSec)
+		if t >= env.DurationSec {
+			break
+		}
+		end := math.Min(t+src.Exponential(1/c.MeanLenSec), env.DurationSec)
+		starts = append(starts, t)
+		ends = append(ends, end)
+		t = end
+	}
+	inside := 1 - c.Depth
+	factor := func(t float64) float64 {
+		// Index of the first episode starting after t; the episode
+		// before it is the only one that can contain t.
+		i := sort.SearchFloat64s(starts, t)
+		if i > 0 && t < ends[i-1] {
+			return inside
+		}
+		return 1
+	}
+	return envelopeWrap(factor, windowStep(c.MeanLenSec)), nil
+}
+
+// PerVM gives a random subset of VMs a persistent capacity handicap —
+// the straggler-injection primitive. The draw comes from the wrapped
+// path's own substream, so which VMs straggle is decided per cell
+// (per fresh VM pair), deterministically for a given seed.
+type PerVM struct {
+	// Prob is the probability any one VM is degraded.
+	Prob float64
+	// Depth is the capacity fraction the degraded VMs lose.
+	Depth float64
+}
+
+// ID implements Condition.
+func (p PerVM) ID() string { return fmt.Sprintf("pervm(prob=%g,depth=%g)", p.Prob, p.Depth) }
+
+// Compile implements Condition.
+func (p PerVM) Compile(Env) (Wrap, error) {
+	if p.Prob < 0 || p.Prob > 1 {
+		return nil, fmt.Errorf("scenario: per-VM probability %g outside [0, 1]", p.Prob)
+	}
+	if err := checkDepth("pervm", p.Depth); err != nil {
+		return nil, err
+	}
+	return func(inner netem.Shaper, local *simrand.Source) netem.Shaper {
+		if !local.Bernoulli(p.Prob) {
+			return inner
+		}
+		factor := 1 - p.Depth
+		sh, err := netem.NewEnvelopeShaper(inner, func(float64) float64 { return factor }, math.Inf(1))
+		if err != nil {
+			panic(fmt.Sprintf("scenario: pervm: %v", err))
+		}
+		return sh
+	}, nil
+}
+
+// FlipRegime forces a token-bucket regime transition partway through
+// the campaign: at AtFrac of the duration the wrapped path's bucket is
+// drained (tokens to zero, throttled regime engaged), modelling a VM
+// whose unseen traffic history exhausts its budget mid-experiment —
+// the paper's Figure 19 carry-over hazard made schedulable. Paths
+// without a token bucket fall back to a FallbackDepth capacity
+// depression from the flip onward, so the scenario remains meaningful
+// on GCE/HPCCloud profiles.
+type FlipRegime struct {
+	// AtFrac locates the flip as a fraction of the campaign duration,
+	// in (0, 1).
+	AtFrac float64
+	// FallbackDepth is the post-flip capacity loss for bucketless
+	// paths, in [0, 1).
+	FallbackDepth float64
+}
+
+// ID implements Condition.
+func (f FlipRegime) ID() string {
+	return fmt.Sprintf("flip(at=%g,fallback=%g)", f.AtFrac, f.FallbackDepth)
+}
+
+// Compile implements Condition.
+func (f FlipRegime) Compile(env Env) (Wrap, error) {
+	if f.AtFrac <= 0 || f.AtFrac >= 1 {
+		return nil, fmt.Errorf("scenario: flip fraction %g outside (0, 1)", f.AtFrac)
+	}
+	if err := checkDepth("flip fallback", f.FallbackDepth); err != nil {
+		return nil, err
+	}
+	if env.DurationSec <= 0 {
+		return nil, fmt.Errorf("scenario: flip needs a positive campaign duration, got %g", env.DurationSec)
+	}
+	at := f.AtFrac * env.DurationSec
+	return func(inner netem.Shaper, _ *simrand.Source) netem.Shaper {
+		return &flipShaper{inner: inner, atSec: at, fallbackDepth: f.FallbackDepth}
+	}, nil
+}
+
+// shaperUnwrapper lets flipShaper find a token bucket under stacked
+// envelope wrappers.
+type shaperUnwrapper interface{ Inner() netem.Shaper }
+
+// findBucket walks a wrapper chain down to a BucketShaper, if any.
+func findBucket(sh netem.Shaper) *netem.BucketShaper {
+	for {
+		switch v := sh.(type) {
+		case *netem.BucketShaper:
+			return v
+		case shaperUnwrapper:
+			sh = v.Inner()
+		default:
+			return nil
+		}
+	}
+}
+
+// flipShaper drains the inner token bucket when virtual time crosses
+// atSec; bucketless paths get a constant post-flip depression instead.
+type flipShaper struct {
+	inner         netem.Shaper
+	atSec         float64
+	fallbackDepth float64
+
+	elapsed float64
+	fired   bool
+	// factorAfter is the post-flip capacity factor: 1 when a bucket
+	// was drained (the bucket itself now throttles), 1-fallbackDepth
+	// otherwise.
+	factorAfter float64
+}
+
+func (f *flipShaper) fire() {
+	f.fired = true
+	if b := findBucket(f.inner); b != nil {
+		b.Bucket.SetTokens(0)
+		f.factorAfter = 1
+		return
+	}
+	f.factorAfter = 1 - f.fallbackDepth
+}
+
+// pending returns the time until the flip, or +Inf once fired.
+func (f *flipShaper) pending() float64 {
+	if f.fired {
+		return math.Inf(1)
+	}
+	return f.atSec - f.elapsed
+}
+
+// effDemand caps demand by the post-flip fallback factor.
+func (f *flipShaper) effDemand(demand float64) float64 {
+	if f.fired && f.factorAfter < 1 {
+		return math.Min(demand, f.inner.Rate(demand)*f.factorAfter)
+	}
+	return demand
+}
+
+// Rate implements netem.Shaper.
+func (f *flipShaper) Rate(demand float64) float64 {
+	if demand <= 0 {
+		return 0
+	}
+	return f.inner.Rate(f.effDemand(demand))
+}
+
+// Transfer implements netem.Shaper, splitting the interval at the
+// flip instant so the drain lands at exactly atSec.
+func (f *flipShaper) Transfer(demand, dt float64) float64 {
+	if dt < 0 {
+		panic("scenario: negative duration")
+	}
+	moved := 0.0
+	if pre := f.pending(); pre <= dt {
+		if pre > 0 {
+			moved += f.inner.Transfer(f.effDemand(demand), pre)
+			f.elapsed += pre
+			dt -= pre
+		}
+		f.fire()
+	}
+	if dt > 0 {
+		moved += f.inner.Transfer(f.effDemand(demand), dt)
+		f.elapsed += dt
+	}
+	return moved
+}
+
+// Idle implements netem.Shaper.
+func (f *flipShaper) Idle(dt float64) {
+	if dt < 0 {
+		panic("scenario: negative duration")
+	}
+	if pre := f.pending(); pre <= dt {
+		if pre > 0 {
+			f.inner.Idle(pre)
+			f.elapsed += pre
+			dt -= pre
+		}
+		f.fire()
+	}
+	if dt > 0 {
+		f.inner.Idle(dt)
+		f.elapsed += dt
+	}
+}
+
+// NextTransition implements netem.Shaper: the flip instant is a
+// transition of its own.
+func (f *flipShaper) NextTransition(demand float64) float64 {
+	return math.Min(f.pending(), f.inner.NextTransition(f.effDemand(demand)))
+}
+
+// Inner implements shaperUnwrapper, so stacked flips (or future
+// bucket-probing conditions) can see through this wrapper too.
+func (f *flipShaper) Inner() netem.Shaper { return f.inner }
+
+// Throttled forwards the inner regime state (netem's throttleReporter
+// convention), so a flipped bucket path keeps reporting throttle bins.
+func (f *flipShaper) Throttled() bool {
+	if tr, ok := f.inner.(interface{ Throttled() bool }); ok {
+		return tr.Throttled()
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+
+	"cloudvar/internal/simrand"
+)
+
+// Quantile/CI computation runs once per campaign cell and once per
+// drift group — with the scenario engine multiplying cells, it is the
+// statistics layer's hot path. Stable names + sized sub-benchmarks
+// keep the results benchstat-comparable across commits:
+//
+//	go test ./internal/stats -run '^$' -bench BenchmarkStats -count 10
+
+func benchSample(n int) []float64 {
+	src := simrand.New(3)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Normal(100, 15)
+	}
+	return xs
+}
+
+// BenchmarkStatsQuantile measures the single-quantile path (copy +
+// sort + interpolate).
+func BenchmarkStatsQuantile(b *testing.B) {
+	for _, n := range []int{32, 1024, 65536} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			xs := benchSample(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if v := Quantile(xs, 0.5); v <= 0 {
+					b.Fatal("bad quantile")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStatsPercentiles measures the batched path the Summary
+// builder uses (one sort, many quantiles).
+func BenchmarkStatsPercentiles(b *testing.B) {
+	for _, n := range []int{32, 1024, 65536} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			xs := benchSample(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := Percentiles(xs, 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99)
+				if len(out) != 7 {
+					b.Fatal("bad percentile batch")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStatsSummarize measures the full per-cell Summary.
+func BenchmarkStatsSummarize(b *testing.B) {
+	for _, n := range []int{60, 4096} { // 60 ≈ one emulated 10-minute cell
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			xs := benchSample(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s := Summarize(xs); s.N != n {
+					b.Fatal("bad summary")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStatsMedianCI measures the order-statistic median CI the
+// drift comparison recomputes per group per run.
+func BenchmarkStatsMedianCI(b *testing.B) {
+	for _, n := range []int{10, 50, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			xs := benchSample(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := MedianCI(xs, 0.95); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStatsQuantileCI measures the Le Boudec tail-quantile CI.
+func BenchmarkStatsQuantileCI(b *testing.B) {
+	for _, n := range []int{50, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			xs := benchSample(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := QuantileCI(xs, 0.9, 0.95); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

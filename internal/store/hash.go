@@ -14,7 +14,10 @@ import (
 // SchemaVersion is the on-disk format version. It participates in the
 // spec key, so results written by an incompatible schema can never be
 // silently compared against current ones.
-const SchemaVersion = 1
+//
+// Version 2 added the scenario identity to SpecIdentity (runs of
+// different adverse-condition scenarios are never comparable).
+const SchemaVersion = 2
 
 // ProfileID is the code-relevant identity of a cloud profile. The
 // shaper factory itself is a function and cannot be hashed; Cloud and
@@ -41,6 +44,13 @@ type SpecIdentity struct {
 	Seed        uint64                    `json:"seed"`
 	Confidence  float64                   `json:"confidence"`
 	ErrorBound  float64                   `json:"error_bound"`
+	// Scenario is the adverse-condition scenario the spec was expanded
+	// with (internal/scenario); zero for plain campaigns. It is part
+	// of both keys: a noisy-neighbor run is a different experiment
+	// from a quiet one, on every axis — resume and drift alike.
+	// encoding/json serialises the params map with sorted keys, so the
+	// hash is canonical.
+	Scenario fleet.ScenarioID `json:"scenario"`
 }
 
 // Identity extracts the canonical identity of a spec.
@@ -53,6 +63,7 @@ func Identity(spec fleet.CampaignSpec) SpecIdentity {
 		Seed:        spec.Seed,
 		Confidence:  spec.Confidence,
 		ErrorBound:  spec.ErrorBound,
+		Scenario:    spec.Scenario,
 	}
 	if id.Confidence == 0 {
 		id.Confidence = 0.95

@@ -1,4 +1,4 @@
-package store
+package store_test
 
 import (
 	"os"
@@ -6,27 +6,18 @@ import (
 	"strings"
 	"testing"
 
-	"cloudvar/internal/cloudmodel"
 	"cloudvar/internal/fleet"
+	"cloudvar/internal/store"
+	"cloudvar/internal/testutil"
 	"cloudvar/internal/trace"
 )
 
 // Run must satisfy the orchestrator's persistence interface.
-var _ fleet.Sink = (*Run)(nil)
+var _ fleet.Sink = (*store.Run)(nil)
 
 func testSpec(t *testing.T, seed uint64) fleet.CampaignSpec {
 	t.Helper()
-	ec2, err := cloudmodel.EC2Profile("c5.xlarge")
-	if err != nil {
-		t.Fatal(err)
-	}
-	return fleet.CampaignSpec{
-		Profiles:    []cloudmodel.Profile{ec2},
-		Regimes:     []trace.Regime{trace.FullSpeed, trace.Send10R30},
-		Repetitions: 2,
-		Config:      cloudmodel.DefaultCampaignConfig(60),
-		Seed:        seed,
-	}
+	return testutil.EC2Spec(t, seed, 0)
 }
 
 func TestSpecKeyNormalisesDefaults(t *testing.T) {
@@ -39,7 +30,7 @@ func TestSpecKeyNormalisesDefaults(t *testing.T) {
 	scheduled.Workers = 8
 	scheduled.Progress = func(fleet.Progress) {}
 
-	want, err := SpecKey(base)
+	want, err := store.SpecKey(base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +38,7 @@ func TestSpecKeyNormalisesDefaults(t *testing.T) {
 		"explicit statistical defaults": explicit,
 		"scheduling-only fields":        scheduled,
 	} {
-		got, err := SpecKey(spec)
+		got, err := store.SpecKey(spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,8 +52,8 @@ func TestSpecKeyNormalisesDefaults(t *testing.T) {
 	allRegimes.Regimes = nil
 	explicitAll := base
 	explicitAll.Regimes = trace.Regimes()
-	a, _ := SpecKey(allRegimes)
-	b, _ := SpecKey(explicitAll)
+	a, _ := store.SpecKey(allRegimes)
+	b, _ := store.SpecKey(explicitAll)
 	if a != b {
 		t.Error("nil regimes and explicit standard regimes hash differently")
 	}
@@ -70,7 +61,7 @@ func TestSpecKeyNormalisesDefaults(t *testing.T) {
 
 func TestSpecKeySeparatesContent(t *testing.T) {
 	base := testSpec(t, 7)
-	baseKey, err := SpecKey(base)
+	baseKey, err := store.SpecKey(base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,12 +72,15 @@ func TestSpecKeySeparatesContent(t *testing.T) {
 	otherReps.Repetitions = 3
 	otherConfig := base
 	otherConfig.Config.BinSec = 5
+	otherScenario := base
+	otherScenario.Scenario = fleet.ScenarioID{Name: "noisy-neighbor", Params: map[string]float64{"depth": 0.45}}
 	for name, spec := range map[string]fleet.CampaignSpec{
 		"seed":        otherSeed,
 		"repetitions": otherReps,
 		"config":      otherConfig,
+		"scenario":    otherScenario,
 	} {
-		k, err := SpecKey(spec)
+		k, err := store.SpecKey(spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,19 +94,19 @@ func TestMatrixKeyIgnoresSeedOnly(t *testing.T) {
 	base := testSpec(t, 7)
 	otherSeed := testSpec(t, 8)
 
-	mk1, err := MatrixKey(base)
+	mk1, err := store.MatrixKey(base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mk2, err := MatrixKey(otherSeed)
+	mk2, err := store.MatrixKey(otherSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if mk1 != mk2 {
 		t.Error("matrix key depends on the seed")
 	}
-	sk1, _ := SpecKey(base)
-	sk2, _ := SpecKey(otherSeed)
+	sk1, _ := store.SpecKey(base)
+	sk2, _ := store.SpecKey(otherSeed)
 	if sk1 == sk2 {
 		t.Error("spec key ignores the seed")
 	}
@@ -122,17 +116,23 @@ func TestMatrixKeyIgnoresSeedOnly(t *testing.T) {
 
 	otherMatrix := testSpec(t, 7)
 	otherMatrix.Repetitions = 3
-	mk3, _ := MatrixKey(otherMatrix)
+	mk3, _ := store.MatrixKey(otherMatrix)
 	if mk3 == mk1 {
 		t.Error("matrix key ignores the repetition count")
+	}
+
+	// The scenario is part of the matrix: a noisy run is a different
+	// experiment, not a different day.
+	scenarioSpec := testSpec(t, 7)
+	scenarioSpec.Scenario = fleet.ScenarioID{Name: "stragglers", Params: map[string]float64{"prob": 0.25}}
+	mk4, _ := store.MatrixKey(scenarioSpec)
+	if mk4 == mk1 {
+		t.Error("matrix key ignores the scenario")
 	}
 }
 
 func TestCreateResumeRoundTrip(t *testing.T) {
-	st, err := Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := testutil.TempStore(t)
 	spec := testSpec(t, 7)
 
 	run, err := st.Create("day1", spec, nil, 1700000000)
@@ -168,13 +168,8 @@ func TestCreateResumeRoundTrip(t *testing.T) {
 		if rec.Label != want.Cell.Label() {
 			t.Errorf("cell %d label %q, want %q", i, rec.Label, want.Cell.Label())
 		}
-		if rec.Series.Label != want.Series.Label || len(rec.Series.Points) != len(want.Series.Points) {
-			t.Errorf("cell %s series did not round-trip", rec.Label)
-		}
-		for j := range rec.Series.Points {
-			if rec.Series.Points[j] != want.Series.Points[j] {
-				t.Fatalf("cell %s point %d changed across the JSON round-trip", rec.Label, j)
-			}
+		if !testutil.SeriesEqual(rec.Series, want.Series) {
+			t.Errorf("cell %s series did not round-trip bit-exactly", rec.Label)
 		}
 	}
 
@@ -203,6 +198,13 @@ func TestCreateResumeRoundTrip(t *testing.T) {
 	}()); err == nil {
 		t.Fatal("resume with a different config should be rejected")
 	}
+	if _, err := st.Resume("day1", func() fleet.CampaignSpec {
+		s := testSpec(t, 7)
+		s.Scenario = fleet.ScenarioID{Name: "loss-burst"}
+		return s
+	}()); err == nil {
+		t.Fatal("resume with a different scenario should be rejected")
+	}
 
 	ms, err := st.ListRuns()
 	if err != nil {
@@ -211,19 +213,36 @@ func TestCreateResumeRoundTrip(t *testing.T) {
 	if len(ms) != 1 || ms[0].RunID != "day1" || ms[0].CreatedUnix != 1700000000 {
 		t.Fatalf("ListRuns = %+v", ms)
 	}
-	wantKey, _ := SpecKey(testSpec(t, 7))
-	wantMatrix, _ := MatrixKey(testSpec(t, 7))
+	wantKey, _ := store.SpecKey(testSpec(t, 7))
+	wantMatrix, _ := store.MatrixKey(testSpec(t, 7))
 	if ms[0].SpecKey != wantKey || ms[0].MatrixKey != wantMatrix {
 		t.Fatal("manifest keys do not match the spec's")
 	}
 }
 
-func TestCellsToleratesTornTrailingLine(t *testing.T) {
-	dir := t.TempDir()
-	st, err := Open(dir)
+// TestManifestRecordsScenario checks the acceptance criterion that a
+// stored run carries its scenario identity.
+func TestManifestRecordsScenario(t *testing.T) {
+	st := testutil.TempStore(t)
+	spec := testSpec(t, 7)
+	spec.Scenario = fleet.ScenarioID{Name: "noisy-neighbor", Params: map[string]float64{"depth": 0.45}}
+	run, err := st.Create("noisy", spec, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	run.Close()
+	m, err := st.Manifest("noisy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spec.Scenario.Name != "noisy-neighbor" || m.Spec.Scenario.Params["depth"] != 0.45 {
+		t.Fatalf("manifest scenario = %+v", m.Spec.Scenario)
+	}
+}
+
+func TestCellsToleratesTornTrailingLine(t *testing.T) {
+	st := testutil.TempStore(t)
+	dir := st.Dir()
 	spec := testSpec(t, 7)
 	run, err := st.Create("day1", spec, nil, 0)
 	if err != nil {
@@ -296,10 +315,7 @@ func TestCellsToleratesTornTrailingLine(t *testing.T) {
 }
 
 func TestPutRejectsFailedCells(t *testing.T) {
-	st, err := Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := testutil.TempStore(t)
 	spec := testSpec(t, 7)
 	run, err := st.Create("day1", spec, nil, 0)
 	if err != nil {
@@ -316,10 +332,7 @@ func TestPutRejectsFailedCells(t *testing.T) {
 }
 
 func TestRunIDValidation(t *testing.T) {
-	st, err := Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := testutil.TempStore(t)
 	for _, id := range []string{"", ".hidden", "a/b", "a b", strings.Repeat("x", 5) + "/../y"} {
 		if _, err := st.Create(id, testSpec(t, 7), nil, 0); err == nil {
 			t.Errorf("run id %q should be rejected", id)
