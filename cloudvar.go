@@ -18,6 +18,7 @@
 //   - the persistent campaign store and longitudinal drift analysis
 //     (internal/store, internal/longitudinal)
 //   - composable adverse-condition scenarios (internal/scenario)
+//   - the declarative experiment-spec API (internal/expspec)
 //   - figure/table regeneration (internal/figures)
 //
 // Quick start:
@@ -36,6 +37,7 @@ import (
 	"cloudvar/internal/cloudmodel"
 	"cloudvar/internal/confirm"
 	"cloudvar/internal/core"
+	"cloudvar/internal/expspec"
 	"cloudvar/internal/figures"
 	"cloudvar/internal/fleet"
 	"cloudvar/internal/longitudinal"
@@ -186,6 +188,54 @@ var (
 	WorkloadByName = workloads.ByName
 	// Table4Cluster builds the paper's 12-node token-bucket rig.
 	Table4Cluster = workloads.Table4Cluster
+)
+
+// Declarative experiment specs: one versioned document that defines,
+// runs, stores and compares campaigns (internal/expspec). This is the
+// canonical way to express an experiment — spec files and the fluent
+// builder produce the same artifact, and its canonical hash rides
+// into every stored run's manifest.
+type (
+	// ExperimentSpec is the versioned experiment-spec document.
+	ExperimentSpec = expspec.Document
+	// ExperimentBuilder assembles a spec document fluently.
+	ExperimentBuilder = expspec.Builder
+	// ExperimentPlan is a compiled document: the executable campaign
+	// plus store/drift/output/artifact plans.
+	ExperimentPlan = expspec.Plan
+	// ExperimentCampaign is the document's campaign section.
+	ExperimentCampaign = expspec.Campaign
+	// ExperimentProfile selects one cloud/instance combination.
+	ExperimentProfile = expspec.ProfileRef
+	// ExperimentScenario selects an adverse-condition scenario with
+	// optional parameter overrides.
+	ExperimentScenario = expspec.ScenarioRef
+	// ExperimentStore is the document's results-store section.
+	ExperimentStore = expspec.Store
+	// ExperimentDrift is the document's drift-comparison section.
+	ExperimentDrift = expspec.Drift
+	// ExperimentOutput is the document's output-artifact section.
+	ExperimentOutput = expspec.Output
+	// ExperimentArtifacts is the document's figure/table section.
+	ExperimentArtifacts = expspec.Artifacts
+)
+
+// Experiment-spec functions.
+var (
+	// NewExperiment starts a spec document with the current schema
+	// version: NewExperiment("x").WithProfile(...).Build().
+	NewExperiment = expspec.NewExperiment
+	// DecodeExperiment strictly parses a spec document from JSON or
+	// the YAML subset, rejecting unknown fields with their path.
+	DecodeExperiment = expspec.Decode
+	// DecodeExperimentFile reads and parses a spec file.
+	DecodeExperimentFile = expspec.DecodeFile
+	// CompileExperiment canonicalizes, validates and lowers a
+	// document to its executable plan.
+	CompileExperiment = expspec.Compile
+	// BuildScenario resolves a registered scenario with parameter
+	// overrides merged over its defaults.
+	BuildScenario = scenario.Build
 )
 
 // Fleet orchestration: deterministic concurrent campaign matrices.

@@ -3,11 +3,20 @@
 //
 // Usage:
 //
+//	cloudbench -spec FILE [-workers N] [-resume]
 //	cloudbench [-cloud ec2,gce,...] [-instance c5.xlarge|8|...] \
 //	           [-regime full-speed|10-30|5-30|all] [-hours H] \
 //	           [-reps N] [-workers N] [-seed N] [-csv FILE] \
 //	           [-scenario NAME | -scenario-list] \
 //	           [-store DIR -run-id ID [-resume]]
+//
+// -spec runs a declarative experiment-spec document (JSON, or the
+// YAML subset; see examples/*/experiment.json) — the canonical way to
+// define an experiment. The matrix flags are the legacy path: they
+// synthesize exactly the same document internally, so a flag
+// invocation and its equivalent spec file produce byte-identical
+// output and identical store keys. With -spec, only the operational
+// -workers and -resume flags may be combined; matrix flags conflict.
 //
 // -cloud takes a comma-separated list; -instance takes either a single
 // value applied to every cloud (empty means each cloud's default) or a
@@ -24,17 +33,19 @@
 // content address, so stored runs of different scenarios can never be
 // compared by cmd/drift.
 //
-// With -store, every completed cell is persisted to the named results
-// store under -run-id, together with a manifest recording the spec's
-// content address and the F5.2 platform fingerprints. -resume reopens
-// an interrupted run and re-executes only the missing cells — the
-// final output is bit-identical to an uninterrupted run. Stored runs
-// of the same matrix (typically under different seeds, i.e. different
-// emulated days) are compared by cmd/drift.
+// With a store section (or -store), every completed cell is persisted
+// to the named results store under its run ID, together with a
+// manifest recording the spec's content address, the canonical
+// experiment-spec document, and the F5.2 platform fingerprints.
+// -resume reopens an interrupted run and re-executes only the missing
+// cells — the final output is bit-identical to an uninterrupted run.
+// Stored runs of the same matrix (typically under different seeds,
+// i.e. different emulated days) are compared by cmd/drift, and
+// "drift -show-spec RUN" reprints the exact spec of a stored run.
 //
-// Output: a per-cell statistical summary, plus a per-(cloud, regime)
-// repetition aggregate when -reps > 1; with -csv, the raw series of a
-// single-cell run in the released-data format.
+// Exit status: 0 on success, 1 when the campaign itself fails, 2 for
+// spec or flag validation errors (the message names the offending
+// field).
 package main
 
 import (
@@ -43,12 +54,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
-	"cloudvar/internal/cloudmodel"
 	"cloudvar/internal/core"
+	"cloudvar/internal/expspec"
 	"cloudvar/internal/fleet"
 	"cloudvar/internal/scenario"
 	"cloudvar/internal/store"
@@ -59,9 +68,17 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// operationalFlags may accompany -spec: they schedule, resume or
+// inspect, but never define the experiment. Every other flag
+// conflicts with a spec file (which defines it instead).
+var operationalFlags = map[string]bool{
+	"spec": true, "workers": true, "resume": true, "scenario-list": true,
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cloudbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "experiment-spec file (JSON or YAML subset); replaces the matrix flags")
 	clouds := fs.String("cloud", "ec2", "comma-separated cloud profiles: ec2, gce, hpccloud")
 	instances := fs.String("instance", "", "instance per cloud: EC2 c5.* name, or core count for gce/hpccloud; single value or list aligned with -cloud")
 	regime := fs.String("regime", "all", "access regime: full-speed, 10-30, 5-30 or all")
@@ -79,59 +96,97 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
-		return 1
+		// The flag package already printed the failing flag and the
+		// usage text; add the spec-file pointer and exit as a usage
+		// error rather than a generic failure.
+		fmt.Fprintln(stderr, "cloudbench: spec files replace most flags; see examples/*/experiment.json")
+		return 2
 	}
-	fatal := func(err error) int {
+	usage := func(err error) int {
 		fmt.Fprintln(stderr, "cloudbench:", err)
-		return 1
+		fmt.Fprintln(stderr, "run 'cloudbench -h' for flags; see examples/*/experiment.json for spec files")
+		return 2
 	}
 
 	if *scenarioList {
 		return listScenarios(stdout)
 	}
 
-	profiles, err := buildProfiles(*clouds, *instances)
+	var doc expspec.Document
+	if *specPath != "" {
+		if conflict := expspec.ConflictingFlag(fs, operationalFlags); conflict != "" {
+			return usage(fmt.Errorf("-%s conflicts with -spec: the spec file defines the experiment (only -workers and -resume combine with it)", conflict))
+		}
+		var err error
+		if doc, err = expspec.DecodeFile(*specPath); err != nil {
+			return usage(err)
+		}
+	} else {
+		b := expspec.NewExperiment("").
+			WithProfileList(*clouds, *instances).
+			WithRepetitions(*reps).
+			WithDuration(*hours).
+			WithSeed(*seed).
+			WithWorkers(*workers)
+		if *regime != "all" {
+			b.WithRegimes(*regime)
+		}
+		if *scenarioName != "" {
+			b.WithScenario(*scenarioName, nil)
+		}
+		if *csvPath != "" {
+			b.WithCSV(*csvPath)
+		}
+		if *storeDir != "" || *runID != "" {
+			b.WithStore(*storeDir, *runID)
+		}
+		var err error
+		if doc, err = b.Build(); err != nil {
+			return usage(err)
+		}
+	}
+
+	plan, err := expspec.Compile(doc)
 	if err != nil {
-		return fatal(err)
+		return usage(err)
 	}
+	if plan.Campaign == nil {
+		return usage(fmt.Errorf("spec has no campaign section (cloudbench runs campaigns; see cmd/drift and cmd/reproduce for the other sections)"))
+	}
+	if *resume && plan.Store == nil {
+		return usage(fmt.Errorf("-resume needs a store (store section in the spec, or -store/-run-id)"))
+	}
+	// Operational overrides: scheduling and resumption are not part
+	// of the experiment's identity, so they may accompany -spec.
+	if *workers != 0 {
+		plan.Campaign.Spec.Workers = *workers
+	}
+	if *resume && plan.Store != nil {
+		plan.Store.Resume = true
+	}
+	return execute(plan, stdout, stderr)
+}
 
-	regimes := trace.Regimes()
-	if *regime != "all" {
-		r, err := trace.RegimeByName(*regime)
-		if err != nil {
-			return fatal(err)
-		}
-		regimes = []trace.Regime{r}
+// execute runs a compiled campaign plan: fleet fan-out, optional
+// persistence, and the per-cell / per-group report.
+func execute(plan expspec.Plan, stdout, stderr io.Writer) int {
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "cloudbench:", err)
+		return 1
 	}
-
-	spec := fleet.CampaignSpec{
-		Profiles:    profiles,
-		Regimes:     regimes,
-		Repetitions: *reps,
-		Config:      cloudmodel.DefaultCampaignConfig(*hours * 3600),
-		Seed:        *seed,
-		Workers:     *workers,
-	}
-	if *scenarioName != "" {
-		sc, err := scenario.ByName(*scenarioName)
-		if err != nil {
-			return fatal(err)
-		}
-		if spec, err = sc.Expand(spec); err != nil {
-			return fatal(err)
-		}
-		fmt.Fprintf(stdout, "scenario: %s — %s\n", spec.Scenario, sc.Description)
+	spec := plan.Campaign.Spec
+	if !spec.Scenario.IsZero() {
+		fmt.Fprintf(stdout, "scenario: %s — %s\n", spec.Scenario, plan.Campaign.ScenarioDescription)
 	}
 	cells := spec.Cells()
-	if *csvPath != "" && len(cells) != 1 {
-		return fatal(fmt.Errorf("-csv needs a single cell (one cloud, one regime, -reps 1); matrix has %d", len(cells)))
-	}
+	profiles := spec.Profiles
+	regimes := spec.EffectiveRegimes()
 
 	effReps := len(cells) / (len(profiles) * len(regimes))
 	fmt.Fprintf(stdout, "campaign: %d cells (%d profiles x %d regimes x %d reps), %g emulated hours each, seed %d\n\n",
-		len(cells), len(profiles), len(regimes), effReps, *hours, *seed)
+		len(cells), len(profiles), len(regimes), effReps, plan.Doc.Campaign.Hours, spec.Seed)
 
-	run, err := openStoreRun(*storeDir, *runID, *resume, spec, stdout)
+	run, err := openStoreRun(plan, stdout)
 	if err != nil {
 		return fatal(err)
 	}
@@ -143,7 +198,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fatal(err)
 		}
 		fmt.Fprintf(stdout, "store: run %q (spec %.12s, scenario %s), %d/%d cells already persisted\n\n",
-			*runID, run.Manifest().SpecKey, run.Manifest().Spec.Scenario, len(done), len(cells))
+			plan.Store.RunID, run.Manifest().SpecKey, run.Manifest().Spec.Scenario, len(done), len(cells))
 	}
 
 	res, err := fleet.Run(spec)
@@ -162,17 +217,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%-32s %8.2f %8.2f %8.2f %8.2f %8.2f %8.1f %10d\n",
 			c.Cell.Label(), sum.P01, sum.P25, sum.Median, sum.P75, sum.P99,
 			sum.CoV*100, c.Series.RetransmissionTotal())
-		if *csvPath != "" {
-			if err := writeCSV(*csvPath, c.Series); err != nil {
+		if plan.CSV != "" {
+			if err := writeCSV(plan.CSV, c.Series); err != nil {
 				return fatal(err)
 			}
-			fmt.Fprintf(stdout, "raw series written to %s (%d points)\n", *csvPath, len(c.Series.Points))
+			fmt.Fprintf(stdout, "raw series written to %s (%d points)\n", plan.CSV, len(c.Series.Points))
 		}
 	}
 
 	if spec.Repetitions > 1 {
 		fmt.Fprintf(stdout, "\nper-(cloud, regime) repetition aggregates (mean bandwidth per fresh pair):\n")
-		fmt.Fprintf(stdout, "%-28s %5s %8s %8s %18s %10s\n", "group", "n", "median", "CoV[%]", "95% median CI", "converged")
+		ciLabel := fmt.Sprintf("%g%% median CI", plan.Doc.Campaign.Confidence*100)
+		fmt.Fprintf(stdout, "%-28s %5s %8s %8s %18s %10s\n", "group", "n", "median", "CoV[%]", ciLabel, "converged")
 		for _, g := range res.Groups {
 			r := g.Result
 			ci := "n/a"
@@ -203,7 +259,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		fmt.Fprintf(stdout, "\nstore: %d/%d cells persisted under run %q; compare runs with cmd/drift\n",
-			persisted, len(res.Cells), *runID)
+			persisted, len(res.Cells), plan.Store.RunID)
 	}
 
 	if err := res.Err(); err != nil {
@@ -222,118 +278,35 @@ func listScenarios(stdout io.Writer) int {
 	return 0
 }
 
-// openStoreRun opens the persistence sink named by the store flags:
-// nil when no store was requested, a resumed run with -resume (the
-// store verifies the spec still hashes to the run's recorded key), or
-// a freshly created run whose manifest records the F5.2 platform
-// fingerprints of every profile in the matrix.
-func openStoreRun(dir, runID string, resume bool, spec fleet.CampaignSpec, stdout io.Writer) (*store.Run, error) {
-	if dir == "" {
-		if resume || runID != "" {
-			return nil, fmt.Errorf("-run-id/-resume need -store")
-		}
+// openStoreRun opens the persistence sink named by the plan's store
+// section: nil when no store was requested, a resumed run on resume
+// (the store verifies the spec still hashes to the run's recorded
+// key), or a freshly created run whose manifest records the F5.2
+// platform fingerprints of every profile in the matrix together with
+// the canonical experiment-spec document and its hash.
+func openStoreRun(plan expspec.Plan, stdout io.Writer) (*store.Run, error) {
+	if plan.Store == nil {
 		return nil, nil
 	}
-	if runID == "" {
-		return nil, fmt.Errorf("-store needs -run-id (name the run, e.g. a date)")
-	}
-	st, err := store.Open(dir)
+	spec := plan.Campaign.Spec
+	st, err := store.Open(plan.Store.Dir)
 	if err != nil {
 		return nil, err
 	}
-	if resume {
-		return st.Resume(runID, spec)
+	if plan.Store.Resume {
+		return st.Resume(plan.Store.RunID, spec)
 	}
 	fmt.Fprintf(stdout, "store: fingerprinting %d profile(s) for the run manifest (F5.2)...\n", len(spec.Profiles))
 	fps, err := fleet.FingerprintProfiles(spec, core.FingerprintConfig{})
 	if err != nil {
 		return nil, err
 	}
-	return st.Create(runID, spec, fps, time.Now().Unix())
-}
-
-// buildProfiles expands the -cloud/-instance matrix flags. A single
-// (or empty) instance spec applies to every cloud; otherwise the lists
-// must align element-for-element.
-func buildProfiles(clouds, instances string) ([]cloudmodel.Profile, error) {
-	cloudList := splitList(clouds)
-	if len(cloudList) == 0 {
-		return nil, fmt.Errorf("no clouds given")
-	}
-	instList := splitList(instances)
-	switch {
-	case len(instList) <= 1:
-		inst := ""
-		if len(instList) == 1 {
-			inst = instList[0]
-		}
-		instList = make([]string, len(cloudList))
-		for i := range instList {
-			instList[i] = inst
-		}
-	case len(instList) != len(cloudList):
-		return nil, fmt.Errorf("-instance lists %d values for %d clouds; give one value or align the lists",
-			len(instList), len(cloudList))
-	}
-
-	seen := map[string]bool{}
-	out := make([]cloudmodel.Profile, 0, len(cloudList))
-	for i, cloud := range cloudList {
-		p, err := buildProfile(cloud, instList[i])
-		if err != nil {
-			return nil, err
-		}
-		key := p.Cloud + "/" + p.Instance
-		if seen[key] {
-			return nil, fmt.Errorf("duplicate matrix entry %s", key)
-		}
-		seen[key] = true
-		out = append(out, p)
-	}
-	return out, nil
-}
-
-// splitList parses a comma-separated flag value, dropping empties.
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
-	}
-	return out
-}
-
-func buildProfile(cloud, instance string) (cloudmodel.Profile, error) {
-	switch cloud {
-	case "ec2":
-		if instance == "" {
-			instance = "c5.xlarge"
-		}
-		return cloudmodel.EC2Profile(instance)
-	case "gce":
-		cores := 8
-		if instance != "" {
-			v, err := strconv.Atoi(instance)
-			if err != nil {
-				return cloudmodel.Profile{}, fmt.Errorf("gce instance must be a core count: %w", err)
-			}
-			cores = v
-		}
-		return cloudmodel.GCEProfile(cores)
-	case "hpccloud":
-		cores := 8
-		if instance != "" {
-			v, err := strconv.Atoi(instance)
-			if err != nil {
-				return cloudmodel.Profile{}, fmt.Errorf("hpccloud instance must be a core count: %w", err)
-			}
-			cores = v
-		}
-		return cloudmodel.HPCCloudProfile(cores)
-	default:
-		return cloudmodel.Profile{}, fmt.Errorf("unknown cloud %q", cloud)
-	}
+	return st.CreateWithMeta(plan.Store.RunID, spec, store.RunMeta{
+		Fingerprints:       fps,
+		CreatedUnix:        time.Now().Unix(),
+		ExperimentSpec:     plan.Bytes,
+		ExperimentSpecHash: plan.Hash,
+	})
 }
 
 func writeCSV(path string, s *trace.Series) error {
@@ -346,9 +319,4 @@ func writeCSV(path string, s *trace.Series) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatal(err error) int {
-	fmt.Fprintln(os.Stderr, "cloudbench:", err)
-	return 1
 }

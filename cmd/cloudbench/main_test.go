@@ -2,108 +2,174 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"cloudvar/internal/store"
+	"cloudvar/internal/testutil"
 )
 
-func TestBuildProfile(t *testing.T) {
-	cases := []struct {
-		cloud, instance string
-		wantCloud       string
-		wantRate        float64
-	}{
-		{"ec2", "", "ec2", 10},
-		{"ec2", "c5.4xlarge", "ec2", 10},
-		{"gce", "", "gce", 16},
-		{"gce", "4", "gce", 8},
-		{"hpccloud", "", "hpccloud", 10},
-		{"hpccloud", "4", "hpccloud", 5},
+// TestSpecFlagEquivalence is the acceptance path of the spec API:
+// running the committed quickstart spec file and the equivalent
+// legacy flag invocation produces byte-identical stdout.
+func TestSpecFlagEquivalence(t *testing.T) {
+	var specOut, flagOut, errOut bytes.Buffer
+	if code := run([]string{"-spec", "../../examples/quickstart/experiment.json"}, &specOut, &errOut); code != 0 {
+		t.Fatalf("spec run exited %d, stderr: %s", code, errOut.String())
 	}
-	for _, c := range cases {
-		p, err := buildProfile(c.cloud, c.instance)
+	if code := run([]string{
+		"-cloud", "ec2", "-instance", "c5.xlarge", "-regime", "full-speed",
+		"-reps", "2", "-hours", "0.05", "-seed", "7",
+	}, &flagOut, &errOut); code != 0 {
+		t.Fatalf("flag run exited %d, stderr: %s", code, errOut.String())
+	}
+	if specOut.String() != flagOut.String() {
+		t.Fatalf("-spec and legacy flags disagree:\n--- spec ---\n%s\n--- flags ---\n%s",
+			specOut.String(), flagOut.String())
+	}
+}
+
+// TestSpecFlagStoreKeysIdentical pins the store half of the
+// equivalence contract: a spec-file run and its legacy-flag twin
+// record identical SpecKey/MatrixKey, and the spec run additionally
+// carries the canonical document + hash in its manifest.
+func TestSpecFlagStoreKeysIdentical(t *testing.T) {
+	specDir, flagDir := t.TempDir(), t.TempDir()
+	specFile := filepath.Join(t.TempDir(), "experiment.json")
+	spec := `{
+  "schemaVersion": 1,
+  "name": "equivalence",
+  "campaign": {
+    "profiles": [
+      {
+        "cloud": "hpccloud",
+        "instance": "4"
+      }
+    ],
+    "regimes": [
+      "full-speed"
+    ],
+    "repetitions": 2,
+    "hours": 0.02,
+    "seed": 11
+  },
+  "store": {
+    "dir": ` + testutil.JSONString(t, specDir) + `,
+    "runId": "day1"
+  }
+}
+`
+	if err := os.WriteFile(specFile, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-spec", specFile}, &out, &errOut); code != 0 {
+		t.Fatalf("spec run exited %d, stderr: %s", code, errOut.String())
+	}
+	if code := run([]string{
+		"-cloud", "hpccloud", "-instance", "4", "-regime", "full-speed",
+		"-reps", "2", "-hours", "0.02", "-seed", "11",
+		"-store", flagDir, "-run-id", "day1",
+	}, &out, &errOut); code != 0 {
+		t.Fatalf("flag run exited %d, stderr: %s", code, errOut.String())
+	}
+
+	manifest := func(dir string) store.Manifest {
+		t.Helper()
+		st, err := store.Open(dir)
 		if err != nil {
-			t.Errorf("buildProfile(%q, %q): %v", c.cloud, c.instance, err)
-			continue
+			t.Fatal(err)
 		}
-		if p.Cloud != c.wantCloud {
-			t.Errorf("buildProfile(%q, %q).Cloud = %q", c.cloud, c.instance, p.Cloud)
+		m, err := st.Manifest("day1")
+		if err != nil {
+			t.Fatal(err)
 		}
-		if p.LineRateGbps != c.wantRate {
-			t.Errorf("buildProfile(%q, %q).LineRateGbps = %g, want %g",
-				c.cloud, c.instance, p.LineRateGbps, c.wantRate)
-		}
+		return m
+	}
+	ms, mf := manifest(specDir), manifest(flagDir)
+	if ms.SpecKey != mf.SpecKey {
+		t.Errorf("SpecKey differs: spec %s, flags %s", ms.SpecKey, mf.SpecKey)
+	}
+	if ms.MatrixKey != mf.MatrixKey {
+		t.Errorf("MatrixKey differs: spec %s, flags %s", ms.MatrixKey, mf.MatrixKey)
+	}
+	if len(ms.ExperimentSpec) == 0 || ms.ExperimentSpecHash == "" {
+		t.Errorf("spec-file run manifest is missing the experiment spec document/hash")
+	}
+	if len(mf.ExperimentSpec) == 0 || mf.ExperimentSpecHash == "" {
+		t.Errorf("legacy-flag run manifest is missing the synthesized spec document/hash")
+	}
+	if ms.ExperimentSpecHash != mf.ExperimentSpecHash {
+		t.Errorf("spec hash differs between entry paths: %s vs %s (store section must not be identity)",
+			ms.ExperimentSpecHash, mf.ExperimentSpecHash)
 	}
 }
 
-func TestBuildProfileErrors(t *testing.T) {
-	cases := [][2]string{
-		{"azure", ""},
-		{"ec2", "m7g.large"},
-		{"gce", "not-a-number"},
-		{"gce", "0"},
-		{"hpccloud", "16"},
-		{"hpccloud", "abc"},
+// TestSpecConflictsWithMatrixFlags: -spec defines the experiment, so
+// matrix flags are rejected as a usage error (exit 2) naming the
+// flag.
+func TestSpecConflictsWithMatrixFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-spec", "../../examples/quickstart/experiment.json", "-cloud", "gce"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-cloud conflicts with -spec") {
+		t.Errorf("stderr should name the conflicting flag:\n%s", errOut.String())
+	}
+}
+
+// TestSpecErrorsNameField: validation failures are usage errors that
+// name the offending field path and point at the usage hint.
+func TestSpecErrorsNameField(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"unknown-field", `{"schemaVersion": 1, "campaign": {"profiles": [{"cloud": "ec2", "region": "eu"}], "hours": 1, "seed": 1}}`,
+			`unknown field "campaign.profiles[0].region"`},
+		{"bad-cloud", `{"schemaVersion": 1, "campaign": {"profiles": [{"cloud": "azure"}], "hours": 1, "seed": 1}}`,
+			`campaign.profiles[0]: unknown cloud "azure"`},
+		{"bad-hours", `{"schemaVersion": 1, "campaign": {"profiles": [{"cloud": "ec2"}], "hours": -2, "seed": 1}}`,
+			"campaign.hours: -2 must be positive"},
+		{"no-version", `{"campaign": {"profiles": [{"cloud": "ec2"}], "hours": 1, "seed": 1}}`,
+			"schemaVersion: required"},
 	}
 	for _, c := range cases {
-		if _, err := buildProfile(c[0], c[1]); err == nil {
-			t.Errorf("buildProfile(%q, %q) should fail", c[0], c[1])
-		}
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(dir, c.name+".json")
+			if err := os.WriteFile(path, []byte(c.spec), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out, errOut bytes.Buffer
+			if code := run([]string{"-spec", path}, &out, &errOut); code != 2 {
+				t.Fatalf("exit %d, want 2; stderr: %s", code, errOut.String())
+			}
+			if !strings.Contains(errOut.String(), c.want) {
+				t.Errorf("stderr missing %q:\n%s", c.want, errOut.String())
+			}
+			if !strings.Contains(errOut.String(), "run 'cloudbench -h'") {
+				t.Errorf("stderr missing the usage hint:\n%s", errOut.String())
+			}
+		})
 	}
 }
 
-func TestBuildProfilesMatrix(t *testing.T) {
-	ps, err := buildProfiles("ec2,gce,hpccloud", "")
-	if err != nil {
-		t.Fatal(err)
+// TestLegacyFlagErrorsNameField: the legacy flags go through the same
+// spec synthesis, so their validation errors carry field paths too.
+func TestLegacyFlagErrorsNameField(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-hours", "-1"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, errOut.String())
 	}
-	if len(ps) != 3 {
-		t.Fatalf("%d profiles, want 3", len(ps))
+	if !strings.Contains(errOut.String(), "campaign.hours") {
+		t.Errorf("stderr should name campaign.hours:\n%s", errOut.String())
 	}
-	if ps[0].Cloud != "ec2" || ps[1].Cloud != "gce" || ps[2].Cloud != "hpccloud" {
-		t.Fatalf("cloud order not preserved: %v %v %v", ps[0].Cloud, ps[1].Cloud, ps[2].Cloud)
-	}
-
-	ps, err = buildProfiles("gce,hpccloud", "4")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ps[0].Instance != "4-core" || ps[1].Instance != "4-core" {
-		t.Fatalf("single instance should apply to all clouds: %v %v", ps[0].Instance, ps[1].Instance)
-	}
-
-	ps, err = buildProfiles("ec2,gce", "c5.4xlarge,2")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ps[0].Instance != "c5.4xlarge" || ps[1].Instance != "2-core" {
-		t.Fatalf("aligned lists misapplied: %v %v", ps[0].Instance, ps[1].Instance)
-	}
-}
-
-func TestBuildProfilesMatrixErrors(t *testing.T) {
-	cases := [][2]string{
-		{"", ""},                    // no clouds
-		{"ec2,gce,hpccloud", "a,b"}, // misaligned lists
-		{"ec2,ec2", ""},             // duplicate cell
-		{"ec2,azure", ""},           // unknown cloud in list
-		{"gce", "c5.xlarge"},        // wrong instance grammar
-	}
-	for _, c := range cases {
-		if _, err := buildProfiles(c[0], c[1]); err == nil {
-			t.Errorf("buildProfiles(%q, %q) should fail", c[0], c[1])
-		}
-	}
-}
-
-func TestSplitList(t *testing.T) {
-	got := splitList(" ec2, gce ,,hpccloud ")
-	if len(got) != 3 || got[0] != "ec2" || got[1] != "gce" || got[2] != "hpccloud" {
-		t.Fatalf("splitList = %v", got)
-	}
-	if out := splitList(""); out != nil {
-		t.Fatalf("splitList(\"\") = %v, want nil", out)
+	if code := run([]string{"-resume"}, &out, &errOut); code != 2 {
+		t.Fatalf("-resume without a store exited %d, want 2; stderr: %s", code, errOut.String())
 	}
 }
 
@@ -192,8 +258,8 @@ func TestRunScenarioList(t *testing.T) {
 
 func TestRunUnknownScenario(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-scenario", "quiet-day"}, &out, &errOut); code != 1 {
-		t.Fatalf("unknown scenario exited %d, want 1", code)
+	if code := run([]string{"-scenario", "quiet-day"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown scenario exited %d, want 2 (usage error)", code)
 	}
 	if !strings.Contains(errOut.String(), "unknown scenario") {
 		t.Errorf("stderr: %s", errOut.String())

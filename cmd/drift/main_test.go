@@ -2,13 +2,17 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/expspec"
 	"cloudvar/internal/fleet"
 	"cloudvar/internal/scenario"
 	"cloudvar/internal/store"
+	"cloudvar/internal/testutil"
 	"cloudvar/internal/trace"
 )
 
@@ -100,6 +104,125 @@ func TestRunErrors(t *testing.T) {
 		if code := run(args, &out, &errOut); code == 0 {
 			t.Errorf("run(%v) should fail", args)
 		}
+	}
+}
+
+// TestRunFromSpec drives the comparison from an experiment-spec
+// document's store + drift sections.
+func TestRunFromSpec(t *testing.T) {
+	dir := seedStore(t)
+	specFile := filepath.Join(t.TempDir(), "experiment.json")
+	spec := `{
+  "schemaVersion": 1,
+  "store": {"dir": ` + testutil.JSONString(t, dir) + `},
+  "drift": {"runs": ["day8", "day1"], "tolerance": 0.2}
+}`
+	if err := os.WriteFile(specFile, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-spec", specFile}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "baseline day8") {
+		t.Errorf("spec drift.runs order should pick the baseline:\n%s", out.String())
+	}
+
+	// Conflicting flags are rejected.
+	if code := run([]string{"-spec", specFile, "-runs", "day1,day8"}, &out, &errOut); code != 1 {
+		t.Fatalf("conflicting -runs exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "-runs conflicts with -spec") {
+		t.Errorf("stderr should name the conflicting flag: %s", errOut.String())
+	}
+
+	// A spec without a drift section still supports the store-only
+	// subcommands (-list), just not the comparison.
+	storeOnly := filepath.Join(t.TempDir(), "store.json")
+	noDrift := `{"schemaVersion": 1, "store": {"dir": ` + testutil.JSONString(t, dir) + `}}`
+	if err := os.WriteFile(storeOnly, []byte(noDrift), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-spec", storeOnly, "-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-spec -list without a drift section exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "day1") {
+		t.Errorf("-spec -list output:\n%s", out.String())
+	}
+	if code := run([]string{"-spec", storeOnly}, &out, &errOut); code != 1 {
+		t.Fatalf("comparison without a drift section exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "no drift section") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}
+
+// TestShowSpec is the acceptance path: a run stored with a spec
+// document reprints exactly the canonical spec, and the reprint
+// re-decodes to the same hash.
+func TestShowSpec(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := expspec.NewExperiment("show-spec").
+		WithProfile("ec2", "c5.xlarge").
+		WithRegimes("full-speed").
+		WithDuration(0.01).
+		WithSeed(4).
+		WithStore(dir, "day1").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := expspec.Compile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run1, err := st.CreateWithMeta("day1", plan.Campaign.Spec, store.RunMeta{
+		ExperimentSpec:     plan.Bytes,
+		ExperimentSpecHash: plan.Hash,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run1.Close()
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-store", dir, "-show-spec", "day1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if out.String() != string(plan.Bytes) {
+		t.Fatalf("-show-spec did not reprint the canonical spec:\n%s\nvs stored\n%s", out.String(), plan.Bytes)
+	}
+	reprinted, err := expspec.Decode(out.Bytes())
+	if err != nil {
+		t.Fatalf("reprint does not re-decode: %v", err)
+	}
+	hash, err := reprinted.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != plan.Hash {
+		t.Fatalf("reprint hashes to %.12s, stored spec to %.12s", hash, plan.Hash)
+	}
+
+	// A run persisted without a spec document says so.
+	legacy, err := st.Create("legacy", plan.Campaign.Spec, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.Close()
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-store", dir, "-show-spec", "legacy"}, &out, &errOut); code != 1 {
+		t.Fatalf("-show-spec on a legacy run exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "predates experiment-spec documents") {
+		t.Errorf("stderr: %s", errOut.String())
 	}
 }
 

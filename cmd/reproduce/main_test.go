@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSpecFlagEquivalence: a spec-file artifacts run is byte-identical
+// to the legacy flag invocation it replaces.
+func TestSpecFlagEquivalence(t *testing.T) {
+	specFile := filepath.Join(t.TempDir(), "experiment.json")
+	spec := `{
+  "schemaVersion": 1,
+  "artifacts": {"ids": ["table1"], "scale": 0.25}
+}`
+	if err := os.WriteFile(specFile, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var specOut, flagOut, errOut bytes.Buffer
+	if code := run([]string{"-spec", specFile}, &specOut, &errOut); code != 0 {
+		t.Fatalf("spec run exited %d, stderr: %s", code, errOut.String())
+	}
+	if code := run([]string{"-artifact", "table1", "-scale", "0.25"}, &flagOut, &errOut); code != 0 {
+		t.Fatalf("flag run exited %d, stderr: %s", code, errOut.String())
+	}
+	if specOut.String() != flagOut.String() {
+		t.Fatalf("-spec and legacy flags disagree:\n--- spec ---\n%s\n--- flags ---\n%s",
+			specOut.String(), flagOut.String())
+	}
+	if !strings.Contains(specOut.String(), "table1") {
+		t.Fatalf("output does not contain the artifact:\n%s", specOut.String())
+	}
+}
+
+// TestSpecValidation: a spec without an artifacts section, or with an
+// unknown artifact, is rejected with a named field.
+func TestSpecValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"no-artifacts", `{"schemaVersion": 1, "campaign": {"profiles": [{"cloud": "ec2"}], "hours": 1, "seed": 1}}`,
+			"no artifacts section"},
+		{"unknown-id", `{"schemaVersion": 1, "artifacts": {"ids": ["figure99"]}}`,
+			`artifacts.ids[0]: unknown artifact "figure99"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(dir, c.name+".json")
+			if err := os.WriteFile(path, []byte(c.spec), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out, errOut bytes.Buffer
+			if code := run([]string{"-spec", path}, &out, &errOut); code != 1 {
+				t.Fatalf("exit %d, want 1; stderr: %s", code, errOut.String())
+			}
+			if !strings.Contains(errOut.String(), c.want) {
+				t.Errorf("stderr missing %q:\n%s", c.want, errOut.String())
+			}
+		})
+	}
+}
+
+// TestSpecAllowsOperationalFlags: -workers/-outdir are scheduling and
+// output location, so they combine with -spec; artifact-defining
+// flags conflict.
+func TestSpecAllowsOperationalFlags(t *testing.T) {
+	specFile := filepath.Join(t.TempDir(), "experiment.json")
+	spec := `{"schemaVersion": 1, "artifacts": {"ids": ["table1"], "scale": 0.25}}`
+	if err := os.WriteFile(specFile, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outdir := t.TempDir()
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-spec", specFile, "-workers", "2", "-outdir", outdir}, &out, &errOut); code != 0 {
+		t.Fatalf("operational flags with -spec exited %d, stderr: %s", code, errOut.String())
+	}
+	if _, err := os.Stat(filepath.Join(outdir, "table1.txt")); err != nil {
+		t.Errorf("-outdir override not honoured: %v", err)
+	}
+	if code := run([]string{"-spec", specFile, "-scale", "0.5"}, &out, &errOut); code != 1 {
+		t.Fatalf("-scale with -spec exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "-scale conflicts with -spec") {
+		t.Errorf("stderr should name the conflicting flag: %s", errOut.String())
+	}
+}
+
+// TestLegacySeedAndScaleStayLiteral: flags always carry explicit
+// values, so -seed 0 is the literal seed 0 (not the paper default)
+// and -scale 0 still fails validation — unchanged from before the
+// spec rewiring, where the document's zero-means-default rule does
+// not apply.
+func TestLegacySeedAndScaleStayLiteral(t *testing.T) {
+	var zeroOut, defOut, errOut bytes.Buffer
+	if code := run([]string{"-artifact", "figure3a", "-seed", "0", "-scale", "0.1"}, &zeroOut, &errOut); code != 0 {
+		t.Fatalf("-seed 0 exited %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-artifact", "figure3a", "-scale", "0.1"}, &defOut, &errOut); code != 0 {
+		t.Fatalf("default seed exited %d: %s", code, errOut.String())
+	}
+	if zeroOut.String() == defOut.String() {
+		t.Error("-seed 0 produced the default-seed output; the literal seed was replaced")
+	}
+	errOut.Reset()
+	if code := run([]string{"-artifact", "table1", "-scale", "0"}, &zeroOut, &errOut); code != 1 {
+		t.Fatalf("-scale 0 exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "outside (0, 1]") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}
+
+func TestList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "table1") {
+		t.Errorf("-list missing table1:\n%s", out.String())
+	}
+}

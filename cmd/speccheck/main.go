@@ -1,0 +1,138 @@
+// Command speccheck validates committed experiment-spec files: every
+// file must decode strictly (unknown fields are errors), validate
+// (every field in range, every name resolvable), and — for JSON specs
+// — be byte-identical to the canonical encoding of what it declares,
+// so diffs over committed specs are always semantic, never
+// formatting. CI runs it over examples/; it is also the maintenance
+// tool that rewrites a drifted spec into canonical form (-fix).
+//
+// Usage:
+//
+//	speccheck [-fix] [-q] path...
+//
+// Directories are walked for files named experiment.json,
+// experiment.yaml or experiment.yml; explicit file arguments are
+// checked whatever their name. Exit status is non-zero when any file
+// fails.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"cloudvar/internal/expspec"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+var specNames = map[string]bool{
+	"experiment.json": true,
+	"experiment.yaml": true,
+	"experiment.yml":  true,
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fsags := flag.NewFlagSet("speccheck", flag.ContinueOnError)
+	fsags.SetOutput(stderr)
+	fix := fsags.Bool("fix", false, "rewrite drifted JSON specs into canonical encoding")
+	quiet := fsags.Bool("q", false, "print failures only")
+	if err := fsags.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 1
+	}
+	if fsags.NArg() == 0 {
+		fmt.Fprintln(stderr, "speccheck: no paths given (try: speccheck examples)")
+		return 1
+	}
+
+	var files []string
+	for _, root := range fsags.Args() {
+		info, err := os.Stat(root)
+		if err != nil {
+			fmt.Fprintln(stderr, "speccheck:", err)
+			return 1
+		}
+		if !info.IsDir() {
+			files = append(files, root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && specNames[d.Name()] {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "speccheck:", err)
+			return 1
+		}
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(stderr, "speccheck: no spec files found (experiment.json / experiment.yaml)")
+		return 1
+	}
+
+	failed := 0
+	for _, path := range files {
+		if err := check(path, *fix); err != nil {
+			failed++
+			fmt.Fprintf(stderr, "speccheck: %s: %v\n", path, err)
+			continue
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "ok %s\n", path)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "speccheck: %d/%d spec files failed\n", failed, len(files))
+		return 1
+	}
+	return 0
+}
+
+// check validates one spec file; for JSON specs it also enforces (or,
+// with fix, restores) the canonical encoding.
+func check(path string, fix bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	doc, err := expspec.Decode(data)
+	if err != nil {
+		return err
+	}
+	canon, err := doc.Canonical()
+	if err != nil {
+		return err
+	}
+	enc, err := canon.Encode()
+	if err != nil {
+		return err
+	}
+	ext := filepath.Ext(path)
+	if ext == ".yaml" || ext == ".yml" {
+		// YAML specs cannot be byte-compared against the JSON
+		// canonical form; strict decode + validation is the contract.
+		return nil
+	}
+	if !bytes.Equal(data, enc) {
+		if fix {
+			return os.WriteFile(path, enc, 0o644)
+		}
+		return fmt.Errorf("drifts from the canonical encoding (rerun with -fix, or commit the canonical form)")
+	}
+	return nil
+}

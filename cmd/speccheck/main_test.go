@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const canonical = `{
+  "schemaVersion": 1,
+  "campaign": {
+    "profiles": [
+      {
+        "cloud": "ec2",
+        "instance": "c5.xlarge"
+      }
+    ],
+    "regimes": [
+      "full-speed",
+      "10-30",
+      "5-30"
+    ],
+    "repetitions": 1,
+    "hours": 1,
+    "seed": 1,
+    "confidence": 0.95,
+    "errorBound": 0.05
+  }
+}
+`
+
+// TestCommittedSpecsAreCanonical runs the real check over the
+// repository's committed example specs — the same invocation CI runs.
+func TestCommittedSpecsAreCanonical(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"../../examples"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, errOut.String())
+	}
+	if strings.Count(out.String(), "ok ") < 5 {
+		t.Errorf("expected at least 5 committed specs, got:\n%s", out.String())
+	}
+}
+
+func TestCheckFailures(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a/experiment.json", canonical)
+	write(t, dir, "b/experiment.json", `{"schemaVersion": 1, "campaign": {"profiles": [{"cloud": "ec2"}], "hours": 1, "seed": 1, "minutes": 3}}`)
+	drifted := write(t, dir, "c/experiment.json", `{"schemaVersion":1,"campaign":{"profiles":[{"cloud":"ec2"}],"hours":1,"seed":1}}`)
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{dir}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), `unknown field "campaign.minutes"`) {
+		t.Errorf("stderr missing the unknown-field path:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "drifts from the canonical encoding") {
+		t.Errorf("stderr missing the canonical-drift failure:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "2/3 spec files failed") {
+		t.Errorf("stderr missing the summary:\n%s", errOut.String())
+	}
+
+	// -fix restores the drifted file to canonical form; the unknown
+	// field stays an error.
+	errOut.Reset()
+	if code := run([]string{"-fix", dir}, &out, &errOut); code != 1 {
+		t.Fatalf("-fix exit %d, want 1 (unknown field persists)", code)
+	}
+	errOut.Reset()
+	out.Reset()
+	if code := run([]string{drifted}, &out, &errOut); code != 0 {
+		t.Fatalf("fixed file still fails: %s", errOut.String())
+	}
+}
+
+func TestYAMLSpecsValidateWithoutByteCheck(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "experiment.yaml", `
+schemaVersion: 1
+campaign:
+  profiles:
+    - cloud: gce
+  hours: 1
+  seed: 3
+`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{dir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+}
+
+func TestNoSpecsFound(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{t.TempDir()}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "no spec files found") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}

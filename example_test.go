@@ -83,3 +83,60 @@ func ExampleRunFleet() {
 	// ec2/c5.xlarge/10-30: median 9.95 Gbps over 2 repetitions
 	// ec2/c5.xlarge/5-30: median 7.62 Gbps over 2 repetitions
 }
+
+// ExampleNewExperiment defines an experiment as a versioned spec
+// document — the same artifact a committed experiment.json declares —
+// and compiles it to a runnable campaign. Equal experiments hash
+// equally however they are expressed.
+func ExampleNewExperiment() {
+	doc, err := cloudvar.NewExperiment("godoc").
+		WithProfile("ec2", "c5.xlarge").
+		WithRegimes("full-speed").
+		WithRepetitions(2).
+		WithDuration(1.0 / 30). // 2 emulated minutes
+		WithSeed(7).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The equivalent spec file decodes to the same experiment.
+	fromFile, err := cloudvar.DecodeExperiment([]byte(`{
+	  "schemaVersion": 1,
+	  "campaign": {
+	    "profiles": [{"cloud": "ec2"}],
+	    "regimes": ["full-speed"],
+	    "repetitions": 2,
+	    "hours": 0.03333333333333333,
+	    "seed": 7
+	  }
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	h1, err := doc.Hash()
+	if err != nil {
+		log.Fatal(err)
+	}
+	h2, err := fromFile.Hash()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hashes equal:", h1 == h2)
+
+	plan, err := cloudvar.CompileExperiment(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cloudvar.RunFleet(plan.Campaign.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range res.Groups {
+		fmt.Printf("%s: median %.2f Gbps over %d repetitions\n",
+			g.Result.Name, g.Result.Summary.Median, g.Result.Summary.N)
+	}
+	// Output:
+	// hashes equal: true
+	// ec2/c5.xlarge/full-speed: median 10.23 Gbps over 2 repetitions
+}

@@ -1,6 +1,7 @@
-// Command quickstart emulates an Amazon EC2 c5.xlarge network path,
-// measures it the way the paper does, and discovers the token-bucket
-// QoS policy hiding behind the "up to 10 Gbps" advertisement.
+// Command quickstart defines a measurement campaign with the
+// declarative experiment-spec API and runs it: the document — not a
+// shell history of flags — is the experiment, and the committed
+// experiment.json next to this file declares the exact same one.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -8,60 +9,80 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
-	"cloudvar/internal/cloudmodel"
-	"cloudvar/internal/core"
-	"cloudvar/internal/netem"
-	"cloudvar/internal/simrand"
+	"cloudvar"
 )
 
 func main() {
-	src := simrand.New(7)
-
-	// A cloud profile bundles the QoS mechanism (the shaper) and the
-	// virtual-NIC latency/retransmission model.
-	profile, err := cloudmodel.EC2Profile("c5.xlarge")
+	// Define the experiment as a versioned document. Build
+	// canonicalizes: defaults are spelled out, every field validated.
+	doc, err := cloudvar.NewExperiment("quickstart").
+		WithProfile("ec2", "c5.xlarge").
+		WithRegimes("full-speed").
+		WithRepetitions(2).
+		WithDuration(0.05). // emulated hours
+		WithSeed(7).
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("profile: %s/%s, line rate %g Gbps, vNIC %s\n\n",
-		profile.Cloud, profile.Instance, profile.LineRateGbps, profile.VNIC.Name)
-
-	// Run a 10-minute full-speed iperf against a freshly allocated
-	// VM. Watch the bandwidth collapse when the token budget runs out.
-	shaper := profile.NewShaper(src)
-	res, err := netem.RunIperf(shaper, profile.VNIC, netem.IperfConfig{
-		DurationSec: 900, WriteBytes: 131072, BinSec: 60, RTTSamplesPerBin: 4,
-	}, src)
+	hash, err := doc.Hash()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("minute-by-minute bandwidth of a 15-minute full-speed stream:")
-	for i, bw := range res.BandwidthGbps {
-		marker := ""
-		if res.ThrottledBins[i] {
-			marker = "  <- throttled"
+	fmt.Printf("experiment %q, spec hash %.12s\n", doc.Name, hash)
+
+	// The committed spec file is the same artifact: whatever
+	// formatting or omitted defaults it was written with, an equal
+	// experiment hashes equally. cloudbench -spec runs it verbatim.
+	if fileDoc, err := cloudvar.DecodeExperimentFile("examples/quickstart/experiment.json"); err == nil {
+		fileHash, err := fileDoc.Hash()
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("  minute %2d: %5.2f Gbps%s\n", i+1, bw, marker)
+		fmt.Printf("experiment.json hash     %.12s (equal: %v)\n", fileHash, fileHash == hash)
+	} else if !os.IsNotExist(err) {
+		log.Fatal(err)
 	}
 
-	// The paper's F5.2 advice: fingerprint the platform before
-	// trusting any measurements on it.
-	fp, err := core.FingerprintShaper(
-		func() netem.Shaper { return profile.NewShaper(src) },
-		profile.VNIC, core.FingerprintConfig{}, src)
+	// Compile lowers the document to an executable campaign and runs
+	// it on the deterministic fleet: bit-identical results at any
+	// worker count, resumable when persisted to a store.
+	plan, err := cloudvar.CompileExperiment(doc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nplatform fingerprint (publish this with your results):\n  %s\n", fp)
-
-	if fp.Bucket != nil {
-		b := fp.Bucket
-		fmt.Printf("\nwhat this means for your experiments:\n")
-		fmt.Printf("  - the first ~%.0f s of heavy traffic run at %.0f Gbps, then %.0f Gbps\n",
-			b.TimeToEmptySec, b.HighGbps, b.LowGbps)
-		fmt.Printf("  - back-to-back experiments inherit each other's depleted budget\n")
-		fmt.Printf("  - rest the VM ~%.0f minutes (or allocate fresh VMs) between runs\n",
-			b.BudgetGbit/60)
+	res, err := cloudvar.RunFleet(plan.Campaign.Spec)
+	if err != nil {
+		log.Fatal(err)
 	}
+
+	fmt.Println("\nper-cell bandwidth (fresh VM pair per repetition):")
+	for _, c := range res.Cells {
+		if c.Err != nil {
+			log.Fatal(c.Err)
+		}
+		fmt.Printf("  %-28s median %5.2f Gbps, CoV %4.1f%%, %d retransmissions\n",
+			c.Cell.Label(), c.Summary.Median, c.Summary.CoV*100, c.Series.RetransmissionTotal())
+	}
+
+	// The paper's F5.2 advice still applies: fingerprint the platform
+	// and publish it with the spec document and its hash.
+	profile, err := cloudvar.EC2Profile("c5.xlarge")
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := cloudvar.NewRand(7)
+	fp, err := cloudvar.Fingerprint(func() cloudvar.Shaper {
+		return profile.NewShaper(src)
+	}, profile.VNIC, cloudvar.FingerprintConfig{}, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplatform fingerprint (publish with the spec + hash):\n  %s\n", fp)
+
+	fmt.Println("\nnext steps:")
+	fmt.Println("  go run ./cmd/cloudbench -spec examples/quickstart/experiment.json")
+	fmt.Println("  go run ./cmd/drift -store results/ -show-spec <run>   # reprint a stored run's spec")
 }

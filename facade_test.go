@@ -109,3 +109,55 @@ func TestFacadeArtifacts(t *testing.T) {
 		t.Errorf("artifact ID %q", tbl.ID)
 	}
 }
+
+// TestFacadeExperimentSpec drives the declarative experiment-spec
+// surface: build a document fluently, round-trip it through the
+// strict decoder, and compile it to a runnable campaign.
+func TestFacadeExperimentSpec(t *testing.T) {
+	doc, err := cloudvar.NewExperiment("facade").
+		WithProfile("ec2", "c5.xlarge").
+		WithRegimes("full-speed").
+		WithDuration(0.01).
+		WithSeed(5).
+		WithScenario("stragglers", map[string]float64{"prob": 0.5}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := doc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := cloudvar.DecodeExperiment(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := doc.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := decoded.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash changed across encode/decode: %.12s vs %.12s", h1, h2)
+	}
+	plan, err := cloudvar.CompileExperiment(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Campaign == nil || plan.Campaign.Spec.Scenario.IsZero() {
+		t.Fatal("compiled plan lost the campaign or scenario")
+	}
+	res, err := cloudvar.RunFleet(plan.Campaign.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cloudvar.BuildScenario("stragglers", map[string]float64{"prob": 0.1}); err != nil {
+		t.Fatal(err)
+	}
+}

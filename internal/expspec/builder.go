@@ -1,0 +1,197 @@
+package expspec
+
+// Builder is the programmatic face of the spec API: a fluent chain
+// that assembles the same Document a spec file declares, so library
+// callers and committed files express experiments through one
+// identical artifact:
+//
+//	doc, err := expspec.NewExperiment("quickstart").
+//		WithProfile("ec2", "c5.xlarge").
+//		WithRegimes("full-speed").
+//		WithDuration(0.05).
+//		WithSeed(7).
+//		WithScenario("noisy-neighbor", nil).
+//		Build()
+//
+// Build canonicalizes and validates; errors carry the field path of
+// the first offending option. The zero Builder is not useful — start
+// with NewExperiment.
+type Builder struct {
+	doc Document
+	err error
+}
+
+// NewExperiment starts a spec document with the current schema
+// version and an optional name.
+func NewExperiment(name string) *Builder {
+	return &Builder{doc: Document{SchemaVersion: SchemaVersion, Name: name}}
+}
+
+// campaign returns the campaign section, creating it on first use.
+func (b *Builder) campaign() *Campaign {
+	if b.doc.Campaign == nil {
+		b.doc.Campaign = &Campaign{}
+	}
+	return b.doc.Campaign
+}
+
+// WithProfile adds one cloud/instance combination to the campaign
+// matrix. An empty instance selects the cloud's default.
+func (b *Builder) WithProfile(cloud, instance string) *Builder {
+	c := b.campaign()
+	c.Profiles = append(c.Profiles, ProfileRef{Cloud: cloud, Instance: instance})
+	return b
+}
+
+// WithProfileList adds profiles from the -cloud/-instance comma-list
+// grammar — the bridge the legacy CLI flags ride in on.
+func (b *Builder) WithProfileList(clouds, instances string) *Builder {
+	refs, err := ParseProfiles(clouds, instances)
+	if err != nil {
+		if b.err == nil {
+			b.err = err
+		}
+		return b
+	}
+	c := b.campaign()
+	c.Profiles = append(c.Profiles, refs...)
+	return b
+}
+
+// WithRegimes selects access regimes by name; unset (or "all") means
+// all three standard regimes.
+func (b *Builder) WithRegimes(names ...string) *Builder {
+	b.campaign().Regimes = append([]string(nil), names...)
+	return b
+}
+
+// WithRepetitions sets the fresh-pair repetition count per cell.
+func (b *Builder) WithRepetitions(n int) *Builder {
+	b.campaign().Repetitions = n
+	return b
+}
+
+// WithDuration sets the emulated campaign duration in hours.
+func (b *Builder) WithDuration(hours float64) *Builder {
+	b.campaign().Hours = hours
+	return b
+}
+
+// WithSeed sets the campaign seed.
+func (b *Builder) WithSeed(seed uint64) *Builder {
+	b.campaign().Seed = seed
+	return b
+}
+
+// WithWorkers bounds the campaign worker pool (scheduling only; never
+// part of the document's identity).
+func (b *Builder) WithWorkers(n int) *Builder {
+	b.campaign().Workers = n
+	return b
+}
+
+// WithConfidence sets the per-group median-CI parameters.
+func (b *Builder) WithConfidence(confidence, errorBound float64) *Builder {
+	c := b.campaign()
+	c.Confidence, c.ErrorBound = confidence, errorBound
+	return b
+}
+
+// WithScenario expands the campaign with a named adverse-condition
+// scenario; params override the registry defaults (nil keeps them).
+func (b *Builder) WithScenario(name string, params map[string]float64) *Builder {
+	ref := ScenarioRef{Name: name}
+	if len(params) > 0 {
+		ref.Params = make(map[string]float64, len(params))
+		for k, v := range params {
+			ref.Params[k] = v
+		}
+	}
+	b.campaign().Scenario = &ref
+	return b
+}
+
+// WithWorkloads selects big-data application profiles by name.
+func (b *Builder) WithWorkloads(names ...string) *Builder {
+	b.doc.Workloads = append(b.doc.Workloads, names...)
+	return b
+}
+
+// WithStore persists campaign cells to the named results store under
+// the given run ID.
+func (b *Builder) WithStore(dir, runID string) *Builder {
+	resume := b.doc.Store != nil && b.doc.Store.Resume
+	b.doc.Store = &Store{Dir: dir, RunID: runID, Resume: resume}
+	return b
+}
+
+// WithResume reopens an interrupted stored run instead of creating a
+// fresh one.
+func (b *Builder) WithResume() *Builder {
+	if b.doc.Store == nil {
+		b.doc.Store = &Store{}
+	}
+	b.doc.Store.Resume = true
+	return b
+}
+
+// WithCSV writes the raw series of a single-cell campaign to path.
+func (b *Builder) WithCSV(path string) *Builder {
+	if b.doc.Output == nil {
+		b.doc.Output = &Output{}
+	}
+	b.doc.Output.CSV = path
+	return b
+}
+
+// WithDrift configures the longitudinal comparison over the
+// document's store: run IDs baseline-first (none means every run).
+func (b *Builder) WithDrift(runs ...string) *Builder {
+	if b.doc.Drift == nil {
+		b.doc.Drift = &Drift{}
+	}
+	b.doc.Drift.Runs = append(b.doc.Drift.Runs, runs...)
+	return b
+}
+
+// WithDriftOptions sets the drift gate parameters (zero keeps each
+// default) and whether drift should fail the run.
+func (b *Builder) WithDriftOptions(tolerance, confidence, errorBound float64, failOnDrift bool) *Builder {
+	if b.doc.Drift == nil {
+		b.doc.Drift = &Drift{}
+	}
+	d := b.doc.Drift
+	d.Tolerance, d.Confidence, d.ErrorBound, d.FailOnDrift = tolerance, confidence, errorBound, failOnDrift
+	return b
+}
+
+// WithArtifacts selects paper tables/figures for regeneration; ids
+// empty means all.
+func (b *Builder) WithArtifacts(ids ...string) *Builder {
+	if b.doc.Artifacts == nil {
+		b.doc.Artifacts = &Artifacts{}
+	}
+	b.doc.Artifacts.IDs = append(b.doc.Artifacts.IDs, ids...)
+	return b
+}
+
+// WithArtifactOptions sets artifact seed/scale/workers/outdir (zero
+// values keep the defaults).
+func (b *Builder) WithArtifactOptions(seed uint64, scale float64, workers int, outdir string) *Builder {
+	if b.doc.Artifacts == nil {
+		b.doc.Artifacts = &Artifacts{}
+	}
+	a := b.doc.Artifacts
+	a.Seed, a.Scale, a.Workers, a.OutDir = seed, scale, workers, outdir
+	return b
+}
+
+// Build canonicalizes and validates the assembled document. The
+// result is in canonical form: Encode gives the bytes a committed
+// spec file should contain, Hash its content address.
+func (b *Builder) Build() (Document, error) {
+	if b.err != nil {
+		return Document{}, b.err
+	}
+	return b.doc.Canonical()
+}

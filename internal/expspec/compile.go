@@ -1,0 +1,180 @@
+package expspec
+
+// Compile lowers a document to the runtime objects the rest of the
+// stack executes: the validated fleet.CampaignSpec, resolved
+// workloads, and the store/drift/output/artifact plans. Compile is
+// pure and deterministic — equal documents produce equal plans, and
+// the plan carries the canonical bytes + hash so whoever persists the
+// run can record the exact spec that produced it.
+
+import (
+	"fmt"
+
+	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/fleet"
+	"cloudvar/internal/scenario"
+	"cloudvar/internal/trace"
+	"cloudvar/internal/workloads"
+)
+
+// Plan is a compiled document: everything an entry point needs to
+// execute the experiment.
+type Plan struct {
+	// Doc is the canonical document the plan was compiled from.
+	Doc Document
+	// Bytes is Doc's canonical encoding — what the store manifest
+	// records and drift -show-spec reprints.
+	Bytes []byte
+	// Hash is the document's content address.
+	Hash string
+	// Campaign is the executable campaign, nil when the document has
+	// no campaign section.
+	Campaign *CampaignPlan
+	// Workloads are the resolved application profiles, in document
+	// order.
+	Workloads []workloads.App
+	// Store mirrors the document's store section.
+	Store *StorePlan
+	// Drift mirrors the document's drift section.
+	Drift *DriftPlan
+	// CSV is the raw-series output path ("" when none).
+	CSV string
+	// Artifacts mirrors the document's artifacts section.
+	Artifacts *ArtifactsPlan
+}
+
+// CampaignPlan is the executable form of the campaign section.
+type CampaignPlan struct {
+	// Spec is the validated, scenario-expanded campaign — ready for
+	// fleet.Run.
+	Spec fleet.CampaignSpec
+	// ScenarioDescription is the expanded scenario's one-line
+	// description ("" without a scenario), for CLI banners.
+	ScenarioDescription string
+}
+
+// StorePlan names the results store a campaign persists into.
+type StorePlan struct {
+	Dir    string
+	RunID  string
+	Resume bool
+}
+
+// DriftPlan parameterises the longitudinal comparison.
+type DriftPlan struct {
+	Runs        []string
+	Tolerance   float64
+	Confidence  float64
+	ErrorBound  float64
+	FailOnDrift bool
+}
+
+// ArtifactsPlan parameterises artifact regeneration.
+type ArtifactsPlan struct {
+	IDs     []string
+	Seed    uint64
+	Scale   float64
+	Workers int
+	OutDir  string
+}
+
+// Compile canonicalizes, validates and lowers the document. Errors
+// name the offending field path.
+func Compile(doc Document) (Plan, error) {
+	canon, err := doc.Canonical()
+	if err != nil {
+		return Plan{}, err
+	}
+	bytes, err := canon.Encode()
+	if err != nil {
+		return Plan{}, err
+	}
+	hash, err := hashCanonical(canon)
+	if err != nil {
+		return Plan{}, err
+	}
+	plan := Plan{Doc: canon, Bytes: bytes, Hash: hash}
+
+	if canon.Campaign != nil {
+		cp, err := compileCampaign(*canon.Campaign)
+		if err != nil {
+			return Plan{}, err
+		}
+		plan.Campaign = cp
+	}
+	for i, name := range canon.Workloads {
+		app, err := workloads.ByName(name)
+		if err != nil {
+			return Plan{}, fmt.Errorf("workloads[%d]: %w", i, err)
+		}
+		plan.Workloads = append(plan.Workloads, app)
+	}
+	if canon.Store != nil {
+		plan.Store = &StorePlan{Dir: canon.Store.Dir, RunID: canon.Store.RunID, Resume: canon.Store.Resume}
+	}
+	if canon.Drift != nil {
+		plan.Drift = &DriftPlan{
+			Runs:        append([]string(nil), canon.Drift.Runs...),
+			Tolerance:   canon.Drift.Tolerance,
+			Confidence:  canon.Drift.Confidence,
+			ErrorBound:  canon.Drift.ErrorBound,
+			FailOnDrift: canon.Drift.FailOnDrift,
+		}
+	}
+	if canon.Output != nil {
+		plan.CSV = canon.Output.CSV
+	}
+	if canon.Artifacts != nil {
+		plan.Artifacts = &ArtifactsPlan{
+			IDs:     append([]string(nil), canon.Artifacts.IDs...),
+			Seed:    canon.Artifacts.Seed,
+			Scale:   canon.Artifacts.Scale,
+			Workers: canon.Artifacts.Workers,
+			OutDir:  canon.Artifacts.OutDir,
+		}
+	}
+	return plan, nil
+}
+
+// compileCampaign lowers a canonical campaign section to a validated
+// fleet.CampaignSpec, applying the scenario expansion.
+func compileCampaign(c Campaign) (*CampaignPlan, error) {
+	profiles, err := ResolveProfiles(c.Profiles)
+	if err != nil {
+		return nil, err
+	}
+	regimes := make([]trace.Regime, len(c.Regimes))
+	for i, name := range c.Regimes {
+		r, err := trace.RegimeByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("campaign.regimes[%d]: %w", i, err)
+		}
+		regimes[i] = r
+	}
+	spec := fleet.CampaignSpec{
+		Profiles:    profiles,
+		Regimes:     regimes,
+		Repetitions: c.Repetitions,
+		Config:      cloudmodel.DefaultCampaignConfig(c.Hours * 3600),
+		Seed:        c.Seed,
+		Workers:     c.Workers,
+		Confidence:  c.Confidence,
+		ErrorBound:  c.ErrorBound,
+	}
+	plan := &CampaignPlan{}
+	if c.Scenario != nil {
+		sc, err := scenario.Build(c.Scenario.Name, c.Scenario.Params)
+		if err != nil {
+			return nil, fmt.Errorf("campaign.scenario: %w", err)
+		}
+		if spec, err = sc.Expand(spec); err != nil {
+			return nil, fmt.Errorf("campaign.scenario: %w", err)
+		}
+		plan.ScenarioDescription = sc.Description
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	plan.Spec = spec
+	return plan, nil
+}

@@ -1,0 +1,573 @@
+package expspec
+
+// Strict document decoding. encoding/json's DisallowUnknownFields
+// rejects unknown fields but cannot say *where* they are, and it
+// cannot apply per-field validation messages; a hand-walked tree
+// gives every error a full field path ("campaign.profiles[1].cloud"),
+// which is the difference between a usable spec format and a
+// guessing game. The same walker consumes JSON and the YAML subset:
+// both decode to the identical (map/slice/json.Number) tree first.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Decode parses and strictly validates a spec document from JSON or
+// the YAML subset (sniffed: a document starting with '{' is JSON).
+// Unknown fields are rejected with their full path; type mismatches
+// name the field and the expected type. Decode does not canonicalize
+// — call Canonical (or Compile) on the result.
+func Decode(data []byte) (Document, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return Document{}, fmt.Errorf("spec is empty")
+	}
+	var tree any
+	if trimmed[0] == '{' || trimmed[0] == '[' {
+		if err := checkDuplicateJSONKeys(data); err != nil {
+			return Document{}, err
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.UseNumber()
+		if err := dec.Decode(&tree); err != nil {
+			return Document{}, fmt.Errorf("invalid JSON: %w", err)
+		}
+		// Anything after the document — a second value OR invalid
+		// bytes (a stray merge marker, a truncated edit) — is an
+		// error; only clean EOF is acceptable.
+		var extra any
+		if err := dec.Decode(&extra); !errors.Is(err, io.EOF) {
+			return Document{}, fmt.Errorf("invalid JSON: data after the document")
+		}
+	} else {
+		t, err := decodeYAML(data)
+		if err != nil {
+			return Document{}, err
+		}
+		tree = t
+	}
+	return decodeTree(tree)
+}
+
+// DecodeFile reads and decodes a spec file; .yaml/.yml files use the
+// YAML-subset parser, everything else is sniffed (JSON canonical).
+func DecodeFile(path string) (Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Document{}, err
+	}
+	var doc Document
+	switch filepath.Ext(path) {
+	case ".yaml", ".yml":
+		tree, yerr := decodeYAML(data)
+		if yerr == nil {
+			doc, err = decodeTree(tree)
+		} else {
+			err = yerr
+		}
+	default:
+		doc, err = Decode(data)
+	}
+	if err != nil {
+		return Document{}, fmt.Errorf("spec file %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// checkDuplicateJSONKeys walks the raw token stream rejecting objects
+// that repeat a key. encoding/json silently keeps the last occurrence
+// — a leftover line from a hand edit would silently change the
+// experiment, exactly the failure mode a strict spec format exists to
+// prevent (the YAML path already rejects duplicates).
+func checkDuplicateJSONKeys(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+
+	// A stack frame per open container: objects track their seen keys
+	// and the key currently awaiting its value, arrays just nest.
+	type frame struct {
+		object  bool
+		seen    map[string]bool
+		path    string // the container's path, for error messages
+		pending string // object key whose value comes next
+		index   int    // next array element index
+	}
+	var stack []*frame
+	// childPath names the position the next value will occupy.
+	childPath := func() string {
+		if len(stack) == 0 {
+			return ""
+		}
+		top := stack[len(stack)-1]
+		if top.object {
+			if top.path == "" {
+				return top.pending
+			}
+			return top.path + "." + top.pending
+		}
+		return fmt.Sprintf("%s[%d]", top.path, top.index)
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			// io.EOF and malformed JSON alike: the real decode that
+			// follows reports malformed input with its own message.
+			return nil
+		}
+		top := func() *frame {
+			if len(stack) == 0 {
+				return nil
+			}
+			return stack[len(stack)-1]
+		}()
+		if d, ok := tok.(json.Delim); ok {
+			switch d {
+			case '{', '[':
+				stack = append(stack, &frame{object: d == '{', seen: map[string]bool{}, path: childPath()})
+			case '}', ']':
+				stack = stack[:len(stack)-1]
+				// The closed container was a value: settle its slot in
+				// the parent.
+				if len(stack) > 0 {
+					if p := stack[len(stack)-1]; p.object {
+						p.pending = ""
+					} else {
+						p.index++
+					}
+				}
+			}
+			continue
+		}
+		if top == nil {
+			continue
+		}
+		if top.object && top.pending == "" {
+			key := tok.(string)
+			if top.seen[key] {
+				at := key
+				if top.path != "" {
+					at = top.path + "." + key
+				}
+				return fmt.Errorf("duplicate field %q (the last occurrence would silently win)", at)
+			}
+			top.seen[key] = true
+			top.pending = key
+			continue
+		}
+		// A scalar value: consume the pending key / advance the array.
+		if top.object {
+			top.pending = ""
+		} else {
+			top.index++
+		}
+	}
+}
+
+// object is one map node of the tree, tracking which keys the walker
+// consumed so leftovers are reported as unknown fields.
+type object struct {
+	path string
+	m    map[string]any
+	used map[string]bool
+}
+
+func asObject(path string, v any) (*object, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("%s: expected an object, got %s", displayPath(path), typeName(v))
+	}
+	return &object{path: path, m: m, used: make(map[string]bool)}, nil
+}
+
+// displayPath renders a path for error messages; the root is named
+// "spec".
+func displayPath(path string) string {
+	if path == "" {
+		return "spec"
+	}
+	return path
+}
+
+func (o *object) child(key string) string {
+	if o.path == "" {
+		return key
+	}
+	return o.path + "." + key
+}
+
+// get looks a key up, recording the attempt whether or not the key
+// is present — so after a section's decoder has run, used holds the
+// section's full schema and finish can both detect unknown fields and
+// name the fields that would have been accepted.
+func (o *object) get(key string) (any, bool) {
+	o.used[key] = true
+	v, ok := o.m[key]
+	return v, ok
+}
+
+// finish rejects unconsumed keys, naming each with its full path and
+// the fields the section does know.
+func (o *object) finish() error {
+	var unknown []string
+	for k := range o.m {
+		if !o.used[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	known := make([]string, 0, len(o.used))
+	for k := range o.used {
+		known = append(known, k)
+	}
+	sort.Strings(known)
+	return fmt.Errorf("unknown field %q (known fields in %s: %s)",
+		o.child(unknown[0]), displayPath(o.path), strings.Join(known, ", "))
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "a boolean"
+	case string:
+		return "a string"
+	case json.Number:
+		return "a number"
+	case []any:
+		return "a list"
+	case map[string]any:
+		return "an object"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+func (o *object) str(key string) (string, error) {
+	v, ok := o.get(key)
+	if !ok {
+		return "", nil
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("%s: expected a string, got %s", o.child(key), typeName(v))
+	}
+	return s, nil
+}
+
+func (o *object) boolean(key string) (bool, error) {
+	v, ok := o.get(key)
+	if !ok {
+		return false, nil
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("%s: expected a boolean, got %s", o.child(key), typeName(v))
+	}
+	return b, nil
+}
+
+func (o *object) number(key string) (json.Number, bool, error) {
+	v, ok := o.get(key)
+	if !ok {
+		return "", false, nil
+	}
+	n, ok := v.(json.Number)
+	if !ok {
+		return "", false, fmt.Errorf("%s: expected a number, got %s", o.child(key), typeName(v))
+	}
+	return n, true, nil
+}
+
+func (o *object) integer(key string) (int, error) {
+	n, ok, err := o.number(key)
+	if err != nil || !ok {
+		return 0, err
+	}
+	i, err := n.Int64()
+	if err != nil || i != int64(int(i)) {
+		return 0, fmt.Errorf("%s: %s is not an integer", o.child(key), n)
+	}
+	return int(i), nil
+}
+
+func (o *object) uint(key string) (uint64, error) {
+	n, ok, err := o.number(key)
+	if err != nil || !ok {
+		return 0, err
+	}
+	u, perr := parseUint(string(n))
+	if perr != nil {
+		return 0, fmt.Errorf("%s: %s is not an unsigned integer", o.child(key), n)
+	}
+	return u, nil
+}
+
+func parseUint(s string) (uint64, error) {
+	return strconv.ParseUint(s, 10, 64)
+}
+
+func (o *object) float(key string) (float64, error) {
+	n, ok, err := o.number(key)
+	if err != nil || !ok {
+		return 0, err
+	}
+	f, ferr := n.Float64()
+	if ferr != nil || math.IsInf(f, 0) || math.IsNaN(f) {
+		return 0, fmt.Errorf("%s: %s is not a finite number", o.child(key), n)
+	}
+	return f, nil
+}
+
+func (o *object) strList(key string) ([]string, error) {
+	v, ok := o.get(key)
+	if !ok {
+		return nil, nil
+	}
+	items, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("%s: expected a list, got %s", o.child(key), typeName(v))
+	}
+	out := make([]string, len(items))
+	for i, it := range items {
+		s, ok := it.(string)
+		if !ok {
+			return nil, fmt.Errorf("%s[%d]: expected a string, got %s", o.child(key), i, typeName(it))
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// section returns a child object, or nil when the key is absent.
+func (o *object) section(key string) (*object, error) {
+	v, ok := o.get(key)
+	if !ok {
+		return nil, nil
+	}
+	return asObject(o.child(key), v)
+}
+
+// decodeTree walks the parsed tree into a Document, strictly.
+func decodeTree(tree any) (Document, error) {
+	root, err := asObject("", tree)
+	if err != nil {
+		return Document{}, err
+	}
+	var d Document
+	if d.SchemaVersion, err = root.integer("schemaVersion"); err != nil {
+		return Document{}, err
+	}
+	if d.Name, err = root.str("name"); err != nil {
+		return Document{}, err
+	}
+	if d.Workloads, err = root.strList("workloads"); err != nil {
+		return Document{}, err
+	}
+
+	campaign, err := root.section("campaign")
+	if err != nil {
+		return Document{}, err
+	}
+	if campaign != nil {
+		c, err := decodeCampaign(campaign)
+		if err != nil {
+			return Document{}, err
+		}
+		d.Campaign = &c
+	}
+
+	st, err := root.section("store")
+	if err != nil {
+		return Document{}, err
+	}
+	if st != nil {
+		var s Store
+		if s.Dir, err = st.str("dir"); err != nil {
+			return Document{}, err
+		}
+		if s.RunID, err = st.str("runId"); err != nil {
+			return Document{}, err
+		}
+		if s.Resume, err = st.boolean("resume"); err != nil {
+			return Document{}, err
+		}
+		if err := st.finish(); err != nil {
+			return Document{}, err
+		}
+		d.Store = &s
+	}
+
+	drift, err := root.section("drift")
+	if err != nil {
+		return Document{}, err
+	}
+	if drift != nil {
+		var dr Drift
+		if dr.Runs, err = drift.strList("runs"); err != nil {
+			return Document{}, err
+		}
+		if dr.Tolerance, err = drift.float("tolerance"); err != nil {
+			return Document{}, err
+		}
+		if dr.Confidence, err = drift.float("confidence"); err != nil {
+			return Document{}, err
+		}
+		if dr.ErrorBound, err = drift.float("errorBound"); err != nil {
+			return Document{}, err
+		}
+		if dr.FailOnDrift, err = drift.boolean("failOnDrift"); err != nil {
+			return Document{}, err
+		}
+		if err := drift.finish(); err != nil {
+			return Document{}, err
+		}
+		d.Drift = &dr
+	}
+
+	output, err := root.section("output")
+	if err != nil {
+		return Document{}, err
+	}
+	if output != nil {
+		var o Output
+		if o.CSV, err = output.str("csv"); err != nil {
+			return Document{}, err
+		}
+		if err := output.finish(); err != nil {
+			return Document{}, err
+		}
+		d.Output = &o
+	}
+
+	artifacts, err := root.section("artifacts")
+	if err != nil {
+		return Document{}, err
+	}
+	if artifacts != nil {
+		var a Artifacts
+		if a.IDs, err = artifacts.strList("ids"); err != nil {
+			return Document{}, err
+		}
+		if a.Seed, err = artifacts.uint("seed"); err != nil {
+			return Document{}, err
+		}
+		if a.Scale, err = artifacts.float("scale"); err != nil {
+			return Document{}, err
+		}
+		if a.Workers, err = artifacts.integer("workers"); err != nil {
+			return Document{}, err
+		}
+		if a.OutDir, err = artifacts.str("outdir"); err != nil {
+			return Document{}, err
+		}
+		if err := artifacts.finish(); err != nil {
+			return Document{}, err
+		}
+		d.Artifacts = &a
+	}
+
+	if err := root.finish(); err != nil {
+		return Document{}, err
+	}
+	return d, nil
+}
+
+func decodeCampaign(o *object) (Campaign, error) {
+	var c Campaign
+	var err error
+
+	v, ok := o.get("profiles")
+	if ok {
+		items, isList := v.([]any)
+		if !isList {
+			return Campaign{}, fmt.Errorf("%s: expected a list, got %s", o.child("profiles"), typeName(v))
+		}
+		for i, it := range items {
+			po, err := asObject(fmt.Sprintf("%s[%d]", o.child("profiles"), i), it)
+			if err != nil {
+				return Campaign{}, err
+			}
+			var p ProfileRef
+			if p.Cloud, err = po.str("cloud"); err != nil {
+				return Campaign{}, err
+			}
+			if p.Instance, err = po.str("instance"); err != nil {
+				return Campaign{}, err
+			}
+			if err := po.finish(); err != nil {
+				return Campaign{}, err
+			}
+			c.Profiles = append(c.Profiles, p)
+		}
+	}
+
+	if c.Regimes, err = o.strList("regimes"); err != nil {
+		return Campaign{}, err
+	}
+	if c.Repetitions, err = o.integer("repetitions"); err != nil {
+		return Campaign{}, err
+	}
+	if c.Hours, err = o.float("hours"); err != nil {
+		return Campaign{}, err
+	}
+	if c.Seed, err = o.uint("seed"); err != nil {
+		return Campaign{}, err
+	}
+	if c.Workers, err = o.integer("workers"); err != nil {
+		return Campaign{}, err
+	}
+	if c.Confidence, err = o.float("confidence"); err != nil {
+		return Campaign{}, err
+	}
+	if c.ErrorBound, err = o.float("errorBound"); err != nil {
+		return Campaign{}, err
+	}
+
+	sc, err := o.section("scenario")
+	if err != nil {
+		return Campaign{}, err
+	}
+	if sc != nil {
+		var ref ScenarioRef
+		if ref.Name, err = sc.str("name"); err != nil {
+			return Campaign{}, err
+		}
+		params, perr := sc.section("params")
+		if perr != nil {
+			return Campaign{}, perr
+		}
+		if params != nil {
+			ref.Params = make(map[string]float64, len(params.m))
+			for k := range params.m {
+				f, err := params.float(k)
+				if err != nil {
+					return Campaign{}, err
+				}
+				ref.Params[k] = f
+			}
+		}
+		if err := sc.finish(); err != nil {
+			return Campaign{}, err
+		}
+		c.Scenario = &ref
+	}
+
+	if err := o.finish(); err != nil {
+		return Campaign{}, err
+	}
+	return c, nil
+}

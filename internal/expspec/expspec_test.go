@@ -1,0 +1,301 @@
+package expspec_test
+
+import (
+	"strings"
+	"testing"
+
+	"cloudvar/internal/expspec"
+	"cloudvar/internal/scenario"
+	"cloudvar/internal/store"
+)
+
+// minimal returns the smallest valid campaign document.
+func minimal() expspec.Document {
+	return expspec.Document{
+		SchemaVersion: 1,
+		Campaign: &expspec.Campaign{
+			Profiles: []expspec.ProfileRef{{Cloud: "ec2"}},
+			Hours:    0.01,
+			Seed:     7,
+		},
+	}
+}
+
+func TestCanonicalAppliesDefaults(t *testing.T) {
+	canon, err := minimal().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := canon.Campaign
+	if c.Profiles[0].Instance != "c5.xlarge" {
+		t.Errorf("instance not defaulted: %+v", c.Profiles[0])
+	}
+	if len(c.Regimes) != 3 || c.Regimes[0] != "full-speed" {
+		t.Errorf("regimes not expanded: %v", c.Regimes)
+	}
+	if c.Repetitions != 1 {
+		t.Errorf("repetitions = %d, want 1", c.Repetitions)
+	}
+	if c.Confidence != 0.95 || c.ErrorBound != 0.05 {
+		t.Errorf("CI defaults not applied: %g, %g", c.Confidence, c.ErrorBound)
+	}
+}
+
+func TestCanonicalIsIdempotent(t *testing.T) {
+	once, err := minimal().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := once.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := once.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := twice.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("Canonical is not a fixed point:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+func TestCanonicalResolvesScenarioParams(t *testing.T) {
+	doc := minimal()
+	doc.Campaign.Scenario = &expspec.ScenarioRef{Name: "noisy-neighbor", Params: map[string]float64{"depth": 0.8}}
+	canon, err := doc.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := canon.Campaign.Scenario.Params
+	if p["depth"] != 0.8 {
+		t.Errorf("override lost: %v", p)
+	}
+	// The remaining defaults are spelled out so the document replays
+	// exactly even if the registry defaults later change.
+	if p["mean_gap_sec"] != 900 || p["mean_len_sec"] != 300 {
+		t.Errorf("defaults not resolved into the document: %v", p)
+	}
+}
+
+func TestCanonicalErrorsNamePaths(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(*expspec.Document)
+		want string
+	}{
+		{"no-version", func(d *expspec.Document) { d.SchemaVersion = 0 }, "schemaVersion: required"},
+		{"future-version", func(d *expspec.Document) { d.SchemaVersion = 9 }, "schemaVersion: 9 unsupported"},
+		{"no-profiles", func(d *expspec.Document) { d.Campaign.Profiles = nil }, "campaign.profiles: required"},
+		{"bad-cloud", func(d *expspec.Document) { d.Campaign.Profiles[0].Cloud = "azure" }, `campaign.profiles[0]: unknown cloud "azure"`},
+		{"dup-profile", func(d *expspec.Document) {
+			d.Campaign.Profiles = append(d.Campaign.Profiles, expspec.ProfileRef{Cloud: "ec2", Instance: "c5.xlarge"})
+		}, "campaign.profiles[1]: duplicate matrix entry"},
+		{"bad-regime", func(d *expspec.Document) { d.Campaign.Regimes = []string{"2-2"} }, "campaign.regimes[0]"},
+		{"dup-regime", func(d *expspec.Document) { d.Campaign.Regimes = []string{"full-speed", "full-speed"} }, `campaign.regimes[1]: duplicate regime`},
+		{"neg-reps", func(d *expspec.Document) { d.Campaign.Repetitions = -1 }, "campaign.repetitions"},
+		{"zero-hours", func(d *expspec.Document) { d.Campaign.Hours = 0 }, "campaign.hours"},
+		{"bad-confidence", func(d *expspec.Document) { d.Campaign.Confidence = 1.5 }, "campaign.confidence"},
+		{"bad-scenario", func(d *expspec.Document) { d.Campaign.Scenario = &expspec.ScenarioRef{Name: "quiet"} }, `campaign.scenario: scenario: unknown scenario "quiet"`},
+		{"bad-scenario-param", func(d *expspec.Document) {
+			d.Campaign.Scenario = &expspec.ScenarioRef{Name: "stragglers", Params: map[string]float64{"levels": 3}}
+		}, `campaign.scenario: scenario: stragglers has no parameter "levels"`},
+		{"bad-workload", func(d *expspec.Document) { d.Workloads = []string{"sieve"} }, `workloads[0]`},
+		{"dup-workload", func(d *expspec.Document) { d.Workloads = []string{"kmeans", "kmeans"} }, "workloads[1]: duplicate workload"},
+		{"store-no-dir", func(d *expspec.Document) { d.Store = &expspec.Store{RunID: "day1"} }, "store.dir: required"},
+		{"store-no-runid", func(d *expspec.Document) { d.Store = &expspec.Store{Dir: "results"} }, "store.runId: required"},
+		{"store-bad-runid", func(d *expspec.Document) { d.Store = &expspec.Store{Dir: "results", RunID: "../evil"} }, "store.runId"},
+		{"drift-no-store", func(d *expspec.Document) { d.Drift = &expspec.Drift{} }, "drift: requires a store section"},
+		{"csv-matrix", func(d *expspec.Document) {
+			d.Campaign.Repetitions = 2
+			d.Output = &expspec.Output{CSV: "raw.csv"}
+		}, "output.csv: needs a single campaign cell"},
+		{"empty-output", func(d *expspec.Document) { d.Output = &expspec.Output{} }, "output: section is empty"},
+		{"bad-artifact", func(d *expspec.Document) { d.Artifacts = &expspec.Artifacts{IDs: []string{"figure99"}} }, `artifacts.ids[0]: unknown artifact "figure99"`},
+		{"bad-scale", func(d *expspec.Document) { d.Artifacts = &expspec.Artifacts{Scale: 2} }, "artifacts.scale"},
+		{"empty-doc", func(d *expspec.Document) { d.Campaign = nil }, "spec defines nothing to run"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			doc := minimal()
+			c.edit(&doc)
+			_, err := doc.Canonical()
+			if err == nil {
+				t.Fatal("Canonical should fail")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestHashIgnoresOperationalFields(t *testing.T) {
+	base, err := minimal().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []func(*expspec.Document){
+		func(d *expspec.Document) { d.Name = "renamed" },
+		func(d *expspec.Document) { d.Campaign.Workers = 8 },
+		func(d *expspec.Document) { d.Store = &expspec.Store{Dir: "elsewhere", RunID: "day9", Resume: true} },
+	}
+	for i, edit := range variants {
+		doc := minimal()
+		edit(&doc)
+		h, err := doc.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != base {
+			t.Errorf("variant %d changed the hash: operational fields must not be identity", i)
+		}
+	}
+
+	// The CSV output path is operational too (needs a single-cell
+	// matrix, so it gets its own pair).
+	single := minimal()
+	single.Campaign.Regimes = []string{"full-speed"}
+	h1, err := single.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCSV := minimal()
+	withCSV.Campaign.Regimes = []string{"full-speed"}
+	withCSV.Output = &expspec.Output{CSV: "raw.csv"}
+	h2, err := withCSV.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("output.csv changed the hash: output paths must not be identity")
+	}
+}
+
+func TestHashSeesIdentityFields(t *testing.T) {
+	base, err := minimal().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []func(*expspec.Document){
+		func(d *expspec.Document) { d.Campaign.Seed = 8 },
+		func(d *expspec.Document) { d.Campaign.Hours = 0.02 },
+		func(d *expspec.Document) { d.Campaign.Repetitions = 2 },
+		func(d *expspec.Document) { d.Campaign.Regimes = []string{"full-speed"} },
+		func(d *expspec.Document) { d.Campaign.Profiles[0] = expspec.ProfileRef{Cloud: "gce"} },
+		func(d *expspec.Document) { d.Campaign.Scenario = &expspec.ScenarioRef{Name: "stragglers"} },
+		func(d *expspec.Document) { d.Workloads = []string{"kmeans"} },
+	}
+	for i, edit := range variants {
+		doc := minimal()
+		edit(&doc)
+		h, err := doc.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == base {
+			t.Errorf("variant %d kept the hash: identity fields must move it", i)
+		}
+	}
+}
+
+// TestHashEqualAcrossExpressions: the same experiment expressed three
+// ways — sparse document, fully canonical document, fluent builder —
+// hashes identically.
+func TestHashEqualAcrossExpressions(t *testing.T) {
+	sparse := expspec.Document{
+		SchemaVersion: 1,
+		Campaign: &expspec.Campaign{
+			Profiles: []expspec.ProfileRef{{Cloud: "gce"}},
+			Regimes:  []string{"all"},
+			Hours:    0.5,
+			Seed:     3,
+		},
+	}
+	explicit := expspec.Document{
+		SchemaVersion: 1,
+		Name:          "different label, same experiment",
+		Campaign: &expspec.Campaign{
+			Profiles:    []expspec.ProfileRef{{Cloud: "gce", Instance: "8"}},
+			Regimes:     []string{"full-speed", "10-30", "5-30"},
+			Repetitions: 1,
+			Hours:       0.5,
+			Seed:        3,
+			Workers:     16,
+			Confidence:  0.95,
+			ErrorBound:  0.05,
+		},
+	}
+	built, err := expspec.NewExperiment("quick").
+		WithProfile("gce", "").
+		WithDuration(0.5).
+		WithSeed(3).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := sparse.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := built.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 || h2 != h3 {
+		t.Fatalf("equal experiments hash differently: %.12s %.12s %.12s", h1, h2, h3)
+	}
+}
+
+// TestCanonicalIdempotentForUserScenario: a user-registered scenario
+// (no parameterised constructor) survives the canonicalize → resolve
+// → re-canonicalize cycle, because restating its registered params is
+// not an override.
+func TestCanonicalIdempotentForUserScenario(t *testing.T) {
+	sc := scenario.Scenario{
+		Name:        "expspec-test-custom",
+		Description: "registered by the expspec tests",
+		Params:      map[string]float64{"depth": 0.4},
+		Conditions:  []scenario.Condition{scenario.Overlay{Depth: 0.4}},
+	}
+	if err := scenario.Register(sc); err != nil {
+		t.Fatal(err)
+	}
+	doc := minimal()
+	doc.Campaign.Scenario = &expspec.ScenarioRef{Name: sc.Name}
+	canon, err := doc.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Campaign.Scenario.Params["depth"] != 0.4 {
+		t.Errorf("params not resolved: %v", canon.Campaign.Scenario.Params)
+	}
+	if _, err := canon.Canonical(); err != nil {
+		t.Fatalf("Canonical is not idempotent for a user scenario: %v", err)
+	}
+	plan, err := expspec.Compile(doc)
+	if err != nil {
+		t.Fatalf("Compile failed for a user scenario: %v", err)
+	}
+	if plan.Campaign.Spec.Scenario.Name != sc.Name {
+		t.Errorf("compiled spec lost the scenario: %+v", plan.Campaign.Spec.Scenario)
+	}
+}
+
+func TestStoreRunIDValidation(t *testing.T) {
+	if !store.ValidRunID("day-1.v2") {
+		t.Error("day-1.v2 should be a valid run id")
+	}
+	for _, bad := range []string{"", ".hidden", "a/b", "a b"} {
+		if store.ValidRunID(bad) {
+			t.Errorf("%q should be rejected", bad)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package expspec
+
+import "flag"
+
+// ConflictingFlag returns the name of the first explicitly-set flag
+// that is not in the operational allow-list, or "" when the
+// invocation is clean. The CLIs share it to police "-spec defines the
+// experiment": with a spec file, only operational flags (scheduling,
+// resumption, inspection) may be combined — everything else would
+// contradict the document.
+func ConflictingFlag(fs *flag.FlagSet, operational map[string]bool) string {
+	conflict := ""
+	fs.Visit(func(f *flag.Flag) {
+		if !operational[f.Name] && conflict == "" {
+			conflict = f.Name
+		}
+	})
+	return conflict
+}

@@ -1,0 +1,130 @@
+package expspec
+
+// Profile selection: the one place the cloud/instance grammar lives.
+// This used to be duplicated flag-parsing inside cmd/cloudbench;
+// every entry point (spec files, the builder, the legacy flags) now
+// funnels through ParseProfiles/Resolve, so the grammar cannot drift
+// between CLIs.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cloudvar/internal/cloudmodel"
+)
+
+// withDefaults fills the cloud's default instance selector. Errors
+// name the bare field ("cloud: ..."), so callers can prefix the full
+// path.
+func (p ProfileRef) withDefaults() (ProfileRef, error) {
+	switch p.Cloud {
+	case "":
+		return ProfileRef{}, fmt.Errorf("cloud: required (ec2, gce or hpccloud)")
+	case "ec2":
+		if p.Instance == "" {
+			p.Instance = "c5.xlarge"
+		}
+	case "gce", "hpccloud":
+		if p.Instance == "" {
+			p.Instance = "8"
+		}
+	}
+	return p, nil
+}
+
+// Resolve builds the runtime cloud profile the selector names.
+func (p ProfileRef) Resolve() (cloudmodel.Profile, error) {
+	switch p.Cloud {
+	case "ec2":
+		instance := p.Instance
+		if instance == "" {
+			instance = "c5.xlarge"
+		}
+		return cloudmodel.EC2Profile(instance)
+	case "gce":
+		cores, err := instanceCores(p.Instance, "gce")
+		if err != nil {
+			return cloudmodel.Profile{}, err
+		}
+		return cloudmodel.GCEProfile(cores)
+	case "hpccloud":
+		cores, err := instanceCores(p.Instance, "hpccloud")
+		if err != nil {
+			return cloudmodel.Profile{}, err
+		}
+		return cloudmodel.HPCCloudProfile(cores)
+	default:
+		return cloudmodel.Profile{}, fmt.Errorf("unknown cloud %q (known: ec2, gce, hpccloud)", p.Cloud)
+	}
+}
+
+// instanceCores parses the gce/hpccloud instance grammar: a core
+// count, defaulting to 8.
+func instanceCores(instance, cloud string) (int, error) {
+	if instance == "" {
+		return 8, nil
+	}
+	v, err := strconv.Atoi(instance)
+	if err != nil {
+		return 0, fmt.Errorf("%s instance must be a core count: %w", cloud, err)
+	}
+	return v, nil
+}
+
+// ResolveProfiles resolves a selector list into runtime profiles, in
+// order.
+func ResolveProfiles(refs []ProfileRef) ([]cloudmodel.Profile, error) {
+	out := make([]cloudmodel.Profile, len(refs))
+	for i, ref := range refs {
+		p, err := ref.Resolve()
+		if err != nil {
+			return nil, fmt.Errorf("campaign.profiles[%d]: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// ParseProfiles expands the -cloud/-instance comma-list grammar into
+// profile selectors: a single (or empty) instance value applies to
+// every cloud, otherwise the lists must align element-for-element.
+// The selectors are validated later by Document.Canonical, which also
+// rejects duplicates.
+func ParseProfiles(clouds, instances string) ([]ProfileRef, error) {
+	cloudList := SplitList(clouds)
+	if len(cloudList) == 0 {
+		return nil, fmt.Errorf("no clouds given")
+	}
+	instList := SplitList(instances)
+	switch {
+	case len(instList) <= 1:
+		inst := ""
+		if len(instList) == 1 {
+			inst = instList[0]
+		}
+		instList = make([]string, len(cloudList))
+		for i := range instList {
+			instList[i] = inst
+		}
+	case len(instList) != len(cloudList):
+		return nil, fmt.Errorf("-instance lists %d values for %d clouds; give one value or align the lists",
+			len(instList), len(cloudList))
+	}
+	out := make([]ProfileRef, len(cloudList))
+	for i, cloud := range cloudList {
+		out[i] = ProfileRef{Cloud: cloud, Instance: instList[i]}
+	}
+	return out, nil
+}
+
+// SplitList parses a comma-separated flag value, dropping empties.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

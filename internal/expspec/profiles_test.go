@@ -1,0 +1,125 @@
+package expspec_test
+
+// The profile-selection grammar tests, moved here from cmd/cloudbench
+// when the duplicated flag parsing was extracted into the spec layer.
+
+import (
+	"testing"
+
+	"cloudvar/internal/expspec"
+)
+
+func TestProfileResolve(t *testing.T) {
+	cases := []struct {
+		cloud, instance string
+		wantCloud       string
+		wantRate        float64
+	}{
+		{"ec2", "", "ec2", 10},
+		{"ec2", "c5.4xlarge", "ec2", 10},
+		{"gce", "", "gce", 16},
+		{"gce", "4", "gce", 8},
+		{"hpccloud", "", "hpccloud", 10},
+		{"hpccloud", "4", "hpccloud", 5},
+	}
+	for _, c := range cases {
+		p, err := expspec.ProfileRef{Cloud: c.cloud, Instance: c.instance}.Resolve()
+		if err != nil {
+			t.Errorf("Resolve(%q, %q): %v", c.cloud, c.instance, err)
+			continue
+		}
+		if p.Cloud != c.wantCloud {
+			t.Errorf("Resolve(%q, %q).Cloud = %q", c.cloud, c.instance, p.Cloud)
+		}
+		if p.LineRateGbps != c.wantRate {
+			t.Errorf("Resolve(%q, %q).LineRateGbps = %g, want %g",
+				c.cloud, c.instance, p.LineRateGbps, c.wantRate)
+		}
+	}
+}
+
+func TestProfileResolveErrors(t *testing.T) {
+	cases := [][2]string{
+		{"azure", ""},
+		{"", ""},
+		{"ec2", "m7g.large"},
+		{"gce", "not-a-number"},
+		{"gce", "0"},
+		{"hpccloud", "16core"},
+	}
+	for _, c := range cases {
+		if _, err := (expspec.ProfileRef{Cloud: c[0], Instance: c[1]}).Resolve(); err == nil {
+			t.Errorf("Resolve(%q, %q) should fail", c[0], c[1])
+		}
+	}
+}
+
+func TestParseProfilesMatrix(t *testing.T) {
+	ps, err := expspec.ParseProfiles("ec2,gce,hpccloud", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("%d profiles, want 3", len(ps))
+	}
+	if ps[0].Cloud != "ec2" || ps[1].Cloud != "gce" || ps[2].Cloud != "hpccloud" {
+		t.Fatalf("cloud order not preserved: %v %v %v", ps[0].Cloud, ps[1].Cloud, ps[2].Cloud)
+	}
+
+	ps, err = expspec.ParseProfiles("gce,hpccloud", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Instance != "4" || ps[1].Instance != "4" {
+		t.Fatalf("single instance should apply to all clouds: %v %v", ps[0].Instance, ps[1].Instance)
+	}
+
+	ps, err = expspec.ParseProfiles("ec2,gce", "c5.4xlarge,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Instance != "c5.4xlarge" || ps[1].Instance != "2" {
+		t.Fatalf("aligned lists misapplied: %v %v", ps[0].Instance, ps[1].Instance)
+	}
+}
+
+func TestParseProfilesErrors(t *testing.T) {
+	cases := [][2]string{
+		{"", ""},                    // no clouds
+		{"ec2,gce,hpccloud", "a,b"}, // misaligned lists
+	}
+	for _, c := range cases {
+		if _, err := expspec.ParseProfiles(c[0], c[1]); err == nil {
+			t.Errorf("ParseProfiles(%q, %q) should fail", c[0], c[1])
+		}
+	}
+	// Duplicates and bad grammar surface at canonicalization, where
+	// the field path is known.
+	for _, c := range [][2]string{
+		{"ec2,ec2", ""},      // duplicate cell
+		{"ec2,azure", ""},    // unknown cloud in list
+		{"gce", "c5.xlarge"}, // wrong instance grammar
+	} {
+		refs, err := expspec.ParseProfiles(c[0], c[1])
+		if err != nil {
+			t.Fatalf("ParseProfiles(%q, %q): %v", c[0], c[1], err)
+		}
+		doc := expspec.Document{
+			SchemaVersion: 1,
+			Campaign:      &expspec.Campaign{Profiles: refs, Hours: 1, Seed: 1},
+		}
+		if _, err := doc.Canonical(); err == nil {
+			t.Errorf("Canonical with profiles from (%q, %q) should fail", c[0], c[1])
+		}
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := expspec.SplitList(" ec2, gce ,,hpccloud ")
+	if len(got) != 3 || got[0] != "ec2" || got[1] != "gce" || got[2] != "hpccloud" {
+		t.Fatalf("SplitList = %v", got)
+	}
+	if out := expspec.SplitList(""); out != nil {
+		t.Fatalf("SplitList(\"\") = %v, want nil", out)
+	}
+}

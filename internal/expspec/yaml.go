@@ -1,0 +1,261 @@
+package expspec
+
+// A dependency-free decoder for the YAML subset spec files use:
+// indentation-nested maps, "- " block lists (of scalars or maps),
+// scalars (double-quoted or plain strings, numbers, booleans), full-
+// and end-of-line "#" comments. Anchors, flow collections, multi-line
+// strings, tabs and multi-document streams are deliberately out of
+// scope — a spec file that needs them should be JSON. The decoder
+// produces the same (map[string]any / []any / json.Number) tree the
+// JSON path produces, so strictness and error paths are identical
+// downstream.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// yamlLine is one significant (non-blank, non-comment) source line.
+type yamlLine struct {
+	num    int // 1-based source line number
+	indent int
+	text   string // content with indentation stripped
+}
+
+// decodeYAML parses the YAML subset into a decode tree.
+func decodeYAML(data []byte) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimRight(raw, " \r")
+		content := strings.TrimLeft(trimmed, " \t")
+		if content == "" || strings.HasPrefix(content, "#") {
+			continue
+		}
+		if strings.ContainsRune(trimmed[:len(trimmed)-len(content)], '\t') {
+			return nil, fmt.Errorf("yaml line %d: indentation must use spaces, not tabs", i+1)
+		}
+		lines = append(lines, yamlLine{num: i + 1, indent: len(trimmed) - len(content), text: content})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("spec is empty")
+	}
+	v, next, err := parseBlock(lines, 0, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("yaml line %d: unexpected outdent/indent structure", lines[next].num)
+	}
+	return v, nil
+}
+
+// parseBlock parses the run of lines at exactly the given indent
+// (deeper lines belong to nested blocks), returning the value and the
+// index of the first unconsumed line.
+func parseBlock(lines []yamlLine, i, indent int) (any, int, error) {
+	if strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-" {
+		return parseList(lines, i, indent)
+	}
+	return parseMap(lines, i, indent)
+}
+
+func parseMap(lines []yamlLine, i, indent int) (any, int, error) {
+	m := make(map[string]any)
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, i, fmt.Errorf("yaml line %d: list item in a mapping block", ln.num)
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, i, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, i, fmt.Errorf("yaml line %d: duplicate key %q", ln.num, key)
+		}
+		i++
+		if rest != "" {
+			v, err := parseScalar(rest, ln.num)
+			if err != nil {
+				return nil, i, err
+			}
+			m[key] = v
+			continue
+		}
+		// A bare "key:" introduces a nested block — or an empty value
+		// when nothing deeper follows.
+		if i < len(lines) && lines[i].indent > indent {
+			v, next, err := parseBlock(lines, i, lines[i].indent)
+			if err != nil {
+				return nil, i, err
+			}
+			m[key] = v
+			i = next
+			continue
+		}
+		m[key] = nil
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, fmt.Errorf("yaml line %d: unexpected indentation", lines[i].num)
+	}
+	return m, i, nil
+}
+
+func parseList(lines []yamlLine, i, indent int) (any, int, error) {
+	list := []any{}
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		// The content after "- " sits at a virtual indent two columns
+		// deeper; continuation lines of a map item align there.
+		itemIndent := indent + 2
+		if rest == "" {
+			// "-" alone: the item is the nested block that follows.
+			i++
+			if i < len(lines) && lines[i].indent > indent {
+				v, next, err := parseBlock(lines, i, lines[i].indent)
+				if err != nil {
+					return nil, i, err
+				}
+				list = append(list, v)
+				i = next
+			} else {
+				list = append(list, nil)
+			}
+			continue
+		}
+		if key, valueText, err := splitKey(yamlLine{num: ln.num, text: rest}); err == nil {
+			// "- key: value": a map item; following deeper lines are
+			// its remaining keys.
+			item := map[string]any{}
+			if valueText != "" {
+				v, err := parseScalar(valueText, ln.num)
+				if err != nil {
+					return nil, i, err
+				}
+				item[key] = v
+			} else {
+				item[key] = nil
+			}
+			i++
+			if i < len(lines) && lines[i].indent >= itemIndent {
+				more, next, err := parseMap(lines, i, lines[i].indent)
+				if err != nil {
+					return nil, i, err
+				}
+				for k, v := range more.(map[string]any) {
+					if _, dup := item[k]; dup {
+						return nil, i, fmt.Errorf("yaml line %d: duplicate key %q", ln.num, k)
+					}
+					item[k] = v
+				}
+				i = next
+			}
+			list = append(list, item)
+			continue
+		}
+		cleaned, err := cleanScalar(rest, ln.num)
+		if err != nil {
+			return nil, i, err
+		}
+		v, err := parseScalar(cleaned, ln.num)
+		if err != nil {
+			return nil, i, err
+		}
+		list = append(list, v)
+		i++
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, fmt.Errorf("yaml line %d: unexpected indentation", lines[i].num)
+	}
+	return list, i, nil
+}
+
+// splitKey splits "key: value" / "key:" and strips an end-of-line
+// comment from the value.
+func splitKey(ln yamlLine) (key, value string, err error) {
+	idx := strings.Index(ln.text, ":")
+	if idx <= 0 {
+		return "", "", fmt.Errorf("yaml line %d: expected \"key: value\"", ln.num)
+	}
+	key = strings.TrimSpace(ln.text[:idx])
+	value = strings.TrimSpace(ln.text[idx+1:])
+	if strings.ContainsAny(key, "\"'{}[],") {
+		return "", "", fmt.Errorf("yaml line %d: unsupported key syntax %q", ln.num, key)
+	}
+	value, err = cleanScalar(value, ln.num)
+	if err != nil {
+		return "", "", err
+	}
+	if value != "" && value[0] != '"' && strings.ContainsAny(value, "{}[]") {
+		return "", "", fmt.Errorf("yaml line %d: flow collections are not supported (use block syntax or JSON)", ln.num)
+	}
+	return key, value, nil
+}
+
+// cleanScalar strips an end-of-line comment from a scalar token. A
+// quoted value ends at its closing quote and only a comment may
+// follow — stripping " #" blindly would corrupt quoted strings that
+// contain it.
+func cleanScalar(value string, lineNum int) (string, error) {
+	if strings.HasPrefix(value, "\"") {
+		end := closingQuote(value)
+		if end < 0 {
+			return "", fmt.Errorf("yaml line %d: unterminated quoted value", lineNum)
+		}
+		rest := strings.TrimSpace(value[end+1:])
+		if rest != "" && !strings.HasPrefix(rest, "#") {
+			return "", fmt.Errorf("yaml line %d: unexpected text %q after quoted value", lineNum, rest)
+		}
+		return value[:end+1], nil
+	}
+	if c := strings.Index(value, " #"); c >= 0 {
+		value = strings.TrimSpace(value[:c])
+	}
+	return value, nil
+}
+
+// closingQuote returns the index of the quote closing a value that
+// starts with '"', honouring backslash escapes; -1 when unterminated.
+func closingQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+// parseScalar interprets one scalar token the way the JSON tree
+// would: booleans, json.Number for numerics, strings otherwise. A
+// quoted scalar that does not unquote (a mistyped escape) is an error
+// — silently keeping the raw bytes would change the experiment.
+func parseScalar(s string, lineNum int) (any, error) {
+	if strings.HasPrefix(s, "\"") {
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("yaml line %d: invalid quoted value %s", lineNum, s)
+		}
+		return unq, nil
+	}
+	switch s {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	case "null", "~":
+		return nil, nil
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return json.Number(s), nil
+	}
+	return s, nil
+}

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// constructors maps each built-in scenario to its parameterised
+// constructor, keyed off the full Params map the registry default
+// carries. This is what lets a declarative spec document say
+// {"name": "noisy-neighbor", "params": {"depth": 0.8}} and get the
+// same scenario the Go constructor would build — the document stays
+// data, the structure stays code.
+var constructors = map[string]func(p map[string]float64) Scenario{
+	"noisy-neighbor": func(p map[string]float64) Scenario {
+		return NoisyNeighbor(p["depth"], p["mean_gap_sec"], p["mean_len_sec"])
+	},
+	"diurnal-congestion": func(p map[string]float64) Scenario {
+		return DiurnalCongestion(p["period_sec"], p["depth"], p["peak_sec"])
+	},
+	"regime-flip": func(p map[string]float64) Scenario {
+		return RegimeFlip(p["at_frac"], p["fallback_depth"])
+	},
+	"loss-burst": func(p map[string]float64) Scenario {
+		return LossBurst(p["depth"], p["mean_gap_sec"], p["mean_len_sec"], p["baseline_depth"])
+	},
+	"stragglers": func(p map[string]float64) Scenario {
+		return Stragglers(p["prob"], p["depth"])
+	},
+}
+
+// Build resolves a registered scenario by name and rebuilds it with
+// the given parameter overrides merged over the registered defaults.
+// nil (or empty) params return the registered scenario unchanged, so
+// Build(name, nil) is ByName. Unknown parameter names are rejected
+// with the scenario's known set; scenarios registered without a
+// constructor (user-registered ones) accept no overrides.
+func Build(name string, params map[string]float64) (Scenario, error) {
+	sc, err := ByName(name)
+	if err != nil {
+		return Scenario{}, err
+	}
+	if len(params) == 0 {
+		return sc, nil
+	}
+	merged := make(map[string]float64, len(sc.Params))
+	changed := false
+	for k, v := range sc.Params {
+		merged[k] = v
+	}
+	for k, v := range params {
+		if _, ok := merged[k]; !ok {
+			return Scenario{}, fmt.Errorf("scenario: %s has no parameter %q (known: %v)", name, k, paramNames(sc.Params))
+		}
+		if merged[k] != v {
+			changed = true
+		}
+		merged[k] = v
+	}
+	// Restating the registered values verbatim is not an override —
+	// this keeps Build idempotent for scenarios without constructors
+	// (a canonicalized spec resolves params to the full set and must
+	// re-Build to the same scenario).
+	if !changed {
+		return sc, nil
+	}
+	ctor, ok := constructors[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: %s does not support parameter overrides (register a variant instead)", name)
+	}
+	return ctor(merged), nil
+}
+
+// paramNames returns a parameter map's keys, sorted.
+func paramNames(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

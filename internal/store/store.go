@@ -72,6 +72,27 @@ type Manifest struct {
 	// CreatedUnix is the caller-supplied creation time (seconds).
 	// Caller-supplied so stores built in tests are reproducible.
 	CreatedUnix int64 `json:"created_unix"`
+	// ExperimentSpec is the canonical experiment-spec document
+	// (internal/expspec) the run was launched from, embedded verbatim
+	// so a stored run can reprint the exact spec that produced it
+	// (drift -show-spec). Empty for runs created without a spec
+	// document.
+	ExperimentSpec json.RawMessage `json:"experiment_spec,omitempty"`
+	// ExperimentSpecHash is the spec document's content address,
+	// riding next to SpecKey/MatrixKey.
+	ExperimentSpecHash string `json:"experiment_spec_hash,omitempty"`
+}
+
+// RunMeta carries the creation-time metadata of a run beyond its
+// campaign spec: platform fingerprints, the creation time
+// (caller-supplied so stores built in tests are reproducible), and
+// optionally the canonical experiment-spec document + hash the run
+// was launched from.
+type RunMeta struct {
+	Fingerprints       map[string]core.Fingerprint
+	CreatedUnix        int64
+	ExperimentSpec     []byte
+	ExperimentSpecHash string
 }
 
 // CellRecord is one persisted campaign cell. Failed cells are never
@@ -100,6 +121,11 @@ type Store struct {
 
 var runIDPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
 
+// ValidRunID reports whether id is acceptable as a run name —
+// exported so the spec layer can validate documents without opening a
+// store.
+func ValidRunID(id string) bool { return runIDPattern.MatchString(id) }
+
 // Open opens (creating if needed) the store rooted at dir.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
@@ -124,6 +150,13 @@ func (s *Store) runDir(runID string) string {
 // the run ID is already taken — resuming an existing run goes through
 // Resume, which re-checks the spec key instead.
 func (s *Store) Create(runID string, spec fleet.CampaignSpec, fingerprints map[string]core.Fingerprint, createdUnix int64) (*Run, error) {
+	return s.CreateWithMeta(runID, spec, RunMeta{Fingerprints: fingerprints, CreatedUnix: createdUnix})
+}
+
+// CreateWithMeta is Create carrying the full creation metadata,
+// including the canonical experiment-spec document the run was
+// launched from.
+func (s *Store) CreateWithMeta(runID string, spec fleet.CampaignSpec, meta RunMeta) (*Run, error) {
 	if !runIDPattern.MatchString(runID) {
 		return nil, fmt.Errorf("store: run id %q must match %s", runID, runIDPattern)
 	}
@@ -136,14 +169,19 @@ func (s *Store) Create(runID string, spec fleet.CampaignSpec, fingerprints map[s
 	if err != nil {
 		return nil, err
 	}
+	if len(meta.ExperimentSpec) > 0 && !json.Valid(meta.ExperimentSpec) {
+		return nil, fmt.Errorf("store: run %q experiment spec is not valid JSON", runID)
+	}
 	m := Manifest{
-		Schema:       SchemaVersion,
-		RunID:        runID,
-		SpecKey:      key,
-		MatrixKey:    matrixKey,
-		Spec:         id,
-		Fingerprints: fingerprints,
-		CreatedUnix:  createdUnix,
+		Schema:             SchemaVersion,
+		RunID:              runID,
+		SpecKey:            key,
+		MatrixKey:          matrixKey,
+		Spec:               id,
+		Fingerprints:       meta.Fingerprints,
+		CreatedUnix:        meta.CreatedUnix,
+		ExperimentSpec:     meta.ExperimentSpec,
+		ExperimentSpecHash: meta.ExperimentSpecHash,
 	}
 	final := s.runDir(runID)
 	if _, err := os.Stat(final); err == nil {

@@ -1,8 +1,10 @@
 package store_test
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -337,5 +339,60 @@ func TestRunIDValidation(t *testing.T) {
 		if _, err := st.Create(id, testSpec(t, 7), nil, 0); err == nil {
 			t.Errorf("run id %q should be rejected", id)
 		}
+	}
+}
+
+// TestCreateWithMetaRecordsExperimentSpec: the manifest carries the
+// canonical experiment-spec document and its hash verbatim, next to
+// the SpecKey/MatrixKey content addresses.
+func TestCreateWithMetaRecordsExperimentSpec(t *testing.T) {
+	st := testutil.TempStore(t)
+	spec := testSpec(t, 7)
+	doc := []byte(`{"schemaVersion": 1, "name": "meta"}`)
+
+	run, err := st.CreateWithMeta("day1", spec, store.RunMeta{
+		CreatedUnix:        1700000000,
+		ExperimentSpec:     doc,
+		ExperimentSpecHash: "abc123",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Close()
+
+	m, err := st.Manifest("day1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExperimentSpecHash != "abc123" {
+		t.Errorf("hash = %q", m.ExperimentSpecHash)
+	}
+	var got, want any
+	if err := json.Unmarshal(m.ExperimentSpec, &got); err != nil {
+		t.Fatalf("stored spec does not parse: %v", err)
+	}
+	if err := json.Unmarshal(doc, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("stored spec = %s, want %s", m.ExperimentSpec, doc)
+	}
+
+	// Legacy Create leaves the spec fields empty, and invalid spec
+	// bytes are rejected before anything is staged.
+	legacy, err := st.Create("day2", spec, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.Close()
+	m2, err := st.Manifest("day2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.ExperimentSpec) != 0 || m2.ExperimentSpecHash != "" {
+		t.Errorf("legacy manifest should carry no spec: %+v", m2)
+	}
+	if _, err := st.CreateWithMeta("day3", spec, store.RunMeta{ExperimentSpec: []byte("{broken")}); err == nil {
+		t.Fatal("invalid spec JSON should be rejected")
 	}
 }

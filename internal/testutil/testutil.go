@@ -8,6 +8,7 @@
 package testutil
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -68,6 +69,32 @@ func TempStore(tb testing.TB) *store.Store {
 		tb.Fatal(err)
 	}
 	return st
+}
+
+// JSONString renders s as a JSON string literal — for splicing
+// tb.TempDir() paths into spec-file fixtures.
+func JSONString(tb testing.TB, s string) string {
+	tb.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return string(b)
+}
+
+// SpecKeys returns a spec's two content addresses (SpecKey,
+// MatrixKey) as one comparable value.
+func SpecKeys(tb testing.TB, spec fleet.CampaignSpec) [2]string {
+	tb.Helper()
+	key, err := store.SpecKey(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	matrix, err := store.MatrixKey(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return [2]string{key, matrix}
 }
 
 // SeriesEqual reports whether two series are identical point for
