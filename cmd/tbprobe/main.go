@@ -72,9 +72,10 @@ func main() {
 			fmt.Printf("%-12s  no throttle detected in %d probes\n", spec.Name, *probes)
 			continue
 		}
-		q := stats.Percentiles(ttes, 0.25, 0.5, 0.75)
+		var sample stats.Sample
+		q := sample.Reset(ttes).Percentiles(nil, 0.25, 0.5, 0.75)
 		fmt.Printf("%-12s %10.0f %10.0f %10.0f %10.1f %12.0f\n",
-			spec.Name, q[0], q[1], q[2], stats.Median(highs), stats.Median(budgets))
+			spec.Name, q[0], q[1], q[2], sample.Reset(highs).Median(), sample.Reset(budgets).Median())
 	}
 }
 

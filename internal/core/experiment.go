@@ -148,13 +148,16 @@ func BuildResult(name string, samples []float64, confidence, errorBound float64)
 	if errorBound == 0 {
 		errorBound = 0.05
 	}
+	// One sort serves both the summary and the median CI.
+	var sample stats.Sample
+	sample.Reset(samples)
 	res := Result{
 		Name:     name,
 		Samples:  samples,
-		Summary:  stats.Summarize(samples),
+		Summary:  sample.Summary(),
 		Metadata: map[string]string{},
 	}
-	res.MedianCI, res.MedianCIErr = stats.MedianCI(samples, confidence)
+	res.MedianCI, res.MedianCIErr = sample.MedianCI(confidence)
 	if res.MedianCIErr == nil && res.MedianCI.RelativeError() <= errorBound {
 		res.Converged = true
 	}

@@ -69,21 +69,23 @@ func runOnBallani(app workloads.App, cloud string, resampleSec float64, src *sim
 type lowRepAccuracy struct {
 	goldMedian     float64
 	goldLo, goldHi float64
+	est3, est10    float64
 	ok3, ok10      bool
 }
 
 func assessLowRep(runs []float64, statQ float64, conf float64) (lowRepAccuracy, error) {
 	var a lowRepAccuracy
-	iv, err := stats.QuantileCI(runs, statQ, conf)
+	var sample stats.Sample
+	iv, err := sample.Reset(runs).QuantileCI(statQ, conf)
 	if err != nil {
 		return a, err
 	}
 	a.goldMedian = iv.Estimate
 	a.goldLo, a.goldHi = iv.Lo, iv.Hi
-	est3 := stats.Quantile(runs[:3], statQ)
-	est10 := stats.Quantile(runs[:10], statQ)
-	a.ok3 = iv.Contains(est3)
-	a.ok10 = iv.Contains(est10)
+	a.est3 = sample.Reset(runs[:3]).Quantile(statQ)
+	a.est10 = sample.Reset(runs[:10]).Quantile(statQ)
+	a.ok3 = iv.Contains(a.est3)
+	a.ok10 = iv.Contains(a.est10)
 	return a, nil
 }
 
@@ -145,8 +147,8 @@ func lowRepFigure(cfg Config, id, title string, app workloads.App, resampleSec, 
 			misses10++
 		}
 		t.AddRow(cloud, f1(acc.goldMedian), f1(acc.goldLo), f1(acc.goldHi),
-			f1(stats.Quantile(runs[:3], statQ)), mark(acc.ok3),
-			f1(stats.Quantile(runs[:10], statQ)), mark(acc.ok10))
+			f1(acc.est3), mark(acc.ok3),
+			f1(acc.est10), mark(acc.ok10))
 	}
 	t.AddNote("3-run estimates outside the gold CI: %d/8; 10-run: %d/8", misses3, misses10)
 	if statQ == 0.5 {
@@ -302,10 +304,12 @@ func Figure15(cfg Config) (Table, error) {
 			}
 			runtimes = append(runtimes, res.Runtime())
 		}
+		var sample stats.Sample
+		sample.Reset(runtimes)
 		t.AddRow(fmt.Sprintf("%g", budget),
-			fmt.Sprintf("%.0f..%.0f", stats.Quantile(runtimes, 0), stats.Quantile(runtimes, 1)),
+			fmt.Sprintf("%.0f..%.0f", sample.Min(), sample.Max()),
 			f1(cluster.NodeTokens()[0]), f1(stats.Quantile(activeRates, 0.25)),
-			f1(stats.CoefficientOfVariation(runtimes)*100))
+			f1(sample.CoV()*100))
 	}
 	t.AddNote("small budgets throttle shuffles intermittently to the 1 Gbps low rate: runs lengthen and run-to-run variability inflates (paper: strong correlation between small budgets and variability)")
 	t.AddNote("Terasort moves ~200 Gbit per node per run; refill during compute phases offsets part of it, so mid-size budgets hold roughly steady while small ones pin near zero")
@@ -390,7 +394,8 @@ func Figure17(cfg Config) (Table, error) {
 			means[budget] = stats.Mean(runs)
 			all = append(all, runs...)
 		}
-		spread := stats.Percentiles(all, 0.99)[0] - stats.Percentiles(all, 0.01)[0]
+		spreadQ := stats.Percentiles(all, 0.99, 0.01) // one sort for both tails
+		spread := spreadQ[0] - spreadQ[1]
 		slow10 := means[10] / means[5000]
 		if slow10 > 1.25 {
 			sensitive++
@@ -480,8 +485,11 @@ func Figure18(cfg Config) (Table, error) {
 		d(transitions[regular]), f1(tokens[regular]))
 	t.AddRow(fmt.Sprintf("straggler (node%02d)", strag), pct(lowSamples[strag]),
 		d(transitions[strag]), f1(tokens[strag]))
+	var sample stats.Sample
+	straggleMax := sample.Reset(straggles).Max()
+	sample.Reset(runtimes)
 	t.AddNote("max task straggle ratio across runs: %.1fx; runtimes %.0f..%.0f s",
-		stats.Quantile(straggles, 1), stats.Quantile(runtimes, 0), stats.Quantile(runtimes, 1))
+		straggleMax, sample.Min(), sample.Max())
 	t.AddNote("paper: one node depletes its budget while the rest stay at 10 Gbps, then oscillates between rates")
 	return t, nil
 }
@@ -543,8 +551,9 @@ func Figure19(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		initial := stats.Median(seq[:perBudget])
-		final := stats.Median(seq)
+		var sample stats.Sample
+		initial := sample.Reset(seq[:perBudget]).Median()
+		final := sample.Reset(seq).Median()
 		drift := math.Abs(final-initial) / initial * 100
 		finalRelErr := an.FinalPoint().RelErr
 		// "Poor" per the paper's bottom bar: no tight-and-accurate

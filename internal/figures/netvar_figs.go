@@ -145,13 +145,16 @@ func Figure6(cfg Config) (Table, error) {
 		Columns: []string{"Regime", "p10 [Gbps]", "p50", "p90", "Mean", "CoV [%]"},
 	}
 	means := map[string]float64{}
+	var bw, qs []float64
+	var sample stats.Sample // one sort per regime serves deciles, mean and CoV
 	for _, name := range []string{"full-speed", "10-30", "5-30"} {
-		bw := rc.Series[name].Bandwidths()
-		qs := stats.Percentiles(bw, 0.10, 0.50, 0.90)
-		mean := stats.Mean(bw)
+		bw = rc.Series[name].AppendBandwidths(bw[:0])
+		sample.Reset(bw)
+		qs = sample.Percentiles(qs[:0], 0.10, 0.50, 0.90)
+		mean := sample.Mean()
 		means[name] = mean
 		t.AddRow(name, f(qs[0]), f(qs[1]), f(qs[2]), f(mean),
-			f1(stats.CoefficientOfVariation(bw)*100))
+			f1(sample.CoV()*100))
 	}
 	if means["full-speed"] > 0 {
 		// The paper: "approximately 3x and 7x slowdowns between 10-30
@@ -196,8 +199,9 @@ func Figure7(cfg Config) (Table, error) {
 		Title:   "EC2 c5.xlarge latency and bandwidth for 10 s TCP streams",
 		Columns: []string{"State", "RTT p50 [ms]", "RTT p99 [ms]", "Bandwidth [Gbps]", "Samples"},
 	}
-	nq := stats.Percentiles(normal.RTTms, 0.5, 0.99)
-	tq := stats.Percentiles(throttled.RTTms, 0.5, 0.99)
+	var sample stats.Sample
+	nq := sample.Reset(normal.RTTms).Percentiles(nil, 0.5, 0.99)
+	tq := sample.Reset(throttled.RTTms).Percentiles(nil, 0.5, 0.99)
 	t.AddRow("regular", f(nq[0]), f(nq[1]), f(normal.MeanBandwidthGbps()), d(len(normal.RTTms)))
 	t.AddRow("throttled", f(tq[0]), f(tq[1]), f(throttled.MeanBandwidthGbps()), d(len(throttled.RTTms)))
 	t.AddNote("throttling raises RTT %.0fx (paper: two orders of magnitude) and caps bandwidth at ~1 Gbps",
@@ -237,14 +241,16 @@ func Figure9(cfg Config) (Table, error) {
 		Title:   "TCP retransmission analysis across clouds and GCE regimes",
 		Columns: []string{"Series", "Total retrans", "p50 per bin", "p99 per bin"},
 	}
+	var vals []float64
+	var sample stats.Sample // buffers reused across the series below
 	perBin := func(s *trace.Series) (total int, p50, p99 float64) {
-		var vals []float64
+		vals = vals[:0]
 		for _, pt := range s.Points {
 			vals = append(vals, float64(pt.Retransmissions))
 			total += pt.Retransmissions
 		}
-		qs := stats.Percentiles(vals, 0.5, 0.99)
-		return total, qs[0], qs[1]
+		sample.Reset(vals)
+		return total, sample.Quantile(0.5), sample.Quantile(0.99)
 	}
 
 	ccfg := cloudmodel.DefaultCampaignConfig(dur)
@@ -368,9 +374,10 @@ func Figure11(cfg Config) (Table, error) {
 		if len(ttes) == 0 {
 			return t, fmt.Errorf("figures: no successful inference for %s", spec.Name)
 		}
-		q := stats.Percentiles(ttes, 0.25, 0.5, 0.75)
+		var sample stats.Sample
+		q := sample.Reset(ttes).Percentiles(nil, 0.25, 0.5, 0.75)
 		t.AddRow(spec.Name, f1(q[0]), f1(q[1]), f1(q[2]),
-			f1(stats.Median(highs)), f1(stats.Median(lows)), f1(stats.Median(budgets)))
+			f1(sample.Reset(highs).Median()), f1(sample.Reset(lows).Median()), f1(sample.Reset(budgets).Median()))
 	}
 	t.AddNote("bucket size and low bandwidth increase with instance size; parameters vary across incarnations (matches paper)")
 	t.AddNote("c5.xlarge time-to-empty ~600 s: the paper's 'about ten minutes of full-speed transfer'")

@@ -339,8 +339,15 @@ func Run(spec CampaignSpec) (CampaignResult, error) {
 
 	var mu sync.Mutex
 	done := len(cells) - len(pending)
-	fresh, errs := pool.Collect(len(pending), spec.Workers, func(j int) (CellResult, error) {
-		res := runCell(spec, cells[pending[j]])
+	// Each worker owns a scratch arena reused across the cells it
+	// runs. Scratch never carries state between cells — every cell's
+	// randomness comes from its own substream and every series is
+	// freshly built — so results stay bit-identical at any worker
+	// count (the determinism-vs-reuse contract, proven by the
+	// workers=1-vs-8 property tests).
+	scratches := make([]workerScratch, pool.NumWorkers(spec.Workers, len(pending)))
+	fresh, errs := pool.CollectWorker(len(pending), spec.Workers, func(w, j int) (CellResult, error) {
+		res := runCell(spec, cells[pending[j]], &scratches[w])
 		if spec.Sink != nil && res.Err == nil {
 			if err := spec.Sink.Put(res); err != nil {
 				// The measurement succeeded but did not persist; fail
@@ -376,24 +383,36 @@ func Run(spec CampaignSpec) (CampaignResult, error) {
 	return CampaignResult{Cells: results, Groups: groupResults(spec, results)}, nil
 }
 
+// workerScratch is one fleet worker's reusable arena: the campaign
+// burst buffers plus the bandwidth column and sorted sample the
+// summary is computed from. Contents never outlive a cell.
+type workerScratch struct {
+	campaign cloudmodel.CampaignScratch
+	bw       []float64
+	sample   stats.Sample
+}
+
 // runCell measures one cell on its own substream. Panics are folded
 // into the cell's Err before the caller reports progress, so Done
 // reaches Total even when a cell blows up.
-func runCell(spec CampaignSpec, c Cell) (res CellResult) {
+func runCell(spec CampaignSpec, c Cell, scratch *workerScratch) (res CellResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = CellResult{Cell: c, Err: fmt.Errorf("fleet: cell %s panicked: %v", c.Label(), r)}
 		}
 	}()
 	src := CellSource(spec.Seed, c)
-	series, err := cloudmodel.RunCampaign(c.Profile, c.Regime, spec.Config, src)
+	series, err := cloudmodel.RunCampaignScratch(c.Profile, c.Regime, spec.Config, src, &scratch.campaign)
 	if err != nil {
 		return CellResult{Cell: c, Err: fmt.Errorf("fleet: cell %s: %w", c.Label(), err)}
 	}
 	// Relabel with the repetition-qualified identity so cells of the
 	// same (profile, regime) stay distinguishable downstream.
 	series.Label = c.Label()
-	return CellResult{Cell: c, Series: series, Summary: series.Summary()}
+	// Summarise through the scratch: same bits as series.Summary(),
+	// no per-cell column copy or sort buffer.
+	scratch.bw = series.AppendBandwidths(scratch.bw[:0])
+	return CellResult{Cell: c, Series: series, Summary: scratch.sample.Reset(scratch.bw).Summary()}
 }
 
 // groupResults rolls cell results up into per-(profile, regime)

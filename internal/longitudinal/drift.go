@@ -161,7 +161,9 @@ type Report struct {
 // Replication means this label, not the raw numbers, survives a
 // re-run.
 func Conclusion(rec store.CellRecord) string {
-	cov := rec.Series.Summary().CoV
+	// CoV needs only the first two moments — identical bits to
+	// Summary().CoV without sorting the series.
+	cov := stats.CoefficientOfVariation(rec.Series.Bandwidths())
 	switch {
 	case cov < 0.05:
 		return "stable (CoV < 5%)"

@@ -10,36 +10,21 @@
 package netem
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Event is a scheduled callback in virtual time.
+// event is one entry in the scheduler's value-typed heap. Exactly one
+// of two dispatch paths is set: fn for one-shot callbacks
+// (Schedule/After), or timer for the closure-free Timer path, where
+// gen snapshots the timer's generation so a stopped or rescheduled
+// timer's stale entries are skipped lazily in O(1).
 type event struct {
-	at  float64
-	seq uint64 // tie-breaker for deterministic ordering
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	at    float64
+	seq   uint64 // tie-breaker for deterministic ordering
+	fn    func()
+	timer *Timer
+	gen   uint64
 }
 
 // Engine is a virtual-time discrete-event scheduler. Events scheduled
@@ -47,10 +32,18 @@ func (h *eventHeap) Pop() interface{} {
 // bit-reproducible. Engine is not safe for concurrent use: the whole
 // simulation runs single-threaded by design (determinism beats
 // parallelism for an experiment-reproducibility testbed).
+//
+// The event queue is a value-typed binary heap: scheduling appends
+// into a reused backing array instead of heap-allocating a node per
+// event, so steady-state scheduling performs no allocation and
+// produces no garbage for the collector to chase.
 type Engine struct {
 	now    float64
 	seq    uint64
-	events eventHeap
+	events []event
+	// stale counts queued entries whose timer generation no longer
+	// matches (stopped or rescheduled timers); they are skipped on pop.
+	stale int
 }
 
 // NewEngine returns an engine at virtual time zero.
@@ -59,15 +52,81 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
+// less orders the heap by time, then scheduling order.
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.events[i], &e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends ev and restores the heap invariant.
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+// popMin removes and returns the earliest event. The vacated tail slot
+// is zeroed so the backing array does not pin callbacks or timers.
+func (e *Engine) popMin() event {
+	ev := e.events[0]
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events[n] = event{}
+	e.events = e.events[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && e.less(l, small) {
+			small = l
+		}
+		if r < n && e.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		e.events[i], e.events[small] = e.events[small], e.events[i]
+		i = small
+	}
+	return ev
+}
+
+// compactHead discards stale timer entries from the head of the queue
+// so the earliest remaining live event is at index 0.
+func (e *Engine) compactHead() {
+	for len(e.events) > 0 {
+		ev := &e.events[0]
+		if ev.timer != nil && ev.gen != ev.timer.gen {
+			e.popMin()
+			e.stale--
+			continue
+		}
+		return
+	}
+}
+
 // Schedule registers fn to run at virtual time at. Scheduling in the
 // past panics: that is always a simulation bug, never a recoverable
-// condition.
+// condition. Hot paths that fire the same callback repeatedly should
+// use a Timer, which binds the callback once; Schedule remains the
+// compatible one-shot entry point.
 func (e *Engine) Schedule(at float64, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("netem: scheduling event at %g before now %g", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	e.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run delay seconds from now.
@@ -78,17 +137,24 @@ func (e *Engine) After(delay float64, fn func()) {
 	e.Schedule(e.now+delay, fn)
 }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of live queued events (stale timer
+// entries awaiting lazy removal are not counted).
+func (e *Engine) Pending() int { return len(e.events) - e.stale }
 
-// Step runs the next event, advancing the clock to it. It reports
-// whether an event ran.
+// Step runs the next live event, advancing the clock to it. It
+// reports whether an event ran.
 func (e *Engine) Step() bool {
+	e.compactHead()
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.popMin()
 	e.now = ev.at
+	if ev.timer != nil {
+		ev.timer.scheduled = false
+		ev.timer.fn()
+		return true
+	}
 	ev.fn()
 	return true
 }
@@ -99,7 +165,11 @@ func (e *Engine) RunUntil(t float64) {
 	if t < e.now {
 		panic(fmt.Sprintf("netem: RunUntil(%g) before now %g", t, e.now))
 	}
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for {
+		e.compactHead()
+		if len(e.events) == 0 || e.events[0].at > t {
+			break
+		}
 		e.Step()
 	}
 	e.now = t
@@ -115,13 +185,77 @@ func (e *Engine) Drain(limit int) {
 	}
 }
 
+// Timer is a pre-bound, reusable scheduled callback: the callback is
+// bound once at NewTimer, and each (re)scheduling pushes only a value
+// event carrying the timer pointer and its current generation — no
+// per-event closure, no per-event allocation. Stop and reschedule are
+// O(1): they bump the generation, invalidating any outstanding entry,
+// which the scheduler discards lazily when it surfaces.
+//
+// A Timer belongs to the engine that created it and shares its
+// single-threaded discipline.
+type Timer struct {
+	e         *Engine
+	fn        func()
+	gen       uint64
+	scheduled bool
+}
+
+// NewTimer binds fn to a reusable timer on this engine.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("netem: NewTimer requires a callback")
+	}
+	return &Timer{e: e, fn: fn}
+}
+
+// Schedule arms the timer for virtual time at, cancelling any earlier
+// pending occurrence (a timer has at most one live entry). Scheduling
+// in the past panics, like Engine.Schedule.
+func (t *Timer) Schedule(at float64) {
+	e := t.e
+	if at < e.now {
+		panic(fmt.Sprintf("netem: scheduling timer at %g before now %g", at, e.now))
+	}
+	if t.scheduled {
+		t.gen++
+		e.stale++
+	}
+	t.scheduled = true
+	e.seq++
+	e.push(event{at: at, seq: e.seq, timer: t, gen: t.gen})
+}
+
+// After arms the timer delay seconds from now.
+func (t *Timer) After(delay float64) {
+	if delay < 0 {
+		panic("netem: negative delay")
+	}
+	t.Schedule(t.e.now + delay)
+}
+
+// Stop cancels the pending occurrence, if any, in O(1). It reports
+// whether the timer was armed.
+func (t *Timer) Stop() bool {
+	if !t.scheduled {
+		return false
+	}
+	t.gen++
+	t.e.stale++
+	t.scheduled = false
+	return true
+}
+
+// Scheduled reports whether the timer has a pending occurrence.
+func (t *Timer) Scheduled() bool { return t.scheduled }
+
 // calendarQueue is the ablation comparator for the binary heap
 // (DESIGN.md §5): O(1) amortised scheduling via time-bucketed FIFO
 // rings, at the cost of tuning sensitivity. Exercised only by the
 // ablation benchmark; the heap is the production structure.
 type calendarQueue struct {
 	bucketWidth float64
-	buckets     [][]*event
+	buckets     [][]event
 	now         float64
 	size        int
 	seq         uint64
@@ -130,40 +264,75 @@ type calendarQueue struct {
 func newCalendarQueue(bucketWidth float64, nBuckets int) *calendarQueue {
 	return &calendarQueue{
 		bucketWidth: bucketWidth,
-		buckets:     make([][]*event, nBuckets),
+		buckets:     make([][]event, nBuckets),
 	}
 }
 
 func (c *calendarQueue) schedule(at float64, fn func()) {
 	c.seq++
 	idx := int(at/c.bucketWidth) % len(c.buckets)
-	c.buckets[idx] = append(c.buckets[idx], &event{at: at, seq: c.seq, fn: fn})
+	c.buckets[idx] = append(c.buckets[idx], event{at: at, seq: c.seq, fn: fn})
 	c.size++
 }
 
+// step fires the earliest event. It scans buckets starting at the
+// current epoch's bucket, accepting only events inside the scanned
+// bucket's current rotation window — the textbook calendar-queue walk,
+// O(events in one bucket) per pop in the common case instead of a full
+// scan of every bucket. Events scheduled more than a full rotation
+// ahead fall back to a direct search (rare by construction: the
+// comparator is tuned so the rotation spans the schedule horizon).
 func (c *calendarQueue) step() bool {
 	if c.size == 0 {
 		return false
 	}
-	// Scan buckets starting at the current epoch for the earliest
-	// event; correct but simplified relative to a production calendar
-	// queue (no dynamic resizing).
+	nb := len(c.buckets)
+	epoch := int(c.now / c.bucketWidth)
+	for i := 0; i < nb; i++ {
+		b := (epoch + i) % nb
+		bound := float64(epoch+i+1) * c.bucketWidth
+		best := -1
+		bestAt, bestSeq := math.Inf(1), uint64(math.MaxUint64)
+		for j := range c.buckets[b] {
+			ev := &c.buckets[b][j]
+			if ev.at >= bound {
+				continue // a later rotation of this bucket
+			}
+			if ev.at < bestAt || (ev.at == bestAt && ev.seq < bestSeq) {
+				best, bestAt, bestSeq = j, ev.at, ev.seq
+			}
+		}
+		if best >= 0 {
+			c.fire(b, best)
+			return true
+		}
+	}
+	// Every remaining event lies a full rotation or more ahead: find
+	// the global minimum directly.
 	bestBucket, bestIdx := -1, -1
 	bestAt, bestSeq := math.Inf(1), uint64(math.MaxUint64)
 	for b, bucket := range c.buckets {
-		for i, ev := range bucket {
+		for j := range bucket {
+			ev := &bucket[j]
 			if ev.at < bestAt || (ev.at == bestAt && ev.seq < bestSeq) {
 				bestAt, bestSeq = ev.at, ev.seq
-				bestBucket, bestIdx = b, i
+				bestBucket, bestIdx = b, j
 			}
 		}
 	}
-	ev := c.buckets[bestBucket][bestIdx]
-	last := len(c.buckets[bestBucket]) - 1
-	c.buckets[bestBucket][bestIdx] = c.buckets[bestBucket][last]
-	c.buckets[bestBucket] = c.buckets[bestBucket][:last]
+	c.fire(bestBucket, bestIdx)
+	return true
+}
+
+// fire removes event idx from bucket b (swap-with-last), advances the
+// clock and runs the callback.
+func (c *calendarQueue) fire(b, idx int) {
+	ev := c.buckets[b][idx]
+	last := len(c.buckets[b]) - 1
+	c.buckets[b][idx] = c.buckets[b][last]
+	c.buckets[b][last] = event{}
+	c.buckets[b] = c.buckets[b][:last]
 	c.size--
 	c.now = ev.at
 	ev.fn()
-	return true
 }

@@ -81,3 +81,62 @@ func BenchmarkEngineRunUntil(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineTimerChurn is BenchmarkEngineStepChurn on the
+// closure-free Timer path: the callbacks are bound once and every
+// successor is a value event — the shape shaper transitions should
+// take on hot paths.
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	for _, depth := range []int{16, 256} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := NewEngine()
+				remaining := 4096
+				for j := 0; j < depth; j++ {
+					// One closure per timer, bound once; every firing
+					// after that is a value event.
+					var tj *Timer
+					tj = e.NewTimer(func() {
+						if remaining > 0 {
+							remaining--
+							tj.After(1)
+						}
+					})
+					tj.After(float64(j))
+				}
+				e.Drain(4096 + depth + 1)
+			}
+		})
+	}
+}
+
+// BenchmarkCalendarQueueStep pins the ablation comparator's pop cost:
+// with the epoch scan each pop touches ~one bucket, so doubling the
+// ring must not double the per-event time (the pre-fix implementation
+// scanned every bucket on every pop).
+func BenchmarkCalendarQueueStep(b *testing.B) {
+	for _, buckets := range []int{64, 512} {
+		b.Run(fmt.Sprintf("buckets=%d", buckets), func(b *testing.B) {
+			src := simrand.New(17)
+			const n = 4096
+			const horizon = 1e5
+			times := make([]float64, n)
+			for i := range times {
+				times[i] = src.Float64() * horizon
+			}
+			width := horizon / float64(buckets)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := newCalendarQueue(width, buckets)
+				for _, at := range times {
+					c.schedule(at, func() {})
+				}
+				for c.step() {
+				}
+			}
+		})
+	}
+}

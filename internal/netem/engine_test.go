@@ -177,3 +177,143 @@ func BenchmarkEngineHeap(b *testing.B) {
 		e.Drain(len(times) + 1)
 	}
 }
+
+func TestTimerFiresLikeSchedule(t *testing.T) {
+	// The same cascade as TestEngineAfterAndCascade, on the
+	// closure-free path: one bound callback rescheduling itself.
+	e := NewEngine()
+	var times []float64
+	var timer *Timer
+	timer = e.NewTimer(func() {
+		times = append(times, e.Now())
+		if len(times) < 3 {
+			timer.After(10)
+		}
+	})
+	timer.After(10)
+	e.Drain(10)
+	want := []float64{10, 20, 30}
+	if len(times) != len(want) {
+		t.Fatalf("fired %d times, want %d", len(times), len(want))
+	}
+	for i, w := range want {
+		if times[i] != w {
+			t.Errorf("tick %d at %g, want %g", i, times[i], w)
+		}
+	}
+}
+
+func TestTimerStopAndReschedule(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	timer := e.NewTimer(func() { fired++ })
+
+	timer.Schedule(5)
+	if !timer.Scheduled() {
+		t.Fatal("timer should be armed")
+	}
+	if !timer.Stop() {
+		t.Fatal("Stop on an armed timer should report true")
+	}
+	if timer.Stop() {
+		t.Fatal("Stop on a disarmed timer should report false")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after stop, want 0", e.Pending())
+	}
+	e.Drain(10)
+	if fired != 0 {
+		t.Fatalf("stopped timer fired %d times", fired)
+	}
+
+	// Rescheduling an armed timer moves it: only the new occurrence
+	// fires, and interleaved one-shot events keep their order.
+	var order []string
+	e2 := NewEngine()
+	tm := e2.NewTimer(func() { order = append(order, "timer") })
+	tm.Schedule(1)
+	tm.Schedule(3) // supersedes t=1
+	e2.Schedule(2, func() { order = append(order, "oneshot") })
+	if got := e2.Pending(); got != 2 {
+		t.Fatalf("pending = %d, want 2 (stale entry not counted)", got)
+	}
+	e2.Drain(10)
+	if len(order) != 2 || order[0] != "oneshot" || order[1] != "timer" {
+		t.Fatalf("fired as %v, want [oneshot timer]", order)
+	}
+	if e2.Now() != 3 {
+		t.Fatalf("clock at %g, want 3", e2.Now())
+	}
+}
+
+func TestTimerStaleEntriesAndRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	timer := e.NewTimer(func() { fired++ })
+	timer.Schedule(1)
+	timer.Schedule(5) // t=1 entry is now stale at the heap head
+	e.Schedule(3, func() {})
+	e.RunUntil(2) // must discard the stale head without firing the timer
+	if fired != 0 {
+		t.Fatalf("stale timer entry fired")
+	}
+	if e.Now() != 2 {
+		t.Fatalf("clock at %g, want 2", e.Now())
+	}
+	e.RunUntil(10)
+	if fired != 1 {
+		t.Fatalf("timer fired %d times, want 1", fired)
+	}
+}
+
+func TestTimerSchedulingIsAllocationFree(t *testing.T) {
+	e := NewEngine()
+	timer := e.NewTimer(func() {})
+	// Warm the heap's backing array.
+	for i := 0; i < 64; i++ {
+		timer.Schedule(float64(i))
+		e.Drain(2)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		timer.Schedule(e.Now())
+		e.Drain(2)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state timer schedule+fire allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestCalendarQueueWrapsAndFallsBack exercises the epoch-scan paths
+// the original all-buckets scan hid: times wrapping the ring several
+// times, and events a full rotation ahead of the clock.
+func TestCalendarQueueWrapsAndFallsBack(t *testing.T) {
+	src := simrand.New(556)
+	// 16 buckets x width 10 = a 160 s rotation; times up to 1000 s wrap
+	// the ring ~6 times, and the t=990 event starts >1 rotation ahead.
+	for trial := 0; trial < 20; trial++ {
+		times := make([]float64, 40)
+		for i := range times {
+			times[i] = src.Float64() * 1000
+		}
+		times = append(times, 990, 0.5, 0.5) // far-future + duplicate ties
+		var heapOrder, calOrder []float64
+		e := NewEngine()
+		c := newCalendarQueue(10, 16)
+		for _, at := range times {
+			at := at
+			e.Schedule(at, func() { heapOrder = append(heapOrder, at) })
+			c.schedule(at, func() { calOrder = append(calOrder, at) })
+		}
+		e.Drain(len(times) + 1)
+		for c.step() {
+		}
+		if len(heapOrder) != len(calOrder) {
+			t.Fatalf("lengths differ: %d vs %d", len(heapOrder), len(calOrder))
+		}
+		for i := range heapOrder {
+			if heapOrder[i] != calOrder[i] {
+				t.Fatalf("trial %d: order differs at %d: %g vs %g", trial, i, heapOrder[i], calOrder[i])
+			}
+		}
+	}
+}

@@ -88,16 +88,32 @@ func (c IperfConfig) Validate() error {
 // measurement tooling (iperf for load, tcpdump+wireshark for
 // application-observed RTT).
 func RunIperf(shaper Shaper, model VNICModel, cfg IperfConfig, src *simrand.Source) (IperfResult, error) {
+	var res IperfResult
+	err := RunIperfInto(&res, shaper, model, cfg, src)
+	return res, err
+}
+
+// RunIperfInto is RunIperf writing into a caller-held result whose
+// slices are truncated and reused — the allocation-free path for
+// campaign loops that run one emulated stream per bin against the
+// same scratch. Buffers are pre-sized from DurationSec/BinSec on
+// first use. On error the result holds no meaningful data.
+func RunIperfInto(res *IperfResult, shaper Shaper, model VNICModel, cfg IperfConfig, src *simrand.Source) error {
 	if err := cfg.Validate(); err != nil {
-		return IperfResult{}, err
+		return err
 	}
 	if err := model.Validate(); err != nil {
-		return IperfResult{}, err
+		return err
 	}
-	res := IperfResult{BinSec: cfg.BinSec}
+	bins := int(math.Ceil(cfg.DurationSec / cfg.BinSec))
+	res.BinSec = cfg.BinSec
+	res.Retransmissions = 0
+	res.Packets = 0
+	res.BandwidthGbps = sliceWithCap(res.BandwidthGbps, bins)
+	res.ThrottledBins = sliceWithCap(res.ThrottledBins, bins)
+	res.RTTms = sliceWithCap(res.RTTms, bins*cfg.RTTSamplesPerBin)
 
 	tr, hasThrottle := shaper.(throttleReporter)
-	bins := int(math.Ceil(cfg.DurationSec / cfg.BinSec))
 	for bin := 0; bin < bins; bin++ {
 		dt := math.Min(cfg.BinSec, cfg.DurationSec-float64(bin)*cfg.BinSec)
 		throttled := hasThrottle && tr.Throttled()
@@ -132,7 +148,16 @@ func RunIperf(shaper Shaper, model VNICModel, cfg IperfConfig, src *simrand.Sour
 				model.SampleRTTms(src, cfg.WriteBytes, rate, throttled))
 		}
 	}
-	return res, nil
+	return nil
+}
+
+// sliceWithCap returns s truncated to length zero with capacity at
+// least n, reusing the backing array when it is big enough.
+func sliceWithCap[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, 0, n)
+	}
+	return s[:0]
 }
 
 // WriteSizeSweepPoint is one row of Figure 12: the latency and

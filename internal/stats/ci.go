@@ -56,30 +56,29 @@ func (iv Interval) String() string {
 // (e.g. n=3 cannot support a 95% median CI; the paper makes exactly
 // this point in Figure 3's caption).
 func QuantileCI(xs []float64, q, conf float64) (Interval, error) {
-	n := len(xs)
-	iv := Interval{Confidence: conf, N: n}
-	if n == 0 {
-		return iv, ErrInsufficientData
-	}
-	if q <= 0 || q >= 1 {
-		return iv, fmt.Errorf("stats: quantile %g outside (0,1)", q)
-	}
-	if conf <= 0 || conf >= 1 {
-		return iv, fmt.Errorf("stats: confidence %g outside (0,1)", conf)
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	iv.Estimate = QuantileSorted(sorted, q)
+	var s Sample
+	s.loadSorted(xs)
+	return s.QuantileCI(q, conf)
+}
 
-	alpha := 1 - conf
-	l, u, achievable := quantileOrderIndices(n, q, alpha)
-	if !achievable {
-		return iv, fmt.Errorf("stats: n=%d too small for %g%% CI on q=%g: %w",
-			n, conf*100, q, ErrInsufficientData)
-	}
-	iv.Lo = sorted[l-1] // order statistics are 1-based
-	iv.Hi = sorted[u-1]
-	return iv, nil
+// errQuantileRange, errConfidenceRange, errCIUnachievable and
+// errTooFewResamples are shared by the package-level CI functions and
+// the Sample methods so both paths report identical errors.
+func errQuantileRange(q float64) error {
+	return fmt.Errorf("stats: quantile %g outside (0,1)", q)
+}
+
+func errConfidenceRange(conf float64) error {
+	return fmt.Errorf("stats: confidence %g outside (0,1)", conf)
+}
+
+func errCIUnachievable(n int, conf, q float64) error {
+	return fmt.Errorf("stats: n=%d too small for %g%% CI on q=%g: %w",
+		n, conf*100, q, ErrInsufficientData)
+}
+
+func errTooFewResamples(resamples int) error {
+	return fmt.Errorf("stats: %d bootstrap resamples is too few", resamples)
 }
 
 // quantileOrderIndices returns 1-based order-statistic indices (l, u)
@@ -181,7 +180,7 @@ func BootstrapCI(xs []float64, statistic func([]float64) float64, conf float64, 
 		return iv, ErrInsufficientData
 	}
 	if resamples < 10 {
-		return iv, fmt.Errorf("stats: %d bootstrap resamples is too few", resamples)
+		return iv, errTooFewResamples(resamples)
 	}
 	iv.Estimate = statistic(xs)
 	stats := make([]float64, resamples)

@@ -14,7 +14,6 @@ package stats
 import (
 	"errors"
 	"math"
-	"sort"
 )
 
 // ErrInsufficientData is returned when a computation needs more samples
@@ -186,29 +185,11 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize computes a Summary of xs. It copies and sorts internally.
+// Summarize computes a Summary of xs. It copies and sorts internally;
+// loops that summarise many slices should Reset a Sample instead.
 func Summarize(xs []float64) Summary {
-	s := Summary{N: len(xs)}
-	if len(xs) == 0 {
-		nan := math.NaN()
-		s.Mean, s.StdDev, s.CoV = nan, nan, nan
-		s.Min, s.P01, s.P25, s.Median, s.P75, s.P90, s.P99, s.Max = nan, nan, nan, nan, nan, nan, nan, nan
-		return s
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	s.Mean = Mean(xs)
-	s.StdDev = StdDev(xs)
-	s.CoV = CoefficientOfVariation(xs)
-	s.Min = sorted[0]
-	s.Max = sorted[len(sorted)-1]
-	s.P01 = QuantileSorted(sorted, 0.01)
-	s.P25 = QuantileSorted(sorted, 0.25)
-	s.Median = QuantileSorted(sorted, 0.50)
-	s.P75 = QuantileSorted(sorted, 0.75)
-	s.P90 = QuantileSorted(sorted, 0.90)
-	s.P99 = QuantileSorted(sorted, 0.99)
-	return s
+	var s Sample
+	return s.Reset(xs).Summary()
 }
 
 // IQR returns the interquartile range of the sample.

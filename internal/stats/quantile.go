@@ -7,16 +7,17 @@ import (
 
 // Quantile returns the p-quantile of xs using linear interpolation
 // between order statistics (Hyndman-Fan type 7, the default of R and
-// NumPy). It copies and sorts the input; use QuantileSorted in hot
-// paths that already hold sorted data. Returns NaN for empty input or
-// p outside [0, 1].
+// NumPy). It copies and sorts the input per call; hot paths that query
+// the same data repeatedly (or reuse a buffer across calls) should
+// hold a Sample instead. Returns NaN for empty input or p outside
+// [0, 1].
 func Quantile(xs []float64, p float64) float64 {
 	if len(xs) == 0 || p < 0 || p > 1 || math.IsNaN(p) {
 		return math.NaN()
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	return QuantileSorted(sorted, p)
+	var s Sample
+	s.loadSorted(xs)
+	return s.Quantile(p)
 }
 
 // QuantileSorted is Quantile for data that is already sorted ascending.
@@ -43,19 +44,16 @@ func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
 
 // Percentiles evaluates several quantiles at once, sorting only once.
 func Percentiles(xs []float64, ps ...float64) []float64 {
-	out := make([]float64, len(ps))
+	out := make([]float64, 0, len(ps))
 	if len(xs) == 0 {
-		for i := range out {
-			out[i] = math.NaN()
+		for range ps {
+			out = append(out, math.NaN())
 		}
 		return out
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	for i, p := range ps {
-		out[i] = QuantileSorted(sorted, p)
-	}
-	return out
+	var s Sample
+	s.loadSorted(xs)
+	return s.Percentiles(out, ps...)
 }
 
 // ECDF is an empirical cumulative distribution function over a sample.
@@ -69,6 +67,10 @@ func NewECDF(xs []float64) *ECDF {
 	sort.Float64s(sorted)
 	return &ECDF{sorted: sorted}
 }
+
+// SampleECDF wraps a Sample's sorted buffer as an ECDF without
+// copying. The ECDF is invalidated by the Sample's next Reset or Push.
+func SampleECDF(s *Sample) *ECDF { return &ECDF{sorted: s.Sorted()} }
 
 // At returns the fraction of the sample <= x.
 func (e *ECDF) At(x float64) float64 {
@@ -87,19 +89,23 @@ func (e *ECDF) N() int { return len(e.sorted) }
 // pairs for plotting, always including the first and last sample. This
 // is how Figure 6's CDFs are serialised.
 func (e *ECDF) Points(max int) (values, fractions []float64) {
-	n := len(e.sorted)
+	return ecdfPoints(e.sorted, max, nil, nil)
+}
+
+// ecdfPoints is the shared decimation loop behind ECDF.Points and
+// Sample.ECDFPoints, appending to the given slices.
+func ecdfPoints(sorted []float64, max int, values, fractions []float64) (v, f []float64) {
+	n := len(sorted)
 	if n == 0 || max <= 0 {
-		return nil, nil
+		return values, fractions
 	}
 	if max > n {
 		max = n
 	}
-	values = make([]float64, max)
-	fractions = make([]float64, max)
 	for i := 0; i < max; i++ {
 		idx := i * (n - 1) / maxInt(max-1, 1)
-		values[i] = e.sorted[idx]
-		fractions[i] = float64(idx+1) / float64(n)
+		values = append(values, sorted[idx])
+		fractions = append(fractions, float64(idx+1)/float64(n))
 	}
 	return values, fractions
 }
@@ -132,9 +138,17 @@ func NewHistogram(xs []float64, lo, hi float64, bins int) *Histogram {
 		panic("stats: NewHistogram requires hi > lo")
 	}
 	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
-	width := (hi - lo) / float64(bins)
+	binInto(h, xs)
+	return h
+}
+
+// binInto is the shared clamp-and-bin loop behind NewHistogram and
+// Sample.FillHistogram. Counts are incremented, not reset.
+func binInto(h *Histogram, xs []float64) {
+	bins := len(h.Counts)
+	width := (h.Hi - h.Lo) / float64(bins)
 	for _, x := range xs {
-		i := int((x - lo) / width)
+		i := int((x - h.Lo) / width)
 		if i < 0 {
 			i = 0
 		}
@@ -143,7 +157,6 @@ func NewHistogram(xs []float64, lo, hi float64, bins int) *Histogram {
 		}
 		h.Counts[i]++
 	}
-	return h
 }
 
 // Densities returns the fraction of samples in each bucket. Used to

@@ -23,16 +23,21 @@ func benchSample(n int) []float64 {
 	return xs
 }
 
-// BenchmarkStatsQuantile measures the single-quantile path (copy +
-// sort + interpolate).
+// BenchmarkStatsQuantile measures the single-quantile path as the
+// pipeline now runs it: a reused Sample re-loaded with fresh data per
+// call (one sort, zero steady-state allocation). The one-shot package
+// function costs the same plus one buffer allocation.
 func BenchmarkStatsQuantile(b *testing.B) {
 	for _, n := range []int{32, 1024, 65536} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			xs := benchSample(n)
+			var s Sample
+			s.Reset(xs) // warm the buffer
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if v := Quantile(xs, 0.5); v <= 0 {
+				s.Reset(xs)
+				if v := s.Quantile(0.5); v <= 0 {
 					b.Fatal("bad quantile")
 				}
 			}
@@ -40,16 +45,20 @@ func BenchmarkStatsQuantile(b *testing.B) {
 	}
 }
 
-// BenchmarkStatsPercentiles measures the batched path the Summary
-// builder uses (one sort, many quantiles).
+// BenchmarkStatsPercentiles measures the batched path (one sort, many
+// quantiles) with a reused Sample and destination buffer.
 func BenchmarkStatsPercentiles(b *testing.B) {
 	for _, n := range []int{32, 1024, 65536} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			xs := benchSample(n)
+			var s Sample
+			s.Reset(xs)
+			out := make([]float64, 0, 7)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				out := Percentiles(xs, 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99)
+				s.Reset(xs)
+				out = s.Percentiles(out[:0], 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99)
 				if len(out) != 7 {
 					b.Fatal("bad percentile batch")
 				}
@@ -58,15 +67,19 @@ func BenchmarkStatsPercentiles(b *testing.B) {
 	}
 }
 
-// BenchmarkStatsSummarize measures the full per-cell Summary.
+// BenchmarkStatsSummarize measures the full per-cell Summary from a
+// reused Sample.
 func BenchmarkStatsSummarize(b *testing.B) {
 	for _, n := range []int{60, 4096} { // 60 ≈ one emulated 10-minute cell
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			xs := benchSample(n)
+			var smp Sample
+			smp.Reset(xs)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if s := Summarize(xs); s.N != n {
+				smp.Reset(xs)
+				if s := smp.Summary(); s.N != n {
 					b.Fatal("bad summary")
 				}
 			}
@@ -80,10 +93,13 @@ func BenchmarkStatsMedianCI(b *testing.B) {
 	for _, n := range []int{10, 50, 1000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			xs := benchSample(n)
+			var s Sample
+			s.Reset(xs)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := MedianCI(xs, 0.95); err != nil {
+				s.Reset(xs)
+				if _, err := s.MedianCI(0.95); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -96,11 +112,38 @@ func BenchmarkStatsQuantileCI(b *testing.B) {
 	for _, n := range []int{50, 1000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			xs := benchSample(n)
+			var s Sample
+			s.Reset(xs)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := QuantileCI(xs, 0.9, 0.95); err != nil {
+				s.Reset(xs)
+				if _, err := s.QuantileCI(0.9, 0.95); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStatsSamplePush measures incremental prefix growth — the
+// CONFIRM pattern: each iteration builds an n-observation sample one
+// Push at a time, querying the median after every insertion.
+func BenchmarkStatsSamplePush(b *testing.B) {
+	for _, n := range []int{50, 500} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			xs := benchSample(n)
+			var s Sample
+			s.Reset(xs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Reset(xs[:0])
+				for _, x := range xs {
+					s.Push(x)
+					if v := s.Median(); v <= 0 {
+						b.Fatal("bad median")
+					}
 				}
 			}
 		})

@@ -1,0 +1,90 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cloudvar/internal/fleet"
+	"cloudvar/internal/testutil"
+)
+
+// The store's two hot paths are cell append (once per completed cell,
+// fsynced) and run recovery (manifest + JSONL parse with torn-tail
+// truncation, once per resume or drift analysis). Both sit on the
+// campaign critical path, so both are in the benchgate set.
+
+// benchCells runs the small EC2 campaign once and returns its
+// successful cell results, the records the benchmarks replay.
+func benchCells(b *testing.B) []fleet.CellResult {
+	b.Helper()
+	res, err := fleet.Run(testutil.EC2Spec(b, 7, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		b.Fatal(err)
+	}
+	return res.Cells
+}
+
+// BenchmarkStoreAppend measures Put: encode one cell record and append
+// it as a single fsynced JSONL line.
+func BenchmarkStoreAppend(b *testing.B) {
+	st := testutil.TempStore(b)
+	cells := benchCells(b)
+	run, err := st.Create("bench-append", testutil.EC2Spec(b, 7, 1), nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer run.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run.Put(cells[i%len(cells)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreRecovery measures the resume path: load a run's cells
+// with a torn trailing line (a crashed writer's artifact) injected
+// before every load, so each iteration pays truncation plus the full
+// JSONL parse.
+func BenchmarkStoreRecovery(b *testing.B) {
+	st := testutil.TempStore(b)
+	spec := testutil.EC2Spec(b, 7, 1)
+	run, err := st.Create("bench-recovery", spec, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range benchCells(b) {
+		if err := run.Put(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := run.Close(); err != nil {
+		b.Fatal(err)
+	}
+	cellsPath := filepath.Join(st.Dir(), "runs", "bench-recovery", "cells.jsonl")
+	torn := []byte(`{"schema":1,"label":"torn`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.OpenFile(cellsPath, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Write(torn); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+		cells, err := st.Cells("bench-recovery")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 4 {
+			b.Fatalf("recovered %d cells, want 4", len(cells))
+		}
+	}
+}

@@ -58,11 +58,17 @@ func (s *Series) Append(p Point) error {
 
 // Bandwidths returns the bandwidth column.
 func (s *Series) Bandwidths() []float64 {
-	out := make([]float64, len(s.Points))
-	for i, p := range s.Points {
-		out[i] = p.BandwidthGbps
+	return s.AppendBandwidths(make([]float64, 0, len(s.Points)))
+}
+
+// AppendBandwidths appends the bandwidth column to dst and returns it
+// — the allocation-free variant for callers holding a reusable buffer
+// (the fleet's per-worker scratch).
+func (s *Series) AppendBandwidths(dst []float64) []float64 {
+	for _, p := range s.Points {
+		dst = append(dst, p.BandwidthGbps)
 	}
-	return out
+	return dst
 }
 
 // RTTs returns the RTT column.

@@ -23,10 +23,11 @@ func WindowMedians(s *Series, windowSec float64) ([]float64, error) {
 	}
 	var out []float64
 	var window []float64
+	var sample stats.Sample // reused across windows: one sort per window, no copies
 	windowEnd := s.Points[0].TimeSec + windowSec
 	flush := func() {
 		if len(window) > 0 {
-			out = append(out, stats.Median(window))
+			out = append(out, sample.Reset(window).Median())
 			window = window[:0]
 		}
 	}
@@ -80,10 +81,11 @@ func Diurnal(s *Series, periodSec float64, bins int) (DiurnalProfile, error) {
 		BinMedians: make([]float64, bins),
 		BinCounts:  make([]int, bins),
 	}
+	var sample stats.Sample // reused across bins
 	for i, b := range buckets {
 		prof.BinCounts[i] = len(b)
 		if len(b) > 0 {
-			prof.BinMedians[i] = stats.Median(b)
+			prof.BinMedians[i] = sample.Reset(b).Median()
 		} else {
 			prof.BinMedians[i] = math.NaN()
 		}
