@@ -49,6 +49,7 @@ import (
 	"cloudvar/internal/store"
 	"cloudvar/internal/tokenbucket"
 	"cloudvar/internal/trace"
+	"cloudvar/internal/workload"
 	"cloudvar/internal/workloads"
 )
 
@@ -236,6 +237,45 @@ var (
 	// BuildScenario resolves a registered scenario with parameter
 	// overrides merged over its defaults.
 	BuildScenario = scenario.Build
+)
+
+// Multi-client traffic engine: named clients with SLO classes and
+// arrival processes, replayed deterministically over every campaign
+// cell's measured path (internal/workload). Declare traffic in a spec
+// document's workloads: section (or WithClient on the builder); the
+// compiled campaign reports per-SLO-class request latency.
+type (
+	// WorkloadSection is the document's structured workloads: section.
+	WorkloadSection = expspec.WorkloadSection
+	// WorkloadClient is one named traffic source of the section.
+	WorkloadClient = expspec.WorkloadClient
+	// WorkloadArrival selects a client's inter-arrival process.
+	WorkloadArrival = expspec.WorkloadArrival
+	// WorkloadSpec is the engine-level traffic spec a campaign carries.
+	WorkloadSpec = workload.Spec
+	// WorkloadMetrics holds one cell's per-client request latencies.
+	WorkloadMetrics = workload.CellMetrics
+	// ClassResult is one SLO class's aggregated tail-latency result
+	// within a campaign group.
+	ClassResult = fleet.ClassResult
+)
+
+// Traffic-engine functions.
+var (
+	// PoissonArrival builds a memoryless arrival process (CV = 1).
+	PoissonArrival = expspec.PoissonArrival
+	// GammaArrival builds gamma inter-arrivals with a chosen
+	// coefficient of variation (cv > 1 bursty, cv < 1 regular).
+	GammaArrival = expspec.GammaArrival
+	// WeibullArrival builds Weibull inter-arrivals with a chosen shape
+	// (shape < 1 heavy-tailed).
+	WeibullArrival = expspec.WeibullArrival
+	// TraceArrival replays recorded arrival times verbatim.
+	TraceArrival = expspec.TraceArrival
+	// ReadTraceCSV reads a recorded arrival trace (time_sec CSV).
+	ReadTraceCSV = workload.ReadTraceCSV
+	// WriteTraceCSV records arrival times as a replayable trace.
+	WriteTraceCSV = workload.WriteTraceCSV
 )
 
 // Fleet orchestration: deterministic concurrent campaign matrices.

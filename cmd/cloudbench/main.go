@@ -54,6 +54,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"cloudvar/internal/core"
@@ -178,6 +179,11 @@ func execute(plan expspec.Plan, stdout, stderr io.Writer) int {
 	if !spec.Scenario.IsZero() {
 		fmt.Fprintf(stdout, "scenario: %s — %s\n", spec.Scenario, plan.Campaign.ScenarioDescription)
 	}
+	if spec.Workload != nil {
+		fmt.Fprintf(stdout, "workload: %s (%g KB requests, classes: %s)\n",
+			spec.Workload.Summary(), spec.Workload.EffectiveRequestKB(),
+			strings.Join(spec.Workload.Classes(), ", "))
+	}
 	cells := spec.Cells()
 	profiles := spec.Profiles
 	regimes := spec.EffectiveRegimes()
@@ -237,6 +243,18 @@ func execute(plan expspec.Plan, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stdout, "%-28s %5d %8.2f %8.1f %18s %10v\n",
 				r.Name, r.Summary.N, r.Summary.Median, r.Summary.CoV*100, ci, r.Converged)
+		}
+	}
+
+	if spec.Workload != nil {
+		fmt.Fprintf(stdout, "\nper-SLO-class tail latency (p99 per repetition, aggregated per group):\n")
+		fmt.Fprintf(stdout, "%-36s %5s %9s %12s %8s\n", "group/class", "n", "requests", "p99 med[ms]", "CoV[%]")
+		for _, g := range res.Groups {
+			for _, cl := range g.Classes {
+				r := cl.Result
+				fmt.Fprintf(stdout, "%-36s %5d %9d %12.2f %8.1f\n",
+					r.Name, r.Summary.N, cl.Requests, r.Summary.Median, r.Summary.CoV*100)
+			}
 		}
 	}
 

@@ -200,7 +200,7 @@ func listRuns(st *store.Store, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "drift:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "%-20s %-14s %-14s %-14s %6s %6s %s\n", "run", "matrix", "spec", "expspec", "seed", "cells", "scenario")
+	fmt.Fprintf(stdout, "%-20s %-14s %-14s %-14s %6s %6s %-16s %s\n", "run", "matrix", "spec", "expspec", "seed", "cells", "scenario", "workload")
 	for _, m := range manifests {
 		cells, cellsErr := st.Cells(m.RunID)
 		n := fmt.Sprintf("%d", len(cells))
@@ -211,8 +211,12 @@ func listRuns(st *store.Store, stdout, stderr io.Writer) int {
 		if m.ExperimentSpecHash != "" {
 			expHash = m.ExperimentSpecHash
 		}
-		fmt.Fprintf(stdout, "%-20s %-14.12s %-14.12s %-14.12s %6d %6s %s\n",
-			m.RunID, m.MatrixKey, m.SpecKey, expHash, m.Spec.Seed, n, m.Spec.Scenario)
+		wl := "none"
+		if m.Spec.Workload != nil {
+			wl = m.Spec.Workload.Summary()
+		}
+		fmt.Fprintf(stdout, "%-20s %-14.12s %-14.12s %-14.12s %6d %6s %-16s %s\n",
+			m.RunID, m.MatrixKey, m.SpecKey, expHash, m.Spec.Seed, n, m.Spec.Scenario, wl)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "drift:", err)

@@ -21,7 +21,7 @@ func write(t *testing.T, dir, name, content string) string {
 }
 
 const canonical = `{
-  "schemaVersion": 1,
+  "schemaVersion": 2,
   "campaign": {
     "profiles": [
       {

@@ -140,3 +140,46 @@ func ExampleNewExperiment() {
 	// hashes equal: true
 	// ec2/c5.xlarge/full-speed: median 10.23 Gbps over 2 repetitions
 }
+
+// ExampleNewExperiment_workloads adds a structured workloads: section
+// to the spec: two named traffic clients of different SLO classes —
+// an interactive Poisson client and a bursty gamma batch client —
+// replayed deterministically over every campaign cell's measured
+// path. The compiled campaign reports per-SLO-class tail latency
+// alongside the bandwidth results.
+func ExampleNewExperiment_workloads() {
+	doc, err := cloudvar.NewExperiment("godoc-workloads").
+		WithProfile("ec2", "c5.xlarge").
+		WithRegimes("full-speed").
+		WithRepetitions(2).
+		WithDuration(1.0/30). // 2 emulated minutes
+		WithSeed(7).
+		WithWorkloadRate(2, 8192). // 2 req/s of 8 MiB requests
+		WithClient("web", "interactive", 0.7, cloudvar.PoissonArrival()).
+		WithClient("etl", "batch", 0.3, cloudvar.GammaArrival(2)).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plan, err := cloudvar.CompileExperiment(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cloudvar.RunFleet(plan.Campaign.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range res.Groups {
+		for _, cl := range g.Classes {
+			fmt.Printf("%s: %d requests, median rep p99 %.2f ms\n",
+				cl.Result.Name, cl.Requests, cl.Result.Summary.Median)
+		}
+	}
+	// Output:
+	// ec2/c5.xlarge/full-speed/batch: 147 requests, median rep p99 13.60 ms
+	// ec2/c5.xlarge/full-speed/interactive: 325 requests, median rep p99 7.31 ms
+}

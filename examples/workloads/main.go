@@ -1,0 +1,86 @@
+// Command workloads defines a campaign carrying a multi-client
+// traffic mix: two named clients of different SLO classes — an
+// interactive Poisson client and a bursty gamma batch client — whose
+// request streams replay deterministically over every measured cell.
+// The committed experiment.json next to this file declares the exact
+// same experiment; cloudbench -spec runs it verbatim.
+//
+// Run with: go run ./examples/workloads
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cloudvar"
+)
+
+func main() {
+	// The workloads: section rides in the same versioned document as
+	// the campaign: the traffic mix is part of the experiment's
+	// identity, so stored runs with different mixes can never be
+	// compared as if they were the same experiment.
+	doc, err := cloudvar.NewExperiment("workloads").
+		WithProfile("ec2", "c5.xlarge").
+		WithRegimes("full-speed").
+		WithRepetitions(2).
+		WithDuration(0.05). // emulated hours
+		WithSeed(7).
+		WithWorkloadRate(2, 8192). // 2 req/s of 8 MiB requests
+		WithClient("web", "interactive", 0.7, cloudvar.PoissonArrival()).
+		WithClient("etl", "batch", 0.3, cloudvar.GammaArrival(2)).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hash, err := doc.Hash()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("experiment %q, spec hash %.12s\n", doc.Name, hash)
+
+	// The committed spec file is the same artifact.
+	if fileDoc, err := cloudvar.DecodeExperimentFile("examples/workloads/experiment.json"); err == nil {
+		fileHash, err := fileDoc.Hash()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("experiment.json hash     %.12s (equal: %v)\n", fileHash, fileHash == hash)
+	} else if !os.IsNotExist(err) {
+		log.Fatal(err)
+	}
+
+	plan, err := cloudvar.CompileExperiment(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cloudvar.RunFleet(plan.Campaign.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nper-cell bandwidth (the measurement the traffic rides on):")
+	for _, c := range res.Cells {
+		fmt.Printf("  %-28s median %5.2f Gbps, CoV %4.1f%%\n",
+			c.Cell.Label(), c.Summary.Median, c.Summary.CoV*100)
+	}
+
+	// The traffic engine's output: per-SLO-class tail latency. The
+	// same network variability costs the interactive class tail
+	// latency long before it moves the batch class's totals.
+	fmt.Println("\nper-SLO-class request latency (p99 per repetition, per group):")
+	for _, g := range res.Groups {
+		for _, cl := range g.Classes {
+			fmt.Printf("  %-40s %4d requests, median rep p99 %6.2f ms\n",
+				cl.Result.Name, cl.Requests, cl.Result.Summary.Median)
+		}
+	}
+
+	fmt.Println("\nnext steps:")
+	fmt.Println("  go run ./cmd/cloudbench -spec examples/workloads/experiment.json")
+	fmt.Println("  go run ./cmd/reproduce -artifact ext-workload-classes -scale 0.1")
+}

@@ -98,8 +98,8 @@ func TestFacadeWorkloads(t *testing.T) {
 
 func TestFacadeArtifacts(t *testing.T) {
 	ids := cloudvar.ArtifactIDs()
-	if len(ids) != 28 {
-		t.Errorf("artifact count = %d, want 28", len(ids))
+	if len(ids) != 29 {
+		t.Errorf("artifact count = %d, want 29", len(ids))
 	}
 	tbl, err := cloudvar.GenerateArtifact("table1", cloudvar.ArtifactConfig{Seed: 1, Scale: 1})
 	if err != nil {

@@ -111,10 +111,57 @@ func (b *Builder) WithScenario(name string, params map[string]float64) *Builder 
 	return b
 }
 
-// WithWorkloads selects big-data application profiles by name.
-func (b *Builder) WithWorkloads(names ...string) *Builder {
-	b.doc.Workloads = append(b.doc.Workloads, names...)
+// WithApps selects big-data application profiles by name.
+func (b *Builder) WithApps(names ...string) *Builder {
+	b.doc.Apps = append(b.doc.Apps, names...)
 	return b
+}
+
+// WithWorkloads selects big-data application profiles by name.
+//
+// Deprecated: application profiles are the apps: section since schema
+// version 2; use WithApps. WithWorkloads now shares the name of the
+// traffic-client methods (WithWorkloadRate, WithClient, WithTrace)
+// only for compatibility.
+func (b *Builder) WithWorkloads(names ...string) *Builder {
+	return b.WithApps(names...)
+}
+
+// workloads returns the workloads section, creating it on first use.
+func (b *Builder) workloads() *WorkloadSection {
+	if b.doc.Workloads == nil {
+		b.doc.Workloads = &WorkloadSection{}
+	}
+	return b.doc.Workloads
+}
+
+// WithWorkloadRate sets the traffic section's aggregate request rate
+// (requests/second) and per-request payload in KiB (0 keeps the
+// default, workload.DefaultRequestKB).
+func (b *Builder) WithWorkloadRate(aggregateRPS, requestKB float64) *Builder {
+	w := b.workloads()
+	w.AggregateRPS, w.RequestKB = aggregateRPS, requestKB
+	return b
+}
+
+// WithClient adds one traffic client: a named source taking
+// rateFraction of the aggregate rate, reported under sloClass (""
+// means the default class), generating arrivals from the given
+// process — see PoissonArrival, GammaArrival, WeibullArrival and
+// TraceArrival.
+func (b *Builder) WithClient(id, sloClass string, rateFraction float64, arrival WorkloadArrival) *Builder {
+	w := b.workloads()
+	w.Clients = append(w.Clients, WorkloadClient{
+		ID: id, RateFraction: rateFraction, SLOClass: sloClass, Arrival: arrival,
+	})
+	return b
+}
+
+// WithTrace adds a traffic client that replays recorded arrival times
+// verbatim — shorthand for WithClient(id, sloClass, rateFraction,
+// TraceArrival(times...)).
+func (b *Builder) WithTrace(id, sloClass string, rateFraction float64, times ...float64) *Builder {
+	return b.WithClient(id, sloClass, rateFraction, TraceArrival(times...))
 }
 
 // WithStore persists campaign cells to the named results store under

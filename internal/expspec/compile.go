@@ -30,9 +30,8 @@ type Plan struct {
 	// Campaign is the executable campaign, nil when the document has
 	// no campaign section.
 	Campaign *CampaignPlan
-	// Workloads are the resolved application profiles, in document
-	// order.
-	Workloads []workloads.App
+	// Apps are the resolved application profiles, in document order.
+	Apps []workloads.App
 	// Store mirrors the document's store section.
 	Store *StorePlan
 	// Drift mirrors the document's drift section.
@@ -96,18 +95,18 @@ func Compile(doc Document) (Plan, error) {
 	plan := Plan{Doc: canon, Bytes: bytes, Hash: hash}
 
 	if canon.Campaign != nil {
-		cp, err := compileCampaign(*canon.Campaign)
+		cp, err := compileCampaign(*canon.Campaign, canon.Workloads)
 		if err != nil {
 			return Plan{}, err
 		}
 		plan.Campaign = cp
 	}
-	for i, name := range canon.Workloads {
+	for i, name := range canon.Apps {
 		app, err := workloads.ByName(name)
 		if err != nil {
-			return Plan{}, fmt.Errorf("workloads[%d]: %w", i, err)
+			return Plan{}, fmt.Errorf("apps[%d]: %w", i, err)
 		}
-		plan.Workloads = append(plan.Workloads, app)
+		plan.Apps = append(plan.Apps, app)
 	}
 	if canon.Store != nil {
 		plan.Store = &StorePlan{Dir: canon.Store.Dir, RunID: canon.Store.RunID, Resume: canon.Store.Resume}
@@ -137,8 +136,10 @@ func Compile(doc Document) (Plan, error) {
 }
 
 // compileCampaign lowers a canonical campaign section to a validated
-// fleet.CampaignSpec, applying the scenario expansion.
-func compileCampaign(c Campaign) (*CampaignPlan, error) {
+// fleet.CampaignSpec, attaching the document's workload traffic (nil
+// when the document has no workloads section) and applying the
+// scenario expansion.
+func compileCampaign(c Campaign, w *WorkloadSection) (*CampaignPlan, error) {
 	profiles, err := ResolveProfiles(c.Profiles)
 	if err != nil {
 		return nil, err
@@ -160,6 +161,9 @@ func compileCampaign(c Campaign) (*CampaignPlan, error) {
 		Workers:     c.Workers,
 		Confidence:  c.Confidence,
 		ErrorBound:  c.ErrorBound,
+	}
+	if w != nil {
+		spec.Workload = w.compile()
 	}
 	plan := &CampaignPlan{}
 	if c.Scenario != nil {

@@ -20,6 +20,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"cloudvar/internal/workload"
 )
 
 // Decode parses and strictly validates a spec document from JSON or
@@ -28,6 +30,12 @@ import (
 // name the field and the expected type. Decode does not canonicalize
 // — call Canonical (or Compile) on the result.
 func Decode(data []byte) (Document, error) {
+	return decodeData(data, "")
+}
+
+// decodeData is Decode with a base directory for resolving trace:
+// file references ("" forbids them — a byte slice has no location).
+func decodeData(data []byte, baseDir string) (Document, error) {
 	trimmed := bytes.TrimLeft(data, " \t\r\n")
 	if len(trimmed) == 0 {
 		return Document{}, fmt.Errorf("spec is empty")
@@ -56,27 +64,31 @@ func Decode(data []byte) (Document, error) {
 		}
 		tree = t
 	}
-	return decodeTree(tree)
+	return decodeTree(tree, baseDir)
 }
 
 // DecodeFile reads and decodes a spec file; .yaml/.yml files use the
 // YAML-subset parser, everything else is sniffed (JSON canonical).
+// Trace clients whose arrival names a trace: CSV file resolve it
+// relative to the spec file's directory and inline the times, so the
+// decoded document is self-contained and content-addressed.
 func DecodeFile(path string) (Document, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return Document{}, err
 	}
+	baseDir := filepath.Dir(path)
 	var doc Document
 	switch filepath.Ext(path) {
 	case ".yaml", ".yml":
 		tree, yerr := decodeYAML(data)
 		if yerr == nil {
-			doc, err = decodeTree(tree)
+			doc, err = decodeTree(tree, baseDir)
 		} else {
 			err = yerr
 		}
 	default:
-		doc, err = Decode(data)
+		doc, err = decodeData(data, baseDir)
 	}
 	if err != nil {
 		return Document{}, fmt.Errorf("spec file %s: %w", path, err)
@@ -96,11 +108,12 @@ func checkDuplicateJSONKeys(data []byte) error {
 	// A stack frame per open container: objects track their seen keys
 	// and the key currently awaiting its value, arrays just nest.
 	type frame struct {
-		object  bool
-		seen    map[string]bool
-		path    string // the container's path, for error messages
-		pending string // object key whose value comes next
-		index   int    // next array element index
+		object     bool
+		seen       map[string]bool
+		path       string // the container's path, for error messages
+		pending    string // object key whose value comes next
+		hasPending bool   // pending is live ("" is a legal JSON key)
+		index      int    // next array element index
 	}
 	var stack []*frame
 	// childPath names the position the next value will occupy.
@@ -140,7 +153,7 @@ func checkDuplicateJSONKeys(data []byte) error {
 				// the parent.
 				if len(stack) > 0 {
 					if p := stack[len(stack)-1]; p.object {
-						p.pending = ""
+						p.pending, p.hasPending = "", false
 					} else {
 						p.index++
 					}
@@ -151,7 +164,7 @@ func checkDuplicateJSONKeys(data []byte) error {
 		if top == nil {
 			continue
 		}
-		if top.object && top.pending == "" {
+		if top.object && !top.hasPending {
 			key := tok.(string)
 			if top.seen[key] {
 				at := key
@@ -161,12 +174,12 @@ func checkDuplicateJSONKeys(data []byte) error {
 				return fmt.Errorf("duplicate field %q (the last occurrence would silently win)", at)
 			}
 			top.seen[key] = true
-			top.pending = key
+			top.pending, top.hasPending = key, true
 			continue
 		}
 		// A scalar value: consume the pending key / advance the array.
 		if top.object {
-			top.pending = ""
+			top.pending, top.hasPending = "", false
 		} else {
 			top.index++
 		}
@@ -352,6 +365,30 @@ func (o *object) strList(key string) ([]string, error) {
 	return out, nil
 }
 
+func (o *object) floatList(key string) ([]float64, error) {
+	v, ok := o.get(key)
+	if !ok {
+		return nil, nil
+	}
+	items, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("%s: expected a list, got %s", o.child(key), typeName(v))
+	}
+	out := make([]float64, len(items))
+	for i, it := range items {
+		n, ok := it.(json.Number)
+		if !ok {
+			return nil, fmt.Errorf("%s[%d]: expected a number, got %s", o.child(key), i, typeName(it))
+		}
+		f, err := n.Float64()
+		if err != nil || math.IsInf(f, 0) || math.IsNaN(f) {
+			return nil, fmt.Errorf("%s[%d]: %s is not a finite number", o.child(key), i, n)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
 // section returns a child object, or nil when the key is absent.
 func (o *object) section(key string) (*object, error) {
 	v, ok := o.get(key)
@@ -361,8 +398,10 @@ func (o *object) section(key string) (*object, error) {
 	return asObject(o.child(key), v)
 }
 
-// decodeTree walks the parsed tree into a Document, strictly.
-func decodeTree(tree any) (Document, error) {
+// decodeTree walks the parsed tree into a Document, strictly. baseDir
+// resolves trace: file references in the workloads section; "" means
+// the document was decoded from bytes and file references are errors.
+func decodeTree(tree any, baseDir string) (Document, error) {
 	root, err := asObject("", tree)
 	if err != nil {
 		return Document{}, err
@@ -374,8 +413,45 @@ func decodeTree(tree any) (Document, error) {
 	if d.Name, err = root.str("name"); err != nil {
 		return Document{}, err
 	}
-	if d.Workloads, err = root.strList("workloads"); err != nil {
+	if d.Apps, err = root.strList("apps"); err != nil {
 		return Document{}, err
+	}
+
+	// workloads: was a string list of application names in version 1;
+	// version 2 moved the names to apps: and reuses the key for the
+	// structured traffic section. Disambiguate on the value's shape so
+	// both the legacy alias and the migration error are precise.
+	if v, ok := root.get("workloads"); ok {
+		switch wv := v.(type) {
+		case []any:
+			names := make([]string, len(wv))
+			for i, it := range wv {
+				s, isStr := it.(string)
+				if !isStr {
+					return Document{}, fmt.Errorf("workloads: expected an object section ({aggregateRps, requestKB, clients}), got a list")
+				}
+				names[i] = s
+			}
+			if d.SchemaVersion > 1 {
+				return Document{}, fmt.Errorf("workloads: expected client objects; string list moved to apps")
+			}
+			if d.Apps != nil {
+				return Document{}, fmt.Errorf("workloads: legacy string list cannot be combined with apps (use apps alone)")
+			}
+			d.Apps = names
+		case map[string]any:
+			wo, err := asObject(root.child("workloads"), wv)
+			if err != nil {
+				return Document{}, err
+			}
+			w, err := decodeWorkloads(wo, baseDir)
+			if err != nil {
+				return Document{}, err
+			}
+			d.Workloads = &w
+		default:
+			return Document{}, fmt.Errorf("workloads: expected an object, got %s", typeName(v))
+		}
 	}
 
 	campaign, err := root.section("campaign")
@@ -484,6 +560,111 @@ func decodeTree(tree any) (Document, error) {
 		return Document{}, err
 	}
 	return d, nil
+}
+
+// decodeWorkloads walks the structured workloads: section. baseDir
+// resolves trace: CSV references ("" rejects them: a document decoded
+// from bytes has no directory to resolve against).
+func decodeWorkloads(o *object, baseDir string) (WorkloadSection, error) {
+	var w WorkloadSection
+	var err error
+	if w.AggregateRPS, err = o.float("aggregateRps"); err != nil {
+		return WorkloadSection{}, err
+	}
+	if w.RequestKB, err = o.float("requestKB"); err != nil {
+		return WorkloadSection{}, err
+	}
+
+	v, ok := o.get("clients")
+	if ok {
+		items, isList := v.([]any)
+		if !isList {
+			return WorkloadSection{}, fmt.Errorf("%s: expected a list, got %s", o.child("clients"), typeName(v))
+		}
+		for i, it := range items {
+			co, err := asObject(fmt.Sprintf("%s[%d]", o.child("clients"), i), it)
+			if err != nil {
+				return WorkloadSection{}, err
+			}
+			var c WorkloadClient
+			if c.ID, err = co.str("id"); err != nil {
+				return WorkloadSection{}, err
+			}
+			if c.RateFraction, err = co.float("rateFraction"); err != nil {
+				return WorkloadSection{}, err
+			}
+			if c.SLOClass, err = co.str("sloClass"); err != nil {
+				return WorkloadSection{}, err
+			}
+			ao, err := co.section("arrival")
+			if err != nil {
+				return WorkloadSection{}, err
+			}
+			if ao == nil {
+				return WorkloadSection{}, fmt.Errorf("%s.arrival: required", co.path)
+			}
+			if c.Arrival, err = decodeArrival(ao, baseDir); err != nil {
+				return WorkloadSection{}, err
+			}
+			if err := co.finish(); err != nil {
+				return WorkloadSection{}, err
+			}
+			w.Clients = append(w.Clients, c)
+		}
+	}
+
+	if err := o.finish(); err != nil {
+		return WorkloadSection{}, err
+	}
+	return w, nil
+}
+
+func decodeArrival(o *object, baseDir string) (WorkloadArrival, error) {
+	var a WorkloadArrival
+	var err error
+	if a.Process, err = o.str("process"); err != nil {
+		return WorkloadArrival{}, err
+	}
+	if a.CV, err = o.float("cv"); err != nil {
+		return WorkloadArrival{}, err
+	}
+	if a.Shape, err = o.float("shape"); err != nil {
+		return WorkloadArrival{}, err
+	}
+	if a.Times, err = o.floatList("times"); err != nil {
+		return WorkloadArrival{}, err
+	}
+
+	// A trace: CSV reference is inlined here, at decode time, so the
+	// decoded document is self-contained and its identity hash covers
+	// the trace's content, not its path.
+	tracePath, err := o.str("trace")
+	if err != nil {
+		return WorkloadArrival{}, err
+	}
+	if tracePath != "" {
+		if a.Times != nil {
+			return WorkloadArrival{}, fmt.Errorf("%s: set either times or trace, not both", displayPath(o.path))
+		}
+		if baseDir == "" {
+			return WorkloadArrival{}, fmt.Errorf("%s.trace: file references require decoding from a spec file (inline times instead)", o.path)
+		}
+		f, err := os.Open(filepath.Join(baseDir, tracePath))
+		if err != nil {
+			return WorkloadArrival{}, fmt.Errorf("%s.trace: %w", o.path, err)
+		}
+		defer f.Close()
+		times, err := workload.ReadTraceCSV(f)
+		if err != nil {
+			return WorkloadArrival{}, fmt.Errorf("%s.trace: %s: %w", o.path, tracePath, err)
+		}
+		a.Times = times
+	}
+
+	if err := o.finish(); err != nil {
+		return WorkloadArrival{}, err
+	}
+	return a, nil
 }
 
 func decodeCampaign(o *object) (Campaign, error) {

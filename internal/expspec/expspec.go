@@ -46,7 +46,13 @@ import (
 // toolchain speaks. A document must state its version explicitly: a
 // durable artifact that silently defaults its own schema cannot be
 // re-executed verbatim once the default moves.
-const SchemaVersion = 1
+//
+// Version 2 restructured traffic: the flat workloads: string list
+// (Spark app names) moved to apps:, and workloads: became the
+// structured multi-client traffic section (internal/workload).
+// Version-1 documents still decode — their string list is read as the
+// deprecated alias for apps: — and canonicalize to version 2.
+const SchemaVersion = 2
 
 // Defaults applied by Canonical. They mirror the paper's Section 5
 // recommendations and the legacy CLI defaults, so a spec written
@@ -67,7 +73,7 @@ const (
 
 // Document is one versioned experiment definition. Every section but
 // the schema version is optional; a document must define at least one
-// of campaign, workloads, drift or artifacts. The zero value is not
+// of campaign, apps, drift or artifacts. The zero value is not
 // valid — build documents with NewExperiment or decode them from a
 // file.
 type Document struct {
@@ -78,9 +84,14 @@ type Document struct {
 	Name string `json:"name,omitempty"`
 	// Campaign defines a cloudbench measurement-campaign matrix.
 	Campaign *Campaign `json:"campaign,omitempty"`
-	// Workloads selects big-data application profiles by name
-	// (HiBench names or TPC-DS "qNN") for spark-level experiments.
-	Workloads []string `json:"workloads,omitempty"`
+	// Apps selects big-data application profiles by name (HiBench
+	// names or TPC-DS "qNN") for spark-level experiments. Before
+	// schema 2 this list was spelled workloads:, which version-1
+	// documents may still use.
+	Apps []string `json:"apps,omitempty"`
+	// Workloads defines the multi-client traffic mix replayed over
+	// every campaign cell (schema >= 2).
+	Workloads *WorkloadSection `json:"workloads,omitempty"`
 	// Store persists campaign cells to an on-disk results store.
 	Store *Store `json:"store,omitempty"`
 	// Drift configures the longitudinal comparison over stored runs.
@@ -203,10 +214,14 @@ func (d Document) Canonical() (Document, error) {
 	switch {
 	case d.SchemaVersion == 0:
 		return Document{}, fmt.Errorf("schemaVersion: required (this toolchain speaks %d)", SchemaVersion)
-	case d.SchemaVersion != SchemaVersion:
-		return Document{}, fmt.Errorf("schemaVersion: %d unsupported (this toolchain speaks %d)", d.SchemaVersion, SchemaVersion)
+	case d.SchemaVersion < 1 || d.SchemaVersion > SchemaVersion:
+		return Document{}, fmt.Errorf("schemaVersion: %d unsupported (this toolchain speaks 1-%d)", d.SchemaVersion, SchemaVersion)
 	}
 	out := d
+	// Canonical form is always the current version: a version-1
+	// document (whose workloads: string list the decoder already read
+	// as apps:) upgrades in place.
+	out.SchemaVersion = SchemaVersion
 	if d.Campaign != nil {
 		c, err := d.Campaign.canonical()
 		if err != nil {
@@ -214,19 +229,29 @@ func (d Document) Canonical() (Document, error) {
 		}
 		out.Campaign = &c
 	}
-	if len(d.Workloads) > 0 {
-		names := append([]string(nil), d.Workloads...)
+	if len(d.Apps) > 0 {
+		names := append([]string(nil), d.Apps...)
 		seen := make(map[string]bool)
 		for i, name := range names {
 			if _, err := workloads.ByName(name); err != nil {
-				return Document{}, fmt.Errorf("workloads[%d]: %w", i, err)
+				return Document{}, fmt.Errorf("apps[%d]: %w", i, err)
 			}
 			if seen[name] {
-				return Document{}, fmt.Errorf("workloads[%d]: duplicate workload %q", i, name)
+				return Document{}, fmt.Errorf("apps[%d]: duplicate app %q", i, name)
 			}
 			seen[name] = true
 		}
-		out.Workloads = names
+		out.Apps = names
+	}
+	if d.Workloads != nil {
+		if d.Campaign == nil {
+			return Document{}, fmt.Errorf("workloads: requires a campaign section (traffic replays over campaign cells)")
+		}
+		w, err := d.Workloads.canonical()
+		if err != nil {
+			return Document{}, err
+		}
+		out.Workloads = &w
 	}
 	if d.Store != nil {
 		s := *d.Store
@@ -291,8 +316,8 @@ func (d Document) Canonical() (Document, error) {
 		}
 		out.Artifacts = &a
 	}
-	if out.Campaign == nil && len(out.Workloads) == 0 && out.Drift == nil && out.Artifacts == nil {
-		return Document{}, fmt.Errorf("spec defines nothing to run: add a campaign, workloads, drift or artifacts section")
+	if out.Campaign == nil && len(out.Apps) == 0 && out.Drift == nil && out.Artifacts == nil {
+		return Document{}, fmt.Errorf("spec defines nothing to run: add a campaign, apps, drift or artifacts section")
 	}
 	return out, nil
 }
@@ -504,6 +529,10 @@ func hashCanonical(canon Document) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	sum := sha256.Sum256(append([]byte("cloudvar/expspec/v1\n"), b...))
+	sum := sha256.Sum256(append([]byte(domainTag), b...))
 	return hex.EncodeToString(sum[:]), nil
 }
+
+// domainTag separates the spec-hash namespace; it tracks the canonical
+// schema version, which the canonical bytes also embed.
+const domainTag = "cloudvar/expspec/v2\n"

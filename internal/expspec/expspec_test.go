@@ -103,8 +103,44 @@ func TestCanonicalErrorsNamePaths(t *testing.T) {
 		{"bad-scenario-param", func(d *expspec.Document) {
 			d.Campaign.Scenario = &expspec.ScenarioRef{Name: "stragglers", Params: map[string]float64{"levels": 3}}
 		}, `campaign.scenario: scenario: stragglers has no parameter "levels"`},
-		{"bad-workload", func(d *expspec.Document) { d.Workloads = []string{"sieve"} }, `workloads[0]`},
-		{"dup-workload", func(d *expspec.Document) { d.Workloads = []string{"kmeans", "kmeans"} }, "workloads[1]: duplicate workload"},
+		{"bad-app", func(d *expspec.Document) { d.Apps = []string{"sieve"} }, `apps[0]`},
+		{"dup-app", func(d *expspec.Document) { d.Apps = []string{"kmeans", "kmeans"} }, "apps[1]: duplicate app"},
+		{"workloads-no-campaign", func(d *expspec.Document) {
+			d.Campaign = nil
+			d.Apps = []string{"kmeans"}
+			d.Workloads = &expspec.WorkloadSection{AggregateRPS: 4, Clients: []expspec.WorkloadClient{
+				{ID: "web", RateFraction: 1, Arrival: expspec.PoissonArrival()},
+			}}
+		}, "workloads: requires a campaign section"},
+		{"workloads-zero-rate", func(d *expspec.Document) {
+			d.Workloads = &expspec.WorkloadSection{Clients: []expspec.WorkloadClient{
+				{ID: "web", RateFraction: 1, Arrival: expspec.PoissonArrival()},
+			}}
+		}, "workloads.aggregateRps"},
+		{"workloads-no-clients", func(d *expspec.Document) {
+			d.Workloads = &expspec.WorkloadSection{AggregateRPS: 4}
+		}, "workloads.clients: required"},
+		{"workloads-bad-id", func(d *expspec.Document) {
+			d.Workloads = &expspec.WorkloadSection{AggregateRPS: 4, Clients: []expspec.WorkloadClient{
+				{ID: "-bad", RateFraction: 1, Arrival: expspec.PoissonArrival()},
+			}}
+		}, "workloads.clients[0].id"},
+		{"workloads-dup-id", func(d *expspec.Document) {
+			d.Workloads = &expspec.WorkloadSection{AggregateRPS: 4, Clients: []expspec.WorkloadClient{
+				{ID: "web", RateFraction: 0.5, Arrival: expspec.PoissonArrival()},
+				{ID: "web", RateFraction: 0.5, Arrival: expspec.PoissonArrival()},
+			}}
+		}, "workloads.clients[1].id: duplicate"},
+		{"workloads-bad-fraction-sum", func(d *expspec.Document) {
+			d.Workloads = &expspec.WorkloadSection{AggregateRPS: 4, Clients: []expspec.WorkloadClient{
+				{ID: "web", RateFraction: 0.5, Arrival: expspec.PoissonArrival()},
+			}}
+		}, "rate fractions sum to 0.5"},
+		{"workloads-bad-arrival", func(d *expspec.Document) {
+			d.Workloads = &expspec.WorkloadSection{AggregateRPS: 4, Clients: []expspec.WorkloadClient{
+				{ID: "web", RateFraction: 1, Arrival: expspec.GammaArrival(0)},
+			}}
+		}, "workloads.clients[0].arrival: gamma arrivals require cv > 0"},
 		{"store-no-dir", func(d *expspec.Document) { d.Store = &expspec.Store{RunID: "day1"} }, "store.dir: required"},
 		{"store-no-runid", func(d *expspec.Document) { d.Store = &expspec.Store{Dir: "results"} }, "store.runId: required"},
 		{"store-bad-runid", func(d *expspec.Document) { d.Store = &expspec.Store{Dir: "results", RunID: "../evil"} }, "store.runId"},
@@ -187,7 +223,12 @@ func TestHashSeesIdentityFields(t *testing.T) {
 		func(d *expspec.Document) { d.Campaign.Regimes = []string{"full-speed"} },
 		func(d *expspec.Document) { d.Campaign.Profiles[0] = expspec.ProfileRef{Cloud: "gce"} },
 		func(d *expspec.Document) { d.Campaign.Scenario = &expspec.ScenarioRef{Name: "stragglers"} },
-		func(d *expspec.Document) { d.Workloads = []string{"kmeans"} },
+		func(d *expspec.Document) { d.Apps = []string{"kmeans"} },
+		func(d *expspec.Document) {
+			d.Workloads = &expspec.WorkloadSection{AggregateRPS: 4, Clients: []expspec.WorkloadClient{
+				{ID: "web", RateFraction: 1, Arrival: expspec.PoissonArrival()},
+			}}
+		},
 	}
 	for i, edit := range variants {
 		doc := minimal()

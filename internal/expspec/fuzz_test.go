@@ -1,0 +1,144 @@
+package expspec_test
+
+import (
+	"strings"
+	"testing"
+
+	"cloudvar/internal/expspec"
+)
+
+// FuzzDecodeWorkloads feeds arbitrary bytes to the spec decoder with
+// the workloads: section in the crosshairs, and checks the decoder's
+// contract on whatever survives:
+//
+//  1. Decode never panics, whatever the input.
+//  2. Any document that decodes and canonicalizes round-trips:
+//     Encode → Decode succeeds and preserves the spec hash — the
+//     content address stored runs are keyed by.
+//  3. A canonical document is schemaVersion 2, and a workloads
+//     section that survives Canonical compiles to a valid traffic
+//     spec (Canonical cannot let an invalid mix through).
+//  4. A v1 string-list workloads: decodes as the apps: alias, never
+//     as a traffic section.
+//
+// Seed corpus in testdata/fuzz/FuzzDecodeWorkloads mirrors the f.Add
+// shapes below.
+func FuzzDecodeWorkloads(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(`{"schemaVersion": 2}`))
+	// A full v2 traffic section, all arrival processes.
+	f.Add([]byte(`{
+  "schemaVersion": 2,
+  "name": "fuzz",
+  "campaign": {"profiles": [{"cloud": "ec2"}], "hours": 1, "seed": 7},
+  "workloads": {
+    "aggregateRps": 4,
+    "requestKB": 1024,
+    "clients": [
+      {"id": "web", "rateFraction": 0.4, "sloClass": "interactive", "arrival": {"process": "poisson"}},
+      {"id": "etl", "rateFraction": 0.3, "sloClass": "batch", "arrival": {"process": "gamma", "cv": 2}},
+      {"id": "scan", "rateFraction": 0.2, "arrival": {"process": "weibull", "shape": 0.7}},
+      {"id": "replay", "rateFraction": 0.1, "arrival": {"process": "trace", "times": [0, 1.5, 3]}}
+    ]
+  }
+}`))
+	// The v1 alias and its v2 rejection.
+	f.Add([]byte(`{"schemaVersion": 1, "workloads": ["kmeans", "q65"]}`))
+	f.Add([]byte(`{"schemaVersion": 2, "workloads": ["kmeans"]}`))
+	// Hostile shapes around the section boundary.
+	f.Add([]byte(`{"schemaVersion": 2, "workloads": {"aggregateRps": 1e308, "clients": []}}`))
+	f.Add([]byte(`{"schemaVersion": 2, "workloads": {"clients": [{"id": "a", "rateFraction": 2}]}}`))
+	f.Add([]byte(`{"schemaVersion": 2, "workloads": [{"id": "a"}]}`))
+	f.Add([]byte(`{"schemaVersion": 2, "workloads": {"aggregateRps": 1, "clients": [{"id": "a", "rateFraction": 1, "arrival": {"process": "trace", "trace": "../x.csv"}}]}}`))
+	f.Add([]byte("schemaVersion: 2\nworkloads:\n  aggregateRps: 2\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := expspec.Decode(data) // (1) must not panic
+		if err != nil {
+			return
+		}
+		if doc.Workloads == nil && len(doc.Apps) == 0 {
+			// Nothing workload-shaped decoded; other fuzz-found bugs in
+			// the general decoder are out of this target's scope.
+			return
+		}
+		canon, err := doc.Canonical()
+		if err != nil {
+			return
+		}
+		if canon.SchemaVersion != expspec.SchemaVersion {
+			t.Fatalf("canonical schemaVersion = %d, want %d", canon.SchemaVersion, expspec.SchemaVersion)
+		}
+		// (4) the legacy alias never materializes a traffic section.
+		if doc.Workloads == nil && canon.Workloads != nil {
+			t.Fatal("canonicalization invented a workloads section")
+		}
+		// (3) a surviving section compiles to a valid traffic spec.
+		if canon.Workloads != nil && canon.Campaign != nil {
+			if plan, err := expspec.Compile(canon); err == nil {
+				if plan.Campaign == nil || plan.Campaign.Spec.Workload == nil {
+					t.Fatal("compiled plan dropped the workloads section")
+				}
+				if err := plan.Campaign.Spec.Workload.Validate(); err != nil {
+					t.Fatalf("Canonical let an invalid traffic mix through: %v", err)
+				}
+			}
+		}
+		// (2) round trip preserves the content address.
+		enc, err := canon.Encode()
+		if err != nil {
+			t.Fatalf("canonical document does not encode: %v", err)
+		}
+		back, err := expspec.Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding does not decode: %v\n%s", err, enc)
+		}
+		h1, err := doc.Hash()
+		if err != nil {
+			t.Fatalf("hash: %v", err)
+		}
+		h2, err := back.Hash()
+		if err != nil {
+			t.Fatalf("round-trip hash: %v", err)
+		}
+		if h1 != h2 {
+			t.Fatalf("round trip moved the spec hash: %.12s -> %.12s\n%s", h1, h2, enc)
+		}
+	})
+}
+
+// TestFuzzWorkloadSeedShapes pins the decoder behaviour of the corpus
+// shapes that carry the migration contract, so it is enforced even in
+// -run-only test runs.
+func TestFuzzWorkloadSeedShapes(t *testing.T) {
+	t.Run("v1 string list aliases to apps", func(t *testing.T) {
+		doc, err := expspec.Decode([]byte(`{"schemaVersion": 1, "workloads": ["kmeans", "q65"]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.Workloads != nil {
+			t.Fatal("legacy list decoded as a traffic section")
+		}
+		if len(doc.Apps) != 2 || doc.Apps[0] != "kmeans" {
+			t.Fatalf("apps = %v", doc.Apps)
+		}
+	})
+	t.Run("v2 string list is the exact migration error", func(t *testing.T) {
+		_, err := expspec.Decode([]byte(`{"schemaVersion": 2, "workloads": ["kmeans"]}`))
+		if err == nil || !strings.Contains(err.Error(), "workloads: expected client objects; string list moved to apps") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("object list names the expected shape", func(t *testing.T) {
+		_, err := expspec.Decode([]byte(`{"schemaVersion": 2, "workloads": [{"id": "a"}]}`))
+		if err == nil || !strings.Contains(err.Error(), "workloads: expected an object section") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("inline decode rejects trace file references", func(t *testing.T) {
+		_, err := expspec.Decode([]byte(`{"schemaVersion": 2, "workloads": {"aggregateRps": 1, "clients": [{"id": "a", "rateFraction": 1, "arrival": {"process": "trace", "trace": "x.csv"}}]}}`))
+		if err == nil || !strings.Contains(err.Error(), "file references require decoding from a spec file") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}

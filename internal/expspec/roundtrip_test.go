@@ -55,7 +55,32 @@ func genDocument(rng *rand.Rand) expspec.Document {
 	doc.Campaign = c
 
 	if rng.Intn(3) == 0 {
-		doc.Workloads = [][]string{{"kmeans"}, {"q65"}, {"kmeans", "q65"}}[rng.Intn(3)]
+		doc.Apps = [][]string{{"kmeans"}, {"q65"}, {"kmeans", "q65"}}[rng.Intn(3)]
+	}
+	if rng.Intn(3) == 0 {
+		arrivals := []expspec.WorkloadArrival{
+			expspec.PoissonArrival(),
+			expspec.GammaArrival(0.5 + rng.Float64()*2),
+			expspec.WeibullArrival(0.5 + rng.Float64()*2),
+			expspec.TraceArrival(0, 0.5, 1.25, 3),
+		}
+		w := &expspec.WorkloadSection{AggregateRPS: 1 + rng.Float64()*20}
+		if rng.Intn(2) == 0 {
+			w.RequestKB = float64(1 + rng.Intn(4096))
+		}
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			w.Clients = append(w.Clients, expspec.WorkloadClient{
+				ID:           fmt.Sprintf("client%d", i),
+				RateFraction: 1 / float64(n),
+				SLOClass:     []string{"", "interactive", "batch"}[rng.Intn(3)],
+				Arrival:      arrivals[rng.Intn(len(arrivals))],
+			})
+		}
+		// Fractions must sum to exactly 1; 1/n summed n times can miss
+		// by an ulp, so give the last client the remainder.
+		w.Clients[n-1].RateFraction = 1 - (1/float64(n))*float64(n-1)
+		doc.Workloads = w
 	}
 	if rng.Intn(3) == 0 {
 		doc.Store = &expspec.Store{Dir: "results", RunID: fmt.Sprintf("day%d", rng.Intn(30)), Resume: rng.Intn(2) == 0}

@@ -36,7 +36,7 @@ func TestScaledHelpers(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"ext-cpuburst", "ext-diurnal", "ext-scenarios",
+		"ext-cpuburst", "ext-diurnal", "ext-scenarios", "ext-workload-classes",
 		"figure10", "figure11", "figure12", "figure13", "figure14",
 		"figure15", "figure16", "figure17", "figure18", "figure19",
 		"figure1a", "figure1b", "figure2", "figure3a", "figure3b",

@@ -28,6 +28,7 @@ import (
 	"cloudvar/internal/simrand"
 	"cloudvar/internal/stats"
 	"cloudvar/internal/trace"
+	"cloudvar/internal/workload"
 )
 
 // CampaignSpec declares a measurement campaign matrix: every listed
@@ -60,6 +61,11 @@ type CampaignSpec struct {
 	// hashing (internal/store) makes runs of different scenarios
 	// incomparable, exactly like a changed matrix.
 	Scenario ScenarioID
+	// Workload, when non-nil, replays a multi-client request stream
+	// over every cell's measured path after the campaign measurement
+	// (internal/workload). Part of the spec identity: a cell that
+	// served traffic is a different experiment from one that did not.
+	Workload *workload.Spec
 	// Progress, when non-nil, is invoked serially (under a lock) as
 	// each cell finishes, in completion order.
 	Progress func(ev Progress)
@@ -133,9 +139,12 @@ type Sink interface {
 
 // StoredCell is a previously persisted cell as the Sink returns it.
 // The summary is recomputed from the series on restore, so the sink
-// only needs to round-trip the series itself.
+// only needs to round-trip the series and workload metrics themselves.
 type StoredCell struct {
 	Series *trace.Series
+	// Workload holds the cell's served-traffic metrics; nil when the
+	// cell ran without a workload spec.
+	Workload *workload.CellMetrics
 }
 
 // Validate checks the specification.
@@ -153,6 +162,11 @@ func (s CampaignSpec) Validate() error {
 	}
 	if err := s.Config.Validate(); err != nil {
 		return err
+	}
+	if s.Workload != nil {
+		if err := s.Workload.Validate(); err != nil {
+			return err
+		}
 	}
 	// Cell labels key the per-cell substreams: a duplicate label would
 	// silently replay the same stream, turning "independent
@@ -226,7 +240,10 @@ type CellResult struct {
 	Series *trace.Series
 	// Summary describes the bandwidth column; zero when Err != nil.
 	Summary stats.Summary
-	Err     error
+	// Workload holds the per-client served-traffic metrics when the
+	// spec carries a workload; nil otherwise.
+	Workload *workload.CellMetrics
+	Err      error
 }
 
 // Progress reports one completed cell to the spec's hook.
@@ -250,8 +267,24 @@ type GroupResult struct {
 	// Result summarises per-repetition mean bandwidths; only
 	// successful cells contribute samples.
 	Result core.Result
+	// Classes holds the per-SLO-class tail-latency aggregates when the
+	// spec carries a workload, sorted by class name.
+	Classes []ClassResult
 	// Failed counts repetitions that errored.
 	Failed int
+}
+
+// ClassResult aggregates one SLO class within a (profile, regime)
+// group: each repetition contributes the p99 of its served-request
+// latencies as one sample, so the class's Result carries the same
+// median-CI and variability machinery as bandwidth — tail latency per
+// class per scenario, with confidence.
+type ClassResult struct {
+	Class string
+	// Result summarises per-repetition p99 latencies in ms.
+	Result core.Result
+	// Requests counts served requests across the group's repetitions.
+	Requests int
 }
 
 // CampaignResult is the aggregate outcome of a fleet run.
@@ -304,6 +337,18 @@ func CellSource(seed uint64, c Cell) *simrand.Source {
 	return simrand.New(seed).Substream("fleet/" + c.Label())
 }
 
+// WorkloadSource derives the random substream for one named consumer
+// of a cell's workload replay (client/<id> arrival streams, the serve
+// loop's RTT jitter). Every substream is derived from a freshly
+// seeded source — never from an advanced generator — so the
+// derivation is order-free: equal (seed, cell, name) always gives the
+// same stream, distinct names independent ones. That is what keeps
+// per-client streams byte-identical at any worker count and across
+// resume boundaries.
+func WorkloadSource(seed uint64, c Cell, name string) *simrand.Source {
+	return simrand.New(seed).Substream("workload/" + c.Label() + "/" + name)
+}
+
 // Run executes the campaign matrix across the worker pool. The
 // returned CampaignResult is bit-identical for equal (spec minus
 // Workers/Progress/Sink): cell ordering, series contents and group
@@ -330,8 +375,13 @@ func Run(spec CampaignSpec) (CampaignResult, error) {
 	results := make([]CellResult, len(cells))
 	var pending []int
 	for i, c := range cells {
-		if sc, ok := stored[c.Label()]; ok && sc.Series != nil {
-			results[i] = CellResult{Cell: c, Series: sc.Series, Summary: sc.Series.Summary()}
+		// A stored cell is only restorable when its workload presence
+		// matches the spec: a cell persisted before a workload section
+		// was added carries no traffic metrics and must re-execute.
+		// (The store's spec-key gate normally prevents the mismatch;
+		// this keeps fleet correct for any Sink.)
+		if sc, ok := stored[c.Label()]; ok && sc.Series != nil && (spec.Workload == nil) == (sc.Workload == nil) {
+			results[i] = CellResult{Cell: c, Series: sc.Series, Summary: sc.Series.Summary(), Workload: sc.Workload}
 			continue
 		}
 		pending = append(pending, i)
@@ -409,10 +459,19 @@ func runCell(spec CampaignSpec, c Cell, scratch *workerScratch) (res CellResult)
 	// Relabel with the repetition-qualified identity so cells of the
 	// same (profile, regime) stay distinguishable downstream.
 	series.Label = c.Label()
+	var wl *workload.CellMetrics
+	if spec.Workload != nil {
+		wl, err = cloudmodel.RunWorkload(*spec.Workload, series, c.Profile, spec.Config, func(name string) *simrand.Source {
+			return WorkloadSource(spec.Seed, c, name)
+		})
+		if err != nil {
+			return CellResult{Cell: c, Err: fmt.Errorf("fleet: cell %s: %w", c.Label(), err)}
+		}
+	}
 	// Summarise through the scratch: same bits as series.Summary(),
 	// no per-cell column copy or sort buffer.
 	scratch.bw = series.AppendBandwidths(scratch.bw[:0])
-	return CellResult{Cell: c, Series: series, Summary: scratch.sample.Reset(scratch.bw).Summary()}
+	return CellResult{Cell: c, Series: series, Summary: scratch.sample.Reset(scratch.bw).Summary(), Workload: wl}
 }
 
 // groupResults rolls cell results up into per-(profile, regime)
@@ -422,6 +481,10 @@ func groupResults(spec CampaignSpec, cells []CellResult) []GroupResult {
 	idx := make(map[key]int)
 	var groups []GroupResult
 	samples := make(map[key][]float64)
+	// Per-class tail-latency samples: each successful cell contributes
+	// the p99 of its served-request latencies, per SLO class.
+	classSamples := make(map[key]map[string][]float64)
+	classRequests := make(map[key]map[string]int)
 
 	for _, c := range cells {
 		k := key{c.Cell.Profile.Cloud, c.Cell.Profile.Instance, c.Cell.Regime.Name}
@@ -434,10 +497,39 @@ func groupResults(spec CampaignSpec, cells []CellResult) []GroupResult {
 			continue
 		}
 		samples[k] = append(samples[k], c.Summary.Mean)
+		if c.Workload == nil {
+			continue
+		}
+		if classSamples[k] == nil {
+			classSamples[k] = make(map[string][]float64)
+			classRequests[k] = make(map[string]int)
+		}
+		for class, lats := range c.Workload.ClassLatencies() {
+			if len(lats) == 0 {
+				continue
+			}
+			classSamples[k][class] = append(classSamples[k][class], stats.Quantile(lats, 0.99))
+			classRequests[k][class] += len(lats)
+		}
 	}
 	for k, gi := range idx {
 		name := fmt.Sprintf("%s/%s/%s", k.cloud, k.instance, k.regime)
 		groups[gi].Result = core.BuildResult(name, samples[k], spec.Confidence, spec.ErrorBound)
+		if len(classSamples[k]) == 0 {
+			continue
+		}
+		classes := make([]string, 0, len(classSamples[k]))
+		for class := range classSamples[k] {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			groups[gi].Classes = append(groups[gi].Classes, ClassResult{
+				Class:    class,
+				Result:   core.BuildResult(name+"/"+class, classSamples[k][class], spec.Confidence, spec.ErrorBound),
+				Requests: classRequests[k][class],
+			})
+		}
 	}
 	return groups
 }

@@ -149,6 +149,12 @@ type Report struct {
 	Fingerprints []FingerprintCheck
 	// Groups holds per-group drift, sorted by group label.
 	Groups []GroupDrift
+	// Classes holds per-(group, SLO class) tail-latency drift for runs
+	// that carried a traffic workload, sorted by label; empty for
+	// measurement-only runs. Samples are each repetition's p99 request
+	// latency in ms (lower is better), compared the same way as
+	// bandwidth medians.
+	Classes []GroupDrift
 	// Kappa holds conclusion agreement per later run, in run order.
 	Kappa []KappaResult
 	// Options echoes the effective analysis parameters.
@@ -210,6 +216,7 @@ func Analyze(runs []RunData, opts Options) (*Report, error) {
 	}
 	rep.Fingerprints = fingerprintChecks(runs, opts.FingerprintTolerance)
 	rep.Groups = groupDrift(runs, opts)
+	rep.Classes = classDrift(runs, opts)
 	rep.Kappa = kappaChecks(runs)
 	return rep, nil
 }
@@ -301,6 +308,84 @@ func groupDrift(runs []RunData, opts Options) []GroupDrift {
 	return out
 }
 
+// classDrift compares per-SLO-class tail latency across runs, for
+// runs whose cells carried workload traffic. Each cell contributes
+// one sample per class — the p99 of that repetition's request
+// latencies — mirroring the per-class rollup fleet.Run reports.
+func classDrift(runs []RunData, opts Options) []GroupDrift {
+	type classKey struct{ cloud, instance, regime, class string }
+	samples := make(map[classKey][]map[int]float64)
+	var order []classKey
+	for i, r := range runs {
+		for _, cell := range r.Cells {
+			if cell.Workload == nil {
+				continue
+			}
+			for class, lats := range cell.Workload.ClassLatencies() {
+				if len(lats) == 0 {
+					continue
+				}
+				k := classKey{cell.Cloud, cell.Instance, cell.Regime, class}
+				if _, ok := samples[k]; !ok {
+					samples[k] = make([]map[int]float64, len(runs))
+					order = append(order, k)
+				}
+				if samples[k][i] == nil {
+					samples[k][i] = make(map[int]float64)
+				}
+				samples[k][i][cell.Rep] = stats.Quantile(lats, 0.99)
+			}
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		x, y := order[a], order[b]
+		if x.cloud != y.cloud {
+			return x.cloud < y.cloud
+		}
+		if x.instance != y.instance {
+			return x.instance < y.instance
+		}
+		if x.regime != y.regime {
+			return x.regime < y.regime
+		}
+		return x.class < y.class
+	})
+
+	var out []GroupDrift
+	for _, k := range order {
+		name := fmt.Sprintf("%s/%s/%s/%s", k.cloud, k.instance, k.regime, k.class)
+		g := GroupDrift{Group: name}
+		for i, r := range runs {
+			perRep := samples[k][i]
+			reps := make([]int, 0, len(perRep))
+			for rep := range perRep {
+				reps = append(reps, rep)
+			}
+			sort.Ints(reps)
+			vals := make([]float64, 0, len(reps))
+			for _, rep := range reps {
+				vals = append(vals, perRep[rep])
+			}
+			g.PerRun = append(g.PerRun,
+				core.BuildResult(fmt.Sprintf("%s@%s", name, r.Manifest.RunID), vals, opts.Confidence, opts.ErrorBound))
+		}
+		g.Distinguishable = make([]bool, len(runs))
+		g.CompareErr = make([]error, len(runs))
+		g.MedianShift = make([]float64, len(runs))
+		base := g.PerRun[0]
+		for i := 1; i < len(runs); i++ {
+			g.Distinguishable[i], g.CompareErr[i] = core.CompareMedians(base, g.PerRun[i])
+			if base.Summary.Median != 0 {
+				g.MedianShift[i] = g.PerRun[i].Summary.Median/base.Summary.Median - 1
+			} else {
+				g.MedianShift[i] = math.NaN()
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
 func kappaChecks(runs []RunData) []KappaResult {
 	base := make(map[string]string, len(runs[0].Cells))
 	for _, cell := range runs[0].Cells {
@@ -343,6 +428,13 @@ func (r *Report) Drifted() bool {
 		}
 	}
 	for _, g := range r.Groups {
+		for _, d := range g.Distinguishable {
+			if d {
+				return true
+			}
+		}
+	}
+	for _, g := range r.Classes {
 		for _, d := range g.Distinguishable {
 			if d {
 				return true
@@ -432,6 +524,40 @@ func (r *Report) WriteMarkdown(w io.Writer) error {
 		}
 		if err := p("\n"); err != nil {
 			return err
+		}
+	}
+
+	if len(r.Classes) > 0 {
+		if err := p("## Per-SLO-class tail latency (p99 per repetition)\n\n"); err != nil {
+			return err
+		}
+		for _, g := range r.Classes {
+			if err := p("### %s\n\n", g.Group); err != nil {
+				return err
+			}
+			for i, res := range g.PerRun {
+				ci := "CI unavailable"
+				if res.MedianCIErr == nil {
+					ci = fmt.Sprintf("%.0f%% CI [%.4g, %.4g]", r.Options.Confidence*100, res.MedianCI.Lo, res.MedianCI.Hi)
+				}
+				line := fmt.Sprintf("- %s: n=%d median p99 %.4g ms, %s", r.Runs[i].RunID, res.Summary.N, res.Summary.Median, ci)
+				if i > 0 {
+					switch {
+					case g.CompareErr[i] != nil:
+						line += fmt.Sprintf(" — comparison unavailable (%v)", g.CompareErr[i])
+					case g.Distinguishable[i]:
+						line += fmt.Sprintf(" — DRIFTED vs baseline (p99 %+.1f%%)", g.MedianShift[i]*100)
+					default:
+						line += " — no detectable drift"
+					}
+				}
+				if err := p("%s\n", line); err != nil {
+					return err
+				}
+			}
+			if err := p("\n"); err != nil {
+				return err
+			}
 		}
 	}
 

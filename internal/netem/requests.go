@@ -1,0 +1,149 @@
+package netem
+
+// Request injection: the traffic engine's serving loop. Where
+// RunIperf drives a shaped path with one saturating flow, ServeRequests
+// replays an application request stream over the bandwidth the path
+// actually achieved — a fluid FIFO single-server queue in which each
+// request's transfer integrates the measured piecewise-constant
+// bandwidth envelope, plus one vNIC RTT sample per request. Queueing
+// delay emerges when offered load meets a bandwidth dip (a noisy
+// neighbour, a regime throttle), which is exactly how heterogeneous
+// clients experience the variability the paper measures.
+
+import (
+	"fmt"
+
+	"cloudvar/internal/simrand"
+)
+
+// Request is one application transfer offered to a measured path.
+type Request struct {
+	// TimeSec is the arrival time, seconds from campaign start.
+	TimeSec float64
+	// Client is an opaque index the caller uses to scatter latencies
+	// back to their sources.
+	Client int
+}
+
+// PathEnvelope is the piecewise-constant achieved bandwidth of a
+// measured path: Gbps[i] holds from Times[i] until Times[i+1] (the
+// last value extends beyond the final interval). It is exactly the
+// (time, bandwidth) columns of a campaign's trace series.
+type PathEnvelope struct {
+	Times []float64
+	Gbps  []float64
+}
+
+// Validate checks the envelope: parallel non-empty columns,
+// non-decreasing times, non-negative bandwidths with at least one
+// positive value (an all-idle path could never serve a request).
+func (e PathEnvelope) Validate() error {
+	if len(e.Times) == 0 || len(e.Times) != len(e.Gbps) {
+		return fmt.Errorf("netem: envelope has %d times and %d bandwidths", len(e.Times), len(e.Gbps))
+	}
+	positive := false
+	for i := range e.Times {
+		if i > 0 && e.Times[i] < e.Times[i-1] {
+			return fmt.Errorf("netem: envelope time %d (%g s) precedes time %d", i, e.Times[i], i-1)
+		}
+		if e.Gbps[i] < 0 {
+			return fmt.Errorf("netem: envelope bandwidth %d is negative", i)
+		}
+		if e.Gbps[i] > 0 {
+			positive = true
+		}
+	}
+	if !positive {
+		return fmt.Errorf("netem: envelope carries no bandwidth")
+	}
+	return nil
+}
+
+// at returns the interval index covering time t (the last interval
+// for t beyond the end, the first for t before the start).
+func (e PathEnvelope) at(t float64) int {
+	// Linear scan from a hint would do, but callers advance
+	// monotonically; binary search keeps this correct for any use.
+	lo, hi := 0, len(e.Times)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if e.Times[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// transferEnd returns when a transfer of gbit starting at start
+// completes under the envelope. Beyond the last interval the final
+// bandwidth persists; if that is zero the transfer can still complete
+// only within the envelope, otherwise an error reports the stall.
+func (e PathEnvelope) transferEnd(start, gbit float64) (float64, error) {
+	t := start
+	remaining := gbit
+	for i := e.at(t); i < len(e.Times); i++ {
+		if t < e.Times[i] {
+			t = e.Times[i]
+		}
+		bw := e.Gbps[i]
+		if i == len(e.Times)-1 {
+			// Terminal interval: unbounded extent.
+			if bw <= 0 {
+				return 0, fmt.Errorf("netem: transfer stalled at %g s: path bandwidth is zero past the envelope", t)
+			}
+			return t + remaining/bw, nil
+		}
+		if bw <= 0 {
+			continue
+		}
+		width := e.Times[i+1] - t
+		if capacity := bw * width; capacity >= remaining {
+			return t + remaining/bw, nil
+		} else {
+			remaining -= capacity
+			t = e.Times[i+1]
+		}
+	}
+	return 0, fmt.Errorf("netem: transfer stalled") // unreachable: loop ends at the terminal interval
+}
+
+// ServeRequests plays a request stream through a fluid FIFO
+// single-server queue over the envelope. reqs must be sorted by
+// TimeSec (ties in any fixed order — the order is part of the
+// deterministic contract). Each request transfers gbit gigabits; its
+// latency is queueing wait + transfer time + one vNIC RTT sample,
+// in milliseconds, returned in input order. src drives only the RTT
+// samples, so equal (reqs, gbit, envelope, model, src) inputs give
+// byte-identical latencies.
+func ServeRequests(reqs []Request, gbit float64, env PathEnvelope, model VNICModel, writeBytes int, src *simrand.Source) ([]float64, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	if gbit <= 0 {
+		return nil, fmt.Errorf("netem: request volume %g gbit must be positive", gbit)
+	}
+	latencies := make([]float64, len(reqs))
+	free := 0.0 // when the server next idles
+	for i, r := range reqs {
+		if i > 0 && r.TimeSec < reqs[i-1].TimeSec {
+			return nil, fmt.Errorf("netem: request %d (%g s) precedes request %d", i, r.TimeSec, i-1)
+		}
+		start := r.TimeSec
+		if free > start {
+			start = free
+		}
+		done, err := env.transferEnd(start, gbit)
+		if err != nil {
+			return nil, fmt.Errorf("netem: request %d: %w", i, err)
+		}
+		free = done
+		// The RTT sample sees the rate the transfer actually achieved,
+		// which is positive by construction (a completed transfer moved
+		// gbit > 0 in done-start seconds).
+		rate := gbit / (done - start)
+		latencies[i] = (done-r.TimeSec)*1000 + model.SampleRTTms(src, writeBytes, rate, false)
+	}
+	return latencies, nil
+}

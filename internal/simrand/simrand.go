@@ -183,6 +183,53 @@ func (s *Source) Pareto(xm, alpha float64) float64 {
 	return xm / math.Pow(1-s.Float64(), 1/alpha)
 }
 
+// Gamma returns a gamma variate with the given shape and scale
+// (mean shape*scale), using the Marsaglia-Tsang squeeze method built
+// on Normal and Float64. Gamma-distributed inter-arrival gaps model
+// bursty request streams whose coefficient of variation exceeds the
+// Poisson CV of 1.
+func (s *Source) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("simrand: Gamma requires shape > 0 and scale > 0")
+	}
+	if shape < 1 {
+		// Boost: Gamma(k) = Gamma(k+1) * U^(1/k).
+		u := 1 - s.Float64() // (0, 1], keeps Pow away from 0^inf
+		return s.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = s.Normal(0, 1)
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := 1 - s.Float64() // (0, 1], Log never sees zero
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Weibull returns a Weibull variate with the given shape k and scale
+// lambda, by inverting the CDF. Shape < 1 gives heavy-tailed gaps,
+// shape > 1 gives regular (machine-like) gaps.
+func (s *Source) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("simrand: Weibull requires shape > 0 and scale > 0")
+	}
+	// 1-Float64() is in (0, 1], so Log never sees zero.
+	return scale * math.Pow(-math.Log(1-s.Float64()), 1/shape)
+}
+
 // Bernoulli returns true with probability p.
 func (s *Source) Bernoulli(p float64) bool {
 	return s.Float64() < p

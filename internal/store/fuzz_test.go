@@ -44,7 +44,9 @@ func validRecordLine(t *testing.T, label string) []byte {
 		t.Fatal(err)
 	}
 	b, err := json.Marshal(CellRecord{
-		Schema: SchemaVersion, Label: label,
+		// A workload-less record is stamped with the oldest schema able
+		// to express it, exactly as Put writes it.
+		Schema: cellSchema(nil), Label: label,
 		Cloud: "ec2", Instance: "c5.xlarge", Regime: "full-speed",
 		Series: s,
 	})

@@ -9,6 +9,7 @@ import (
 	"cloudvar/internal/cloudmodel"
 	"cloudvar/internal/fleet"
 	"cloudvar/internal/trace"
+	"cloudvar/internal/workload"
 )
 
 // SchemaVersion is the on-disk format version. It participates in the
@@ -17,7 +18,18 @@ import (
 //
 // Version 2 added the scenario identity to SpecIdentity (runs of
 // different adverse-condition scenarios are never comparable).
-const SchemaVersion = 2
+// Version 3 added the workload identity (internal/workload) and
+// per-cell served-traffic metrics.
+//
+// Versioning rule: a run is stamped with the *oldest* schema able to
+// express it (identitySchema), and readers accept every version in
+// [MinSchemaVersion, SchemaVersion]. A spec that uses no workload
+// section therefore keys and serialises exactly as version 2 did —
+// stored runs stay resumable and comparable across the upgrade.
+const SchemaVersion = 3
+
+// MinSchemaVersion is the oldest on-disk format this binary reads.
+const MinSchemaVersion = 2
 
 // ProfileID is the code-relevant identity of a cloud profile. The
 // shaper factory itself is a function and cannot be hashed; Cloud and
@@ -51,12 +63,28 @@ type SpecIdentity struct {
 	// encoding/json serialises the params map with sorted keys, so the
 	// hash is canonical.
 	Scenario fleet.ScenarioID `json:"scenario"`
+	// Workload is the traffic mix replayed over every cell
+	// (internal/workload); nil for campaigns without one. Part of both
+	// keys: runs differing only in traffic mix are different
+	// experiments. omitempty keeps workload-less identities
+	// byte-identical to schema 2, so their keys are unchanged.
+	Workload *workload.Spec `json:"workload,omitempty"`
+}
+
+// identitySchema returns the schema an identity is stamped with: the
+// oldest version able to express it (see the SchemaVersion comment).
+func identitySchema(spec fleet.CampaignSpec) int {
+	if spec.Workload != nil {
+		return 3
+	}
+	return 2
 }
 
 // Identity extracts the canonical identity of a spec.
 func Identity(spec fleet.CampaignSpec) SpecIdentity {
 	id := SpecIdentity{
-		Schema:      SchemaVersion,
+		Schema:      identitySchema(spec),
+		Workload:    spec.Workload,
 		Regimes:     spec.EffectiveRegimes(),
 		Repetitions: spec.EffectiveRepetitions(),
 		Config:      spec.Config,

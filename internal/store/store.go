@@ -44,6 +44,7 @@ import (
 	"cloudvar/internal/core"
 	"cloudvar/internal/fleet"
 	"cloudvar/internal/trace"
+	"cloudvar/internal/workload"
 )
 
 // Manifest describes one stored run. It is written once, at run
@@ -112,6 +113,19 @@ type CellRecord struct {
 	// can contain NaN (which JSON cannot carry) and would be redundant
 	// anyway — resume and drift recompute them from the series.
 	Series *trace.Series `json:"series"`
+	// Workload holds the cell's per-client served-traffic metrics when
+	// the spec carried a workload section (schema >= 3); nil otherwise.
+	// Per-class summaries are recomputed from it, never stored.
+	Workload *workload.CellMetrics `json:"workload,omitempty"`
+}
+
+// cellSchema returns the schema a cell record is stamped with: the
+// oldest version able to express it, mirroring identitySchema.
+func cellSchema(wl *workload.CellMetrics) int {
+	if wl != nil {
+		return 3
+	}
+	return 2
 }
 
 // Store is a directory of runs.
@@ -173,7 +187,9 @@ func (s *Store) CreateWithMeta(runID string, spec fleet.CampaignSpec, meta RunMe
 		return nil, fmt.Errorf("store: run %q experiment spec is not valid JSON", runID)
 	}
 	m := Manifest{
-		Schema:             SchemaVersion,
+		// Stamped with the identity's schema — the oldest version able
+		// to express the spec — so workload-less runs keep v2 manifests.
+		Schema:             id.Schema,
 		RunID:              runID,
 		SpecKey:            key,
 		MatrixKey:          matrixKey,
@@ -238,8 +254,8 @@ func (s *Store) Manifest(runID string) (Manifest, error) {
 	if err := json.Unmarshal(b, &m); err != nil {
 		return Manifest{}, fmt.Errorf("store: run %q manifest: %w", runID, err)
 	}
-	if m.Schema != SchemaVersion {
-		return Manifest{}, fmt.Errorf("store: run %q has schema %d, this binary speaks %d", runID, m.Schema, SchemaVersion)
+	if m.Schema < MinSchemaVersion || m.Schema > SchemaVersion {
+		return Manifest{}, fmt.Errorf("store: run %q has schema %d, this binary speaks %d-%d", runID, m.Schema, MinSchemaVersion, SchemaVersion)
 	}
 	return m, nil
 }
@@ -302,9 +318,9 @@ func (s *Store) Cells(runID string) ([]CellRecord, error) {
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
 			return nil, fmt.Errorf("store: run %q cells line %d: %w", runID, i+1, err)
 		}
-		if rec.Schema != SchemaVersion {
-			return nil, fmt.Errorf("store: run %q cell %q has schema %d, this binary speaks %d",
-				runID, rec.Label, rec.Schema, SchemaVersion)
+		if rec.Schema < MinSchemaVersion || rec.Schema > SchemaVersion {
+			return nil, fmt.Errorf("store: run %q cell %q has schema %d, this binary speaks %d-%d",
+				runID, rec.Label, rec.Schema, MinSchemaVersion, SchemaVersion)
 		}
 		if rec.Series == nil || seen[rec.Label] {
 			continue
@@ -381,7 +397,7 @@ func (r *Run) Completed() (map[string]fleet.StoredCell, error) {
 	}
 	out := make(map[string]fleet.StoredCell, len(recs))
 	for _, rec := range recs {
-		out[rec.Label] = fleet.StoredCell{Series: rec.Series}
+		out[rec.Label] = fleet.StoredCell{Series: rec.Series, Workload: rec.Workload}
 	}
 	r.completed = out
 	return out, nil
@@ -398,13 +414,14 @@ func (r *Run) Put(res fleet.CellResult) error {
 		return fmt.Errorf("store: cell %s has no series", res.Cell.Label())
 	}
 	rec := CellRecord{
-		Schema:   SchemaVersion,
+		Schema:   cellSchema(res.Workload),
 		Label:    res.Cell.Label(),
 		Cloud:    res.Cell.Profile.Cloud,
 		Instance: res.Cell.Profile.Instance,
 		Regime:   res.Cell.Regime.Name,
 		Rep:      res.Cell.Rep,
 		Series:   res.Series,
+		Workload: res.Workload,
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {

@@ -129,10 +129,21 @@ func EncodeResult(tb testing.TB, res fleet.CampaignResult) string {
 				tb.Fatal(err)
 			}
 		}
+		if c.Workload != nil {
+			wl, err := json.Marshal(c.Workload)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			fmt.Fprintf(&b, "workload %s\n", wl)
+		}
 	}
 	for _, g := range res.Groups {
 		fmt.Fprintf(&b, "group %s/%s/%s failed=%d samples=%v summary=%+v ciErr=%v\n",
 			g.Cloud, g.Instance, g.Regime, g.Failed, g.Result.Samples, g.Result.Summary, g.Result.MedianCIErr)
+		for _, cl := range g.Classes {
+			fmt.Fprintf(&b, "class %s requests=%d samples=%v summary=%+v\n",
+				cl.Result.Name, cl.Requests, cl.Result.Samples, cl.Result.Summary)
+		}
 	}
 	return b.String()
 }

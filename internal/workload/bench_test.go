@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"cloudvar/internal/simrand"
+)
+
+// BenchmarkWorkloadStreamGen measures per-client arrival-stream
+// generation — the inner loop every traffic-carrying cell pays once
+// per client per repetition. The dst buffer is reused across
+// iterations, so a steady-state iteration should stay allocation-free;
+// benchgate gates allocations, not wall time.
+//
+//	go test ./internal/workload -run '^$' -bench BenchmarkWorkloadStreamGen -benchmem -count 10
+func BenchmarkWorkloadStreamGen(b *testing.B) {
+	const durationSec = 3600
+	clients := []Client{
+		{ID: "poisson", RateFraction: 1, Arrival: Arrival{Process: Poisson}},
+		{ID: "gamma", RateFraction: 1, Arrival: Arrival{Process: Gamma, CV: 2}},
+		{ID: "weibull", RateFraction: 1, Arrival: Arrival{Process: Weibull, Shape: 0.7}},
+	}
+	for _, c := range clients {
+		b.Run(fmt.Sprintf("process=%s", c.Arrival.Process), func(b *testing.B) {
+			src := simrand.New(42).Substream("bench/" + c.ID)
+			var dst []float64
+			dst = c.Stream(4, durationSec, src, dst) // size the buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = c.Stream(4, durationSec, src, dst[:0])
+			}
+			if len(dst) == 0 {
+				b.Fatal("empty stream")
+			}
+		})
+	}
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"math"
+
+	"cloudvar/internal/simrand"
+)
+
+// Stream generates the client's request arrival times over
+// [0, durationSec), appending to dst and returning it. Arrivals are
+// strictly derived from src: equal (spec, duration, substream) inputs
+// give byte-identical streams, which is the determinism contract the
+// fleet's workers=1-vs-8 property extends to per-client traffic.
+//
+// The mean inter-arrival gap is 1/(aggregateRPS × RateFraction) for
+// the stochastic processes; Trace clients replay their recorded times
+// verbatim (clipped to the duration) and never consume src.
+func (c Client) Stream(aggregateRPS, durationSec float64, src *simrand.Source, dst []float64) []float64 {
+	if c.Arrival.Process == Trace {
+		for _, t := range c.Arrival.Times {
+			if t >= durationSec {
+				break
+			}
+			dst = append(dst, t)
+		}
+		return dst
+	}
+	rate := aggregateRPS * c.RateFraction
+	if rate <= 0 || durationSec <= 0 {
+		return dst
+	}
+	now := 0.0
+	for {
+		now += c.Arrival.gap(rate, src)
+		if now >= durationSec {
+			return dst
+		}
+		dst = append(dst, now)
+	}
+}
+
+// gap samples one inter-arrival gap with mean 1/rate.
+func (a Arrival) gap(rate float64, src *simrand.Source) float64 {
+	switch a.Process {
+	case Poisson:
+		return src.Exponential(rate)
+	case Gamma:
+		// Shape k = 1/CV² and scale 1/(rate·k) give mean 1/rate and
+		// coefficient of variation CV.
+		k := 1 / (a.CV * a.CV)
+		return src.Gamma(k, 1/(rate*k))
+	case Weibull:
+		// Scale λ = 1/(rate·Γ(1+1/k)) normalises the mean to 1/rate.
+		scale := 1 / (rate * math.Gamma(1+1/a.Shape))
+		return src.Weibull(a.Shape, scale)
+	default:
+		panic("workload: gap called on non-stochastic arrival " + a.Process)
+	}
+}
+
+// ClientMetrics is one client's served traffic over one campaign cell.
+type ClientMetrics struct {
+	// ID and Class identify the client within its spec.
+	ID    string `json:"id"`
+	Class string `json:"class"`
+	// LatencyMs is the per-request end-to-end latency (queueing +
+	// transfer + RTT) in arrival order; its length is the request
+	// count.
+	LatencyMs []float64 `json:"latency_ms"`
+}
+
+// CellMetrics is the workload outcome of one campaign cell: every
+// client's latency series, in spec declaration order. It round-trips
+// through JSON exactly (float64s re-encode shortest), so stored cells
+// restore bit-identically.
+type CellMetrics struct {
+	Clients []ClientMetrics `json:"clients"`
+}
+
+// Requests counts served requests across all clients.
+func (m *CellMetrics) Requests() int {
+	n := 0
+	for _, c := range m.Clients {
+		n += len(c.LatencyMs)
+	}
+	return n
+}
+
+// ClassLatencies groups the latency samples by SLO class, preserving
+// client order within a class.
+func (m *CellMetrics) ClassLatencies() map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, c := range m.Clients {
+		out[c.Class] = append(out[c.Class], c.LatencyMs...)
+	}
+	return out
+}
