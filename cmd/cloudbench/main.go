@@ -324,6 +324,7 @@ func openStoreRun(plan expspec.Plan, stdout io.Writer) (*store.Run, error) {
 		CreatedUnix:        time.Now().Unix(),
 		ExperimentSpec:     plan.Bytes,
 		ExperimentSpecHash: plan.Hash,
+		Encoding:           plan.Store.Encoding,
 	})
 }
 

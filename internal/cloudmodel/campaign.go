@@ -78,6 +78,17 @@ func RunCampaign(p Profile, regime trace.Regime, cfg CampaignConfig, src *simran
 // is bit-identical for equal inputs regardless of how the scratch was
 // previously used.
 func RunCampaignScratch(p Profile, regime trace.Regime, cfg CampaignConfig, src *simrand.Source, scratch *CampaignScratch) (*trace.Series, error) {
+	return RunCampaignObserved(p, regime, cfg, src, scratch, nil)
+}
+
+// RunCampaignObserved is RunCampaignScratch with a streaming hook:
+// observe (when non-nil) sees every bin point in append order, at the
+// moment it is produced. It is the attachment point for bounded-memory
+// summarisation (internal/sketch): a streaming consumer absorbs each
+// point as the campaign runs instead of re-walking the series after
+// the fact, so a future series-free mode needs no new measurement
+// path. The observer must not retain the point.
+func RunCampaignObserved(p Profile, regime trace.Regime, cfg CampaignConfig, src *simrand.Source, scratch *CampaignScratch, observe func(trace.Point)) (*trace.Series, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -136,6 +147,9 @@ func RunCampaignScratch(p Profile, regime trace.Regime, cfg CampaignConfig, src 
 		}
 		if err := series.Append(pt); err != nil {
 			return nil, err
+		}
+		if observe != nil {
+			observe(pt)
 		}
 
 		now += sendSec

@@ -97,6 +97,14 @@ func (b *Builder) WithConfidence(confidence, errorBound float64) *Builder {
 	return b
 }
 
+// WithSummarize selects the cell-summary computation: "exact" (or "")
+// for the default, "sketch" for the bounded-memory t-digest with the
+// committed error contract.
+func (b *Builder) WithSummarize(mode string) *Builder {
+	b.campaign().Summarize = mode
+	return b
+}
+
 // WithScenario expands the campaign with a named adverse-condition
 // scenario; params override the registry defaults (nil keeps them).
 func (b *Builder) WithScenario(name string, params map[string]float64) *Builder {
@@ -179,6 +187,18 @@ func (b *Builder) WithResume() *Builder {
 		b.doc.Store = &Store{}
 	}
 	b.doc.Store.Resume = true
+	return b
+}
+
+// WithStoreEncoding selects the cell-record encoding for new stored
+// runs: "jsonl" (or "") for the default, "columnar" for the
+// delta-encoded cells.col format. Operational only — it never moves
+// the document's hash.
+func (b *Builder) WithStoreEncoding(encoding string) *Builder {
+	if b.doc.Store == nil {
+		b.doc.Store = &Store{}
+	}
+	b.doc.Store.Encoding = encoding
 	return b
 }
 

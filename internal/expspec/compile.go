@@ -57,6 +57,8 @@ type StorePlan struct {
 	Dir    string
 	RunID  string
 	Resume bool
+	// Encoding is the canonical cell encoding ("" JSONL, "columnar").
+	Encoding string
 }
 
 // DriftPlan parameterises the longitudinal comparison.
@@ -109,7 +111,7 @@ func Compile(doc Document) (Plan, error) {
 		plan.Apps = append(plan.Apps, app)
 	}
 	if canon.Store != nil {
-		plan.Store = &StorePlan{Dir: canon.Store.Dir, RunID: canon.Store.RunID, Resume: canon.Store.Resume}
+		plan.Store = &StorePlan{Dir: canon.Store.Dir, RunID: canon.Store.RunID, Resume: canon.Store.Resume, Encoding: canon.Store.Encoding}
 	}
 	if canon.Drift != nil {
 		plan.Drift = &DriftPlan{
@@ -161,6 +163,7 @@ func compileCampaign(c Campaign, w *WorkloadSection) (*CampaignPlan, error) {
 		Workers:     c.Workers,
 		Confidence:  c.Confidence,
 		ErrorBound:  c.ErrorBound,
+		Summarize:   fleet.SummarizeMode(c.Summarize),
 	}
 	if w != nil {
 		spec.Workload = w.compile()

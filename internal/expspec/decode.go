@@ -481,6 +481,9 @@ func decodeTree(tree any, baseDir string) (Document, error) {
 		if s.Resume, err = st.boolean("resume"); err != nil {
 			return Document{}, err
 		}
+		if s.Encoding, err = st.str("encoding"); err != nil {
+			return Document{}, err
+		}
 		if err := st.finish(); err != nil {
 			return Document{}, err
 		}
@@ -715,6 +718,9 @@ func decodeCampaign(o *object) (Campaign, error) {
 		return Campaign{}, err
 	}
 	if c.ErrorBound, err = o.float("errorBound"); err != nil {
+		return Campaign{}, err
+	}
+	if c.Summarize, err = o.str("summarize"); err != nil {
 		return Campaign{}, err
 	}
 

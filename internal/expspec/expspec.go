@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"cloudvar/internal/figures"
+	"cloudvar/internal/fleet"
 	"cloudvar/internal/scenario"
 	"cloudvar/internal/store"
 	"cloudvar/internal/trace"
@@ -126,6 +127,12 @@ type Campaign struct {
 	// 0 canonicalizes to the paper defaults 0.95 and 0.05.
 	Confidence float64 `json:"confidence,omitempty"`
 	ErrorBound float64 `json:"errorBound,omitempty"`
+	// Summarize selects the cell-summary computation: "exact" (the
+	// default, canonicalized to omitted) or "sketch", the
+	// bounded-memory t-digest with the committed error contract
+	// (internal/sketch). Part of the document's identity, like the
+	// matrix: sketch summaries are a different experiment.
+	Summarize string `json:"summarize,omitempty"`
 	// Scenario expands the campaign with a named adverse-condition
 	// scenario.
 	Scenario *ScenarioRef `json:"scenario,omitempty"`
@@ -158,6 +165,11 @@ type Store struct {
 	// Resume reopens an interrupted run and executes only its missing
 	// cells. Operational, like Workers: not part of the identity hash.
 	Resume bool `json:"resume,omitempty"`
+	// Encoding selects the cell-record encoding: "jsonl" (the default,
+	// canonicalized to omitted) or "columnar" (internal/store's
+	// delta-encoded cells.col). Operational, like the whole store
+	// section: the same experiment stored either way keeps its hash.
+	Encoding string `json:"encoding,omitempty"`
 }
 
 // Drift configures the longitudinal comparison (cmd/drift) over the
@@ -266,6 +278,11 @@ func (d Document) Canonical() (Document, error) {
 		if s.RunID != "" && !store.ValidRunID(s.RunID) {
 			return Document{}, fmt.Errorf("store.runId: %q is not a valid run id", s.RunID)
 		}
+		enc, err := store.NormalizeEncoding(s.Encoding)
+		if err != nil {
+			return Document{}, fmt.Errorf("store.encoding: %q is not a cell encoding (want jsonl or columnar)", s.Encoding)
+		}
+		s.Encoding = enc
 		out.Store = &s
 	}
 	if d.Drift != nil {
@@ -365,6 +382,15 @@ func (c Campaign) canonical() (Campaign, error) {
 	}
 	if out.Confidence, out.ErrorBound, err = canonicalCI("campaign", c.Confidence, c.ErrorBound); err != nil {
 		return Campaign{}, err
+	}
+	if err := fleet.SummarizeMode(c.Summarize).Validate(); err != nil {
+		return Campaign{}, fmt.Errorf("campaign.summarize: %q is not a summarize mode (want exact or sketch)", c.Summarize)
+	}
+	if c.Summarize == "exact" {
+		// The default's explicit spelling canonicalizes away, so a
+		// document that spells it out hashes identically to one that
+		// omits it — mirroring store.SpecIdentity.
+		out.Summarize = ""
 	}
 	if c.Scenario != nil {
 		if c.Scenario.Name == "" {

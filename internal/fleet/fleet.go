@@ -26,10 +26,44 @@ import (
 	"cloudvar/internal/core"
 	"cloudvar/internal/fleet/pool"
 	"cloudvar/internal/simrand"
+	"cloudvar/internal/sketch"
 	"cloudvar/internal/stats"
 	"cloudvar/internal/trace"
 	"cloudvar/internal/workload"
 )
+
+// SummarizeMode selects how a cell's bandwidth summary is computed.
+type SummarizeMode string
+
+const (
+	// SummarizeExact buffers and sorts the full bandwidth column
+	// (stats.Sample) — bit-exact quantiles, O(n) memory. The default;
+	// spelled "" so existing spec identities are byte-stable.
+	SummarizeExact SummarizeMode = ""
+	// SummarizeSketch streams each bin through a bounded-memory
+	// t-digest (internal/sketch): O(1) memory in campaign duration,
+	// quantiles within the committed rank-error contract. Part of the
+	// spec identity — sketch-mode summaries are a different experiment
+	// from exact ones.
+	SummarizeSketch SummarizeMode = "sketch"
+)
+
+// normalize folds the explicit spelling of the default onto "".
+func (m SummarizeMode) normalize() SummarizeMode {
+	if m == "exact" {
+		return SummarizeExact
+	}
+	return m
+}
+
+// Validate checks the mode is a known spelling.
+func (m SummarizeMode) Validate() error {
+	switch m.normalize() {
+	case SummarizeExact, SummarizeSketch:
+		return nil
+	}
+	return fmt.Errorf("fleet: unknown summarize mode %q (want exact or sketch)", string(m))
+}
 
 // CampaignSpec declares a measurement campaign matrix: every listed
 // profile is measured under every listed regime, Repetitions times,
@@ -61,6 +95,10 @@ type CampaignSpec struct {
 	// hashing (internal/store) makes runs of different scenarios
 	// incomparable, exactly like a changed matrix.
 	Scenario ScenarioID
+	// Summarize selects the cell-summary computation: exact (default)
+	// or the bounded-memory sketch with the committed error contract.
+	// Part of the spec identity, like Workload.
+	Summarize SummarizeMode
 	// Workload, when non-nil, replays a multi-client request stream
 	// over every cell's measured path after the campaign measurement
 	// (internal/workload). Part of the spec identity: a cell that
@@ -161,6 +199,9 @@ func (s CampaignSpec) Validate() error {
 		return fmt.Errorf("fleet: negative repetitions")
 	}
 	if err := s.Config.Validate(); err != nil {
+		return err
+	}
+	if err := s.Summarize.Validate(); err != nil {
 		return err
 	}
 	if s.Workload != nil {
@@ -374,6 +415,7 @@ func Run(spec CampaignSpec) (CampaignResult, error) {
 	}
 	results := make([]CellResult, len(cells))
 	var pending []int
+	var restoreScratch workerScratch
 	for i, c := range cells {
 		// A stored cell is only restorable when its workload presence
 		// matches the spec: a cell persisted before a workload section
@@ -381,7 +423,12 @@ func Run(spec CampaignSpec) (CampaignResult, error) {
 		// (The store's spec-key gate normally prevents the mismatch;
 		// this keeps fleet correct for any Sink.)
 		if sc, ok := stored[c.Label()]; ok && sc.Series != nil && (spec.Workload == nil) == (sc.Workload == nil) {
-			results[i] = CellResult{Cell: c, Series: sc.Series, Summary: sc.Series.Summary(), Workload: sc.Workload}
+			// Recompute the summary under the spec's mode: the stored
+			// points replay into the summarizer in append order — the
+			// same order the live observer saw them — so a restored
+			// cell's summary is byte-identical to a fresh run's in both
+			// exact and sketch modes.
+			results[i] = CellResult{Cell: c, Series: sc.Series, Summary: summarizeSeries(spec.Summarize, sc.Series, &restoreScratch), Workload: sc.Workload}
 			continue
 		}
 		pending = append(pending, i)
@@ -434,12 +481,30 @@ func Run(spec CampaignSpec) (CampaignResult, error) {
 }
 
 // workerScratch is one fleet worker's reusable arena: the campaign
-// burst buffers plus the bandwidth column and sorted sample the
-// summary is computed from. Contents never outlive a cell.
+// burst buffers plus the summarizer state (the bandwidth column and
+// sorted sample in exact mode, the streaming sketch in sketch mode).
+// Contents never outlive a cell.
 type workerScratch struct {
 	campaign cloudmodel.CampaignScratch
 	bw       []float64
 	sample   stats.Sample
+	stream   sketch.Stream
+}
+
+// summarizeSeries computes a series' bandwidth summary under the
+// spec's summarization mode, reusing the scratch arena. The points
+// feed the summarizer in append order, so calling this on a stored
+// series reproduces a live run's summary byte-for-byte.
+func summarizeSeries(mode SummarizeMode, series *trace.Series, scratch *workerScratch) stats.Summary {
+	if mode.normalize() == SummarizeSketch {
+		scratch.stream.Reset()
+		for _, pt := range series.Points {
+			scratch.stream.Add(pt.BandwidthGbps)
+		}
+		return scratch.stream.Summary()
+	}
+	scratch.bw = series.AppendBandwidths(scratch.bw[:0])
+	return scratch.sample.Reset(scratch.bw).Summary()
 }
 
 // runCell measures one cell on its own substream. Panics are folded
@@ -452,7 +517,16 @@ func runCell(spec CampaignSpec, c Cell, scratch *workerScratch) (res CellResult)
 		}
 	}()
 	src := CellSource(spec.Seed, c)
-	series, err := cloudmodel.RunCampaignScratch(c.Profile, c.Regime, spec.Config, src, &scratch.campaign)
+	// In sketch mode the summarizer rides the campaign itself: every
+	// bin streams into the bounded-memory sketch as it is produced, so
+	// the summary path never re-walks (or needs) the full column.
+	var observe func(trace.Point)
+	sketchMode := spec.Summarize.normalize() == SummarizeSketch
+	if sketchMode {
+		scratch.stream.Reset()
+		observe = func(pt trace.Point) { scratch.stream.Add(pt.BandwidthGbps) }
+	}
+	series, err := cloudmodel.RunCampaignObserved(c.Profile, c.Regime, spec.Config, src, &scratch.campaign, observe)
 	if err != nil {
 		return CellResult{Cell: c, Err: fmt.Errorf("fleet: cell %s: %w", c.Label(), err)}
 	}
@@ -467,6 +541,9 @@ func runCell(spec CampaignSpec, c Cell, scratch *workerScratch) (res CellResult)
 		if err != nil {
 			return CellResult{Cell: c, Err: fmt.Errorf("fleet: cell %s: %w", c.Label(), err)}
 		}
+	}
+	if sketchMode {
+		return CellResult{Cell: c, Series: series, Summary: scratch.stream.Summary(), Workload: wl}
 	}
 	// Summarise through the scratch: same bits as series.Summary(),
 	// no per-cell column copy or sort buffer.

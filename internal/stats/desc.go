@@ -158,6 +158,30 @@ func (w *Welford) Max() float64 {
 	return w.max
 }
 
+// Merge combines another accumulator into w (Chan et al.'s parallel
+// update), as if w had also seen every observation other saw. Exact up
+// to floating-point rounding; other is unchanged.
+func (w *Welford) Merge(other Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = other
+		return
+	}
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+	na, nb := float64(w.n), float64(other.n)
+	delta := other.mean - w.mean
+	w.mean += delta * nb / (na + nb)
+	w.m2 += other.m2 + delta*delta*na*nb/(na+nb)
+	w.n += other.n
+}
+
 // CoV returns the running coefficient of variation (fractional).
 func (w *Welford) CoV() float64 {
 	m := w.Mean()

@@ -1,0 +1,448 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"cloudvar/internal/trace"
+	"cloudvar/internal/workload"
+)
+
+// Columnar cell encoding: the week-long-campaign storage format.
+//
+// JSONL spends ~17 bytes of decimal text per float; a campaign bin
+// series is smooth (bandwidth wobbles around a plateau, time advances
+// by a constant), so transposing the points into per-field columns and
+// delta-encoding each column shrinks a cell severalfold while staying
+// bit-exact: floats are delta-encoded on their IEEE-754 bit patterns
+// (wrapping uint64 subtraction, zigzag varint), never on their values,
+// so every float — NaN payloads included — round-trips identically.
+//
+// File layout (cells.col, append-only, one frame per cell):
+//
+//	frame  := uvarint(len(payload)) || crc32-IEEE(payload) LE || payload
+//	payload:= uvarint(cellSchema)
+//	          str(label) str(cloud) str(instance) str(regime)
+//	          uvarint(rep)
+//	          str(seriesLabel) float64bits(intervalSec) LE
+//	          uvarint(npoints)
+//	          fcol(TimeSec) fcol(BandwidthGbps) icol(Retransmissions)
+//	          fcol(RTTms) fcol(CPUFrac)
+//	          byte(hasWorkload) [uvarint(len) json(workload)]
+//	str    := uvarint(len) || bytes
+//	fcol   := npoints × varint(bits_i - bits_{i-1})   (wrapping, bits_{-1}=0)
+//	icol   := npoints × varint(v_i - v_{i-1})         (v_{-1}=0)
+//
+// The CRC rides inside the frame so torn-tail recovery stays purely
+// structural (same contract as JSONL's "drop text after the last
+// newline"): an interrupted append is truncated at the frame start,
+// while a CRC or decode failure on a *complete* frame is loud
+// corruption, never silently dropped. Workload metrics are a JSON blob
+// — they are ragged per-client structures that don't columnarise, and
+// reusing the JSON codec keeps one source of truth for their shape.
+
+// Cell-encoding names as stamped in the manifest. The empty string
+// means JSONL so every pre-columnar manifest reads back unchanged.
+const (
+	EncodingJSONL    = ""
+	EncodingColumnar = "columnar"
+)
+
+// NormalizeEncoding folds the explicit default spelling ("jsonl")
+// onto "" and rejects unknown encodings — exported so the spec layer
+// can validate an encoding: field without opening a store.
+func NormalizeEncoding(enc string) (string, error) {
+	switch enc {
+	case "", "jsonl":
+		return EncodingJSONL, nil
+	case EncodingColumnar:
+		return EncodingColumnar, nil
+	}
+	return "", fmt.Errorf("store: unknown cell encoding %q (want jsonl or columnar)", enc)
+}
+
+// cellsFileName returns the cell file for an encoding.
+func cellsFileName(enc string) string {
+	if enc == EncodingColumnar {
+		return "cells.col"
+	}
+	return "cells.jsonl"
+}
+
+// caps against adversarial lengths: a decoder must never allocate more
+// than the input could possibly justify.
+const (
+	maxColumnarString = 1 << 16 // cell labels, regime names
+	maxColumnarFrame  = 1 << 30
+)
+
+// appendUvarint / appendVarint are binary.PutUvarint/PutVarint onto a
+// growing slice.
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(dst, tmp[:binary.PutUvarint(tmp[:], v)]...)
+}
+
+func appendVarint(dst []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(dst, tmp[:binary.PutVarint(tmp[:], v)]...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// encodeCellPayload appends rec's columnar payload (no framing) to dst.
+func encodeCellPayload(dst []byte, rec CellRecord) ([]byte, error) {
+	if rec.Series == nil {
+		return nil, fmt.Errorf("store: cell %s has no series", rec.Label)
+	}
+	if len(rec.Label) > maxColumnarString || len(rec.Series.Label) > maxColumnarString {
+		return nil, fmt.Errorf("store: cell %s: label too long to encode", rec.Label)
+	}
+	dst = appendUvarint(dst, uint64(rec.Schema))
+	dst = appendString(dst, rec.Label)
+	dst = appendString(dst, rec.Cloud)
+	dst = appendString(dst, rec.Instance)
+	dst = appendString(dst, rec.Regime)
+	dst = appendUvarint(dst, uint64(rec.Rep))
+	dst = appendString(dst, rec.Series.Label)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rec.Series.IntervalSec))
+	pts := rec.Series.Points
+	dst = appendUvarint(dst, uint64(len(pts)))
+	for _, col := range []func(trace.Point) float64{
+		func(p trace.Point) float64 { return p.TimeSec },
+		func(p trace.Point) float64 { return p.BandwidthGbps },
+	} {
+		dst = appendFloatColumn(dst, pts, col)
+	}
+	prev := int64(0)
+	for _, p := range pts {
+		v := int64(p.Retransmissions)
+		dst = appendVarint(dst, v-prev)
+		prev = v
+	}
+	for _, col := range []func(trace.Point) float64{
+		func(p trace.Point) float64 { return p.RTTms },
+		func(p trace.Point) float64 { return p.CPUFrac },
+	} {
+		dst = appendFloatColumn(dst, pts, col)
+	}
+	if rec.Workload == nil {
+		return append(dst, 0), nil
+	}
+	wl, err := json.Marshal(rec.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding cell %s workload: %w", rec.Label, err)
+	}
+	dst = append(dst, 1)
+	dst = appendUvarint(dst, uint64(len(wl)))
+	return append(dst, wl...), nil
+}
+
+// appendFloatColumn delta-encodes one float column on IEEE-754 bit
+// patterns: wrapping subtraction of consecutive Float64bits, zigzag
+// varint. Bit-exact for every value, NaN payloads included, and small
+// for the smooth columns campaigns produce.
+func appendFloatColumn(dst []byte, pts []trace.Point, get func(trace.Point) float64) []byte {
+	prev := uint64(0)
+	for _, p := range pts {
+		bits := math.Float64bits(get(p))
+		dst = appendVarint(dst, int64(bits-prev))
+		prev = bits
+	}
+	return dst
+}
+
+// appendFrame frames one payload (length header + CRC) onto dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// appendCellFrame appends rec as one complete frame to dst.
+func appendCellFrame(dst []byte, rec CellRecord) ([]byte, error) {
+	payload, err := encodeCellPayload(nil, rec)
+	if err != nil {
+		return dst, err
+	}
+	return appendFrame(dst, payload), nil
+}
+
+// colReader is a bounds-checked cursor over a payload.
+type colReader struct {
+	b   []byte
+	off int
+}
+
+func (r *colReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *colReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *colReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxColumnarString || r.off+int(n) > len(r.b) {
+		return "", fmt.Errorf("string of %d bytes at offset %d exceeds payload", n, r.off)
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *colReader) u64le() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, fmt.Errorf("truncated fixed64 at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *colReader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("truncated byte at offset %d", r.off)
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+// decodeCellPayload decodes one complete frame payload.
+func decodeCellPayload(payload []byte) (CellRecord, error) {
+	r := &colReader{b: payload}
+	var rec CellRecord
+	var err error
+	fail := func(what string, err error) (CellRecord, error) {
+		return CellRecord{}, fmt.Errorf("%s: %w", what, err)
+	}
+	schema, err := r.uvarint()
+	if err != nil {
+		return fail("schema", err)
+	}
+	rec.Schema = int(schema)
+	if rec.Label, err = r.str(); err != nil {
+		return fail("label", err)
+	}
+	if rec.Cloud, err = r.str(); err != nil {
+		return fail("cloud", err)
+	}
+	if rec.Instance, err = r.str(); err != nil {
+		return fail("instance", err)
+	}
+	if rec.Regime, err = r.str(); err != nil {
+		return fail("regime", err)
+	}
+	rep, err := r.uvarint()
+	if err != nil {
+		return fail("rep", err)
+	}
+	rec.Rep = int(rep)
+	series := &trace.Series{}
+	if series.Label, err = r.str(); err != nil {
+		return fail("series label", err)
+	}
+	bits, err := r.u64le()
+	if err != nil {
+		return fail("interval", err)
+	}
+	series.IntervalSec = math.Float64frombits(bits)
+	n, err := r.uvarint()
+	if err != nil {
+		return fail("npoints", err)
+	}
+	// Each point costs at least 5 varint bytes; anything claiming more
+	// points than the remaining payload could hold is corrupt, and the
+	// check keeps allocation proportional to real input.
+	if int(n) > len(payload)-r.off {
+		return CellRecord{}, fmt.Errorf("npoints %d exceeds remaining payload %d", n, len(payload)-r.off)
+	}
+	// n == 0 keeps Points nil, matching what the JSONL codec restores
+	// for an empty series.
+	if n > 0 {
+		series.Points = make([]trace.Point, n)
+	}
+	pts := series.Points
+	if err := readFloatColumn(r, pts, func(p *trace.Point, v float64) { p.TimeSec = v }); err != nil {
+		return fail("time column", err)
+	}
+	if err := readFloatColumn(r, pts, func(p *trace.Point, v float64) { p.BandwidthGbps = v }); err != nil {
+		return fail("bandwidth column", err)
+	}
+	prev := int64(0)
+	for i := range pts {
+		d, err := r.varint()
+		if err != nil {
+			return fail("retransmissions column", err)
+		}
+		prev += d
+		pts[i].Retransmissions = int(prev)
+	}
+	if err := readFloatColumn(r, pts, func(p *trace.Point, v float64) { p.RTTms = v }); err != nil {
+		return fail("rtt column", err)
+	}
+	if err := readFloatColumn(r, pts, func(p *trace.Point, v float64) { p.CPUFrac = v }); err != nil {
+		return fail("cpu column", err)
+	}
+	rec.Series = series
+	flag, err := r.byte()
+	if err != nil {
+		return fail("workload flag", err)
+	}
+	switch flag {
+	case 0:
+	case 1:
+		n, err := r.uvarint()
+		if err != nil {
+			return fail("workload length", err)
+		}
+		if r.off+int(n) > len(payload) {
+			return CellRecord{}, fmt.Errorf("workload blob of %d bytes exceeds payload", n)
+		}
+		var wl workload.CellMetrics
+		if err := json.Unmarshal(payload[r.off:r.off+int(n)], &wl); err != nil {
+			return fail("workload blob", err)
+		}
+		r.off += int(n)
+		rec.Workload = &wl
+	default:
+		return CellRecord{}, fmt.Errorf("workload flag %d is not 0 or 1", flag)
+	}
+	if r.off != len(payload) {
+		return CellRecord{}, fmt.Errorf("%d trailing bytes after record", len(payload)-r.off)
+	}
+	return rec, nil
+}
+
+func readFloatColumn(r *colReader, pts []trace.Point, set func(*trace.Point, float64)) error {
+	prev := uint64(0)
+	for i := range pts {
+		d, err := r.varint()
+		if err != nil {
+			return err
+		}
+		prev += uint64(d)
+		set(&pts[i], math.Float64frombits(prev))
+	}
+	return nil
+}
+
+// nextFrame parses one frame header at b[off:]. It distinguishes a
+// structurally torn tail (the file ended mid-frame: tornAt >= 0 gives
+// the truncation offset) from a corrupt header (err != nil).
+func nextFrame(b []byte, off int) (payloadStart, payloadLen, tornAt int, err error) {
+	n, hdr := binary.Uvarint(b[off:])
+	if hdr == 0 {
+		// Varint ran off the end of the file: torn header.
+		return 0, 0, off, nil
+	}
+	if hdr < 0 {
+		return 0, 0, -1, fmt.Errorf("malformed frame length at offset %d", off)
+	}
+	if n > maxColumnarFrame {
+		return 0, 0, -1, fmt.Errorf("frame of %d bytes at offset %d exceeds limit", n, off)
+	}
+	payloadStart = off + hdr + 4
+	if payloadStart+int(n) > len(b) {
+		// Frame extends past EOF: torn at the frame start.
+		return 0, 0, off, nil
+	}
+	return payloadStart, int(n), -1, nil
+}
+
+// frameCRC reads the stored checksum of the frame whose payload starts
+// at payloadStart.
+func frameCRC(b []byte, payloadStart int) uint32 {
+	return binary.LittleEndian.Uint32(b[payloadStart-4:])
+}
+
+// readCellsColumnar decodes every complete frame of a cells.col image,
+// ignoring a structurally torn tail (crashed writer — the interrupted
+// cell re-executes on resume) but failing loudly on a corrupt complete
+// frame (CRC mismatch or undecodable payload), mirroring the JSONL
+// reader's bad-line behaviour.
+func readCellsColumnar(b []byte) ([]CellRecord, error) {
+	var out []CellRecord
+	seen := make(map[string]bool)
+	off := 0
+	for off < len(b) {
+		payloadStart, payloadLen, tornAt, err := nextFrame(b, off)
+		if err != nil {
+			return nil, err
+		}
+		if tornAt >= 0 {
+			break // torn tail: everything before it is intact
+		}
+		payload := b[payloadStart : payloadStart+payloadLen]
+		if got, want := crc32.ChecksumIEEE(payload), frameCRC(b, payloadStart); got != want {
+			return nil, fmt.Errorf("frame at offset %d: crc %08x != recorded %08x", off, got, want)
+		}
+		rec, err := decodeCellPayload(payload)
+		if err != nil {
+			return nil, fmt.Errorf("frame at offset %d: %w", off, err)
+		}
+		off = payloadStart + payloadLen
+		if rec.Schema < MinSchemaVersion || rec.Schema > SchemaVersion {
+			return nil, fmt.Errorf("cell %q has schema %d, this binary speaks %d-%d",
+				rec.Label, rec.Schema, MinSchemaVersion, SchemaVersion)
+		}
+		if rec.Series == nil || seen[rec.Label] {
+			continue
+		}
+		seen[rec.Label] = true
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// truncateTornFrames drops a structurally torn trailing frame from a
+// cells.col file, the columnar analogue of truncateTornTail. Only the
+// tail is repaired: a malformed or CRC-broken frame followed by more
+// bytes is corruption, which recovery leaves in place for the reader
+// to report. Idempotent — the truncation point is a frame boundary, so
+// a second pass finds nothing torn.
+func truncateTornFrames(path string) error {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	off := 0
+	for off < len(b) {
+		payloadStart, payloadLen, tornAt, err := nextFrame(b, off)
+		if err != nil {
+			return nil // mid-file corruption: loud at read time, not repairable here
+		}
+		if tornAt >= 0 {
+			return os.Truncate(path, int64(tornAt))
+		}
+		// CRC and payload validity are deliberately not checked here:
+		// a complete-but-corrupt frame is damage, not a torn append.
+		off = payloadStart + payloadLen
+	}
+	return nil
+}

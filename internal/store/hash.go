@@ -20,13 +20,18 @@ import (
 // different adverse-condition scenarios are never comparable).
 // Version 3 added the workload identity (internal/workload) and
 // per-cell served-traffic metrics.
+// Version 4 added the summarization-mode identity (internal/sketch)
+// and the columnar cell encoding (a run whose manifest stamps
+// encoding "columnar" is stamped schema 4 even if its spec identity
+// is older, so pre-columnar binaries refuse it instead of finding an
+// empty cells.jsonl).
 //
 // Versioning rule: a run is stamped with the *oldest* schema able to
 // express it (identitySchema), and readers accept every version in
 // [MinSchemaVersion, SchemaVersion]. A spec that uses no workload
 // section therefore keys and serialises exactly as version 2 did —
 // stored runs stay resumable and comparable across the upgrade.
-const SchemaVersion = 3
+const SchemaVersion = 4
 
 // MinSchemaVersion is the oldest on-disk format this binary reads.
 const MinSchemaVersion = 2
@@ -69,15 +74,32 @@ type SpecIdentity struct {
 	// experiments. omitempty keeps workload-less identities
 	// byte-identical to schema 2, so their keys are unchanged.
 	Workload *workload.Spec `json:"workload,omitempty"`
+	// Summarize records a non-default summarization mode ("sketch");
+	// empty (and omitted) for exact. Part of both keys: sketch-mode
+	// summaries carry the contract's rank error and must never be
+	// drift-compared against exact ones as if interchangeable.
+	Summarize string `json:"summarize,omitempty"`
 }
 
 // identitySchema returns the schema an identity is stamped with: the
 // oldest version able to express it (see the SchemaVersion comment).
 func identitySchema(spec fleet.CampaignSpec) int {
+	if summarizeIdentity(spec.Summarize) != "" {
+		return 4
+	}
 	if spec.Workload != nil {
 		return 3
 	}
 	return 2
+}
+
+// summarizeIdentity canonicalises the summarization mode for hashing:
+// the default (exact) is spelled "", whichever way the spec wrote it.
+func summarizeIdentity(m fleet.SummarizeMode) string {
+	if m == "exact" {
+		return ""
+	}
+	return string(m)
 }
 
 // Identity extracts the canonical identity of a spec.
@@ -85,6 +107,7 @@ func Identity(spec fleet.CampaignSpec) SpecIdentity {
 	id := SpecIdentity{
 		Schema:      identitySchema(spec),
 		Workload:    spec.Workload,
+		Summarize:   summarizeIdentity(spec.Summarize),
 		Regimes:     spec.EffectiveRegimes(),
 		Repetitions: spec.EffectiveRepetitions(),
 		Config:      spec.Config,

@@ -82,6 +82,12 @@ type Manifest struct {
 	// ExperimentSpecHash is the spec document's content address,
 	// riding next to SpecKey/MatrixKey.
 	ExperimentSpecHash string `json:"experiment_spec_hash,omitempty"`
+	// Encoding names the cell-record encoding: "" (JSONL, the
+	// compatibility default every pre-columnar manifest implies) or
+	// "columnar" (delta/zigzag-encoded columns, cells.col). Operational
+	// metadata, not spec identity: the same experiment stored either
+	// way has the same keys.
+	Encoding string `json:"encoding,omitempty"`
 }
 
 // RunMeta carries the creation-time metadata of a run beyond its
@@ -94,6 +100,9 @@ type RunMeta struct {
 	CreatedUnix        int64
 	ExperimentSpec     []byte
 	ExperimentSpecHash string
+	// Encoding selects the cell-record encoding for the new run:
+	// "" or "jsonl" for JSONL (default), "columnar" for cells.col.
+	Encoding string
 }
 
 // CellRecord is one persisted campaign cell. Failed cells are never
@@ -186,6 +195,10 @@ func (s *Store) CreateWithMeta(runID string, spec fleet.CampaignSpec, meta RunMe
 	if len(meta.ExperimentSpec) > 0 && !json.Valid(meta.ExperimentSpec) {
 		return nil, fmt.Errorf("store: run %q experiment spec is not valid JSON", runID)
 	}
+	enc, err := NormalizeEncoding(meta.Encoding)
+	if err != nil {
+		return nil, err
+	}
 	m := Manifest{
 		// Stamped with the identity's schema — the oldest version able
 		// to express the spec — so workload-less runs keep v2 manifests.
@@ -198,6 +211,15 @@ func (s *Store) CreateWithMeta(runID string, spec fleet.CampaignSpec, meta RunMe
 		CreatedUnix:        meta.CreatedUnix,
 		ExperimentSpec:     meta.ExperimentSpec,
 		ExperimentSpecHash: meta.ExperimentSpecHash,
+		Encoding:           enc,
+	}
+	if enc == EncodingColumnar && m.Schema < 4 {
+		// Columnar cells need a schema-4 reader; stamping the run's
+		// top-level schema (the spec identity inside keeps its own,
+		// older schema, so the keys don't move) makes pre-columnar
+		// binaries refuse the run instead of finding no cells.jsonl
+		// and silently re-executing everything.
+		m.Schema = 4
 	}
 	final := s.runDir(runID)
 	if _, err := os.Stat(final); err == nil {
@@ -297,13 +319,27 @@ func (s *Store) Cells(runID string) ([]CellRecord, error) {
 	if !runIDPattern.MatchString(runID) {
 		return nil, fmt.Errorf("store: run id %q must match %s", runID, runIDPattern)
 	}
-	path := filepath.Join(s.runDir(runID), "cells.jsonl")
+	// The manifest names the cell encoding. Read it leniently: a run
+	// directory without a readable manifest (hand-built fixtures, fuzz
+	// corpora) is read as JSONL, exactly as pre-columnar binaries did.
+	enc := EncodingJSONL
+	if m, err := s.Manifest(runID); err == nil {
+		enc = m.Encoding
+	}
+	path := filepath.Join(s.runDir(runID), cellsFileName(enc))
 	b, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, nil // a created-but-never-measured run
 	}
 	if err != nil {
 		return nil, fmt.Errorf("store: run %q cells: %w", runID, err)
+	}
+	if enc == EncodingColumnar {
+		recs, err := readCellsColumnar(b)
+		if err != nil {
+			return nil, fmt.Errorf("store: run %q cells: %w", runID, err)
+		}
+		return recs, nil
 	}
 	var out []CellRecord
 	seen := make(map[string]bool)
@@ -339,6 +375,9 @@ type Run struct {
 
 	mu sync.Mutex
 	f  *os.File
+	// payload and frame are the columnar encoder's reusable buffers;
+	// contents never outlive one Put.
+	payload, frame []byte
 	// completed caches the first Completed load so callers (a CLI
 	// banner, then fleet.Run) do not re-read and re-decode the whole
 	// cells file.
@@ -346,12 +385,16 @@ type Run struct {
 }
 
 func (s *Store) openRun(m Manifest) (*Run, error) {
-	path := filepath.Join(s.runDir(m.RunID), "cells.jsonl")
+	path := filepath.Join(s.runDir(m.RunID), cellsFileName(m.Encoding))
 	// A crashed writer can leave a torn trailing record (no final
-	// newline). Readers already ignore it, but appending after it
-	// would corrupt the next record — drop the torn tail before
-	// opening for append.
-	if err := truncateTornTail(path); err != nil {
+	// newline / an incomplete frame). Readers already ignore it, but
+	// appending after it would corrupt the next record — drop the torn
+	// tail before opening for append.
+	repair := truncateTornTail
+	if m.Encoding == EncodingColumnar {
+		repair = truncateTornFrames
+	}
+	if err := repair(path); err != nil {
 		return nil, fmt.Errorf("store: repairing run %q cells: %w", m.RunID, err)
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -423,13 +466,25 @@ func (r *Run) Put(res fleet.CellResult) error {
 		Series:   res.Series,
 		Workload: res.Workload,
 	}
-	b, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("store: encoding cell %s: %w", rec.Label, err)
-	}
-	b = append(b, '\n')
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	var b []byte
+	if r.manifest.Encoding == EncodingColumnar {
+		payload, err := encodeCellPayload(r.payload[:0], rec)
+		if err != nil {
+			return err
+		}
+		r.payload = payload
+		r.frame = appendFrame(r.frame[:0], payload)
+		b = r.frame
+	} else {
+		var err error
+		b, err = json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("store: encoding cell %s: %w", rec.Label, err)
+		}
+		b = append(b, '\n')
+	}
 	if _, err := r.f.Write(b); err != nil {
 		return fmt.Errorf("store: appending cell %s: %w", rec.Label, err)
 	}
