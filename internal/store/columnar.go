@@ -273,10 +273,12 @@ func decodeCellPayload(payload []byte) (CellRecord, error) {
 	if err != nil {
 		return fail("npoints", err)
 	}
-	// Each point costs at least 5 varint bytes; anything claiming more
-	// points than the remaining payload could hold is corrupt, and the
-	// check keeps allocation proportional to real input.
-	if int(n) > len(payload)-r.off {
+	// Each point costs at least 5 varint bytes (one per column), so the
+	// remaining payload bounds the real point count at remaining/5;
+	// anything claiming more is corrupt. Compare in uint64 space — a
+	// count >= 2^63 would wrap negative through int() and slip past an
+	// int comparison straight into make().
+	if n > uint64(len(payload)-r.off)/5 {
 		return CellRecord{}, fmt.Errorf("npoints %d exceeds remaining payload %d", n, len(payload)-r.off)
 	}
 	// n == 0 keeps Points nil, matching what the JSONL codec restores
@@ -318,7 +320,9 @@ func decodeCellPayload(payload []byte) (CellRecord, error) {
 		if err != nil {
 			return fail("workload length", err)
 		}
-		if r.off+int(n) > len(payload) {
+		// Compare in uint64 space before converting: int(n) of a huge
+		// length is negative and would make the slice bound below panic.
+		if n > uint64(len(payload)-r.off) {
 			return CellRecord{}, fmt.Errorf("workload blob of %d bytes exceeds payload", n)
 		}
 		var wl workload.CellMetrics

@@ -6,6 +6,7 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"math"
@@ -137,6 +138,39 @@ func TestColumnarRoundTrip(t *testing.T) {
 	}
 }
 
+// hostileLengthFrames builds CRC-valid frames whose payloads claim
+// absurd element counts: a uvarint >= 2^63 wraps negative through a
+// bare int() conversion, so a guard comparing in int space would admit
+// it and panic in make() or a slice expression. These frames must
+// decode to an error, never a panic.
+func hostileLengthFrames(tb testing.TB) map[string][]byte {
+	tb.Helper()
+	str := func(b []byte, s string) []byte {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		return append(b, s...)
+	}
+	// Everything up to (not including) the npoints field, well-formed.
+	prefix := func() []byte {
+		var p []byte
+		p = binary.AppendUvarint(p, 2) // schema
+		for _, s := range []string{"x/rep0", "ec2", "c5.xlarge", "full-speed"} {
+			p = str(p, s)
+		}
+		p = binary.AppendUvarint(p, 0)                                // rep
+		p = str(p, "x/rep0")                                          // series label
+		p = binary.LittleEndian.AppendUint64(p, math.Float64bits(10)) // interval
+		return p
+	}
+	npoints := binary.AppendUvarint(prefix(), 1<<63)
+	wl := binary.AppendUvarint(prefix(), 0) // empty series
+	wl = append(wl, 1)                      // workload-present flag
+	wl = binary.AppendUvarint(wl, 1<<63)    // huge blob length
+	return map[string][]byte{
+		"huge-npoints":  appendFrame(nil, npoints),
+		"huge-workload": appendFrame(nil, wl),
+	}
+}
+
 // TestColumnarShapes pins the reader's behaviour on the shapes crashed
 // writers and bit rot actually produce, mirroring TestFuzzSeedShapes.
 func TestColumnarShapes(t *testing.T) {
@@ -198,6 +232,38 @@ func TestColumnarShapes(t *testing.T) {
 		}
 	})
 
+	t.Run("huge claimed lengths error without panic", func(t *testing.T) {
+		for name, frame := range hostileLengthFrames(t) {
+			st, _ := columnarFuzzStore(t, frame)
+			if _, err := st.Cells("r1"); err == nil {
+				t.Fatalf("%s: CRC-valid frame with absurd length should fail loudly", name)
+			}
+		}
+	})
+
+	t.Run("corrupt manifest fails loudly, not as an empty run", func(t *testing.T) {
+		// A columnar run whose manifest won't parse must surface the
+		// manifest error: a silent JSONL fallback would look for a
+		// nonexistent cells.jsonl and report nil, nil — "never
+		// measured" — discarding every completed cell on resume.
+		st, path := columnarFuzzStore(t, valid)
+		manifest := filepath.Join(filepath.Dir(path), "manifest.json")
+		if err := os.WriteFile(manifest, []byte("{"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if cells, err := st.Cells("r1"); err == nil {
+			t.Fatalf("Cells = %v, nil, want the manifest error", cells)
+		}
+		// A missing manifest stays lenient: hand-built JSONL fixtures
+		// (fuzzStore) predate the manifest stamp entirely.
+		if err := os.Remove(manifest); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Cells("r1"); err != nil {
+			t.Fatalf("missing manifest should fall back to JSONL, got %v", err)
+		}
+	})
+
 	t.Run("mid-file garbage is left for the reader to report", func(t *testing.T) {
 		// An overflowing varint header with bytes after it is
 		// corruption, not a torn append: recovery must not eat it.
@@ -249,7 +315,7 @@ func validColumnarSeedFrame(tb testing.TB) []byte {
 // sync by TestColumnarSeedCorpusCommitted.
 func columnarSeeds(tb testing.TB) map[string][]byte {
 	valid := validColumnarSeedFrame(tb)
-	return map[string][]byte{
+	seeds := map[string][]byte{
 		"seed-empty":           []byte(""),
 		"seed-zero-frame":      {0x00},
 		"seed-torn-varint":     {0x80},
@@ -260,6 +326,10 @@ func columnarSeeds(tb testing.TB) map[string][]byte {
 		"seed-bad-payload":     {0x05, 0, 0, 0, 0, 'a', 'b'},
 		"seed-huge-length":     append([]byte{0xfe, 0xff, 0xff, 0xff, 0x0f}, valid...),
 	}
+	for name, frame := range hostileLengthFrames(tb) {
+		seeds["seed-"+name] = frame
+	}
+	return seeds
 }
 
 func FuzzColumnarDecode(f *testing.F) {

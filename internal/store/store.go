@@ -33,7 +33,9 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -319,12 +321,19 @@ func (s *Store) Cells(runID string) ([]CellRecord, error) {
 	if !runIDPattern.MatchString(runID) {
 		return nil, fmt.Errorf("store: run id %q must match %s", runID, runIDPattern)
 	}
-	// The manifest names the cell encoding. Read it leniently: a run
-	// directory without a readable manifest (hand-built fixtures, fuzz
-	// corpora) is read as JSONL, exactly as pre-columnar binaries did.
+	// The manifest names the cell encoding. A run directory without a
+	// manifest at all (hand-built fixtures, fuzz corpora) is read as
+	// JSONL, exactly as pre-columnar binaries did — but a manifest that
+	// exists and won't parse must fail loudly: silently falling back
+	// would read a nonexistent cells.jsonl for a columnar run and
+	// report "never measured", discarding every completed cell.
 	enc := EncodingJSONL
-	if m, err := s.Manifest(runID); err == nil {
+	switch m, err := s.Manifest(runID); {
+	case err == nil:
 		enc = m.Encoding
+	case errors.Is(err, fs.ErrNotExist):
+	default:
+		return nil, err
 	}
 	path := filepath.Join(s.runDir(runID), cellsFileName(enc))
 	b, err := os.ReadFile(path)
