@@ -211,6 +211,9 @@ type (
 	// ExperimentScenario selects an adverse-condition scenario with
 	// optional parameter overrides.
 	ExperimentScenario = expspec.ScenarioRef
+	// ExperimentStopping is the document's campaign.stopping section:
+	// CONFIRM-driven sequential stopping instead of fixed repetitions.
+	ExperimentStopping = expspec.Stopping
 	// ExperimentStore is the document's results-store section.
 	ExperimentStore = expspec.Store
 	// ExperimentDrift is the document's drift-comparison section.
@@ -290,6 +293,13 @@ type (
 	CampaignFleetResult = fleet.CampaignResult
 	// CampaignProgress reports cell completions to a progress hook.
 	CampaignProgress = fleet.Progress
+	// CampaignStopping configures CONFIRM-driven sequential stopping
+	// on a campaign spec (repetition counts decided by achieved CI
+	// precision).
+	CampaignStopping = fleet.StoppingSpec
+	// CampaignGroupPrecision is one group's achieved CI precision
+	// under sequential stopping.
+	CampaignGroupPrecision = fleet.GroupPrecision
 	// CampaignConfig parameterises one measurement campaign cell.
 	CampaignConfig = cloudmodel.CampaignConfig
 	// RegimeComparison holds one profile's per-regime series.

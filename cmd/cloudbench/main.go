@@ -189,8 +189,14 @@ func execute(plan expspec.Plan, stdout, stderr io.Writer) int {
 	regimes := spec.EffectiveRegimes()
 
 	effReps := len(cells) / (len(profiles) * len(regimes))
-	fmt.Fprintf(stdout, "campaign: %d cells (%d profiles x %d regimes x %d reps), %g emulated hours each, seed %d\n\n",
-		len(cells), len(profiles), len(regimes), effReps, plan.Doc.Campaign.Hours, spec.Seed)
+	if st := spec.Stopping; !st.IsZero() {
+		fmt.Fprintf(stdout, "campaign: adaptive, %d groups (%d profiles x %d regimes), %d-%d reps each (budget %d/group), %g emulated hours per cell, seed %d\n\n",
+			len(profiles)*len(regimes), len(profiles), len(regimes),
+			st.EffectiveMinReps(), st.MaxReps, spec.EffectiveBudget(), plan.Doc.Campaign.Hours, spec.Seed)
+	} else {
+		fmt.Fprintf(stdout, "campaign: %d cells (%d profiles x %d regimes x %d reps), %g emulated hours each, seed %d\n\n",
+			len(cells), len(profiles), len(regimes), effReps, plan.Doc.Campaign.Hours, spec.Seed)
+	}
 
 	run, err := openStoreRun(plan, stdout)
 	if err != nil {
@@ -231,7 +237,7 @@ func execute(plan expspec.Plan, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if spec.Repetitions > 1 {
+	if spec.Repetitions > 1 || !spec.Stopping.IsZero() {
 		fmt.Fprintf(stdout, "\nper-(cloud, regime) repetition aggregates (mean bandwidth per fresh pair):\n")
 		ciLabel := fmt.Sprintf("%g%% median CI", plan.Doc.Campaign.Confidence*100)
 		fmt.Fprintf(stdout, "%-28s %5s %8s %8s %18s %10s\n", "group", "n", "median", "CoV[%]", ciLabel, "converged")
@@ -243,6 +249,28 @@ func execute(plan expspec.Plan, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stdout, "%-28s %5d %8.2f %8.1f %18s %10v\n",
 				r.Name, r.Summary.N, r.Summary.Median, r.Summary.CoV*100, ci, r.Converged)
+		}
+	}
+
+	if st := spec.Stopping; !st.IsZero() {
+		fmt.Fprintf(stdout, "\nadaptive stopping (CONFIRM, q=%g at %g%% confidence, target rel. error %g%%):\n",
+			st.EffectiveQuantile(), st.EffectiveConfidence()*100, st.ErrorBound*100)
+		fmt.Fprintf(stdout, "%-28s %5s %12s %10s %10s %10s\n",
+			"group", "n", "half-width", "rel.err", "converged", "diverging")
+		for _, g := range res.Groups {
+			p := g.Precision
+			if p == nil {
+				continue
+			}
+			hw, re := "n/a", "n/a"
+			if p.HalfWidth >= 0 {
+				hw = fmt.Sprintf("%.3f", p.HalfWidth)
+			}
+			if p.RelErr >= 0 {
+				re = fmt.Sprintf("%.2f%%", p.RelErr*100)
+			}
+			fmt.Fprintf(stdout, "%-28s %5d %12s %10s %10v %10v\n",
+				g.Result.Name, p.N, hw, re, p.Converged, p.Diverging)
 		}
 	}
 
@@ -270,6 +298,11 @@ func execute(plan expspec.Plan, stdout, stderr io.Writer) int {
 	}
 
 	if run != nil {
+		// Record the adaptive run's achieved precision in the manifest
+		// (a no-op for fixed-repetition runs) so cmd/drift can report it.
+		if err := run.RecordPrecision(res.Groups); err != nil {
+			return fatal(err)
+		}
 		persisted := 0
 		for _, c := range res.Cells {
 			if c.Err == nil {

@@ -88,6 +88,47 @@ func TestCheckFailures(t *testing.T) {
 	}
 }
 
+// TestStoppingCanonicalization: a sparse campaign.stopping section is
+// flagged as drifted (canonical form spells every default out and
+// resolves repetitions to the budget), and -fix rewrites it into the
+// canonical spelling.
+func TestStoppingCanonicalization(t *testing.T) {
+	dir := t.TempDir()
+	sparse := write(t, dir, "experiment.json",
+		`{"schemaVersion": 2, "campaign": {"profiles": [{"cloud": "ec2"}], "hours": 1, "seed": 1, "stopping": {"errorBound": 0.02, "maxReps": 30}}}`)
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{dir}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1 (sparse stopping section is not canonical)", code)
+	}
+	if !strings.Contains(errOut.String(), "drifts from the canonical encoding") {
+		t.Errorf("stderr missing the canonical-drift failure:\n%s", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-fix", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("-fix exit %d: %s", code, errOut.String())
+	}
+	fixed, err := os.ReadFile(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"quantile": 0.5`, `"confidence": 0.95`, `"minReps": 6`, `"maxReps": 30`,
+		`"repetitions": 30`, // the budget default: maxReps
+	} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed spec missing %s:\n%s", want, fixed)
+		}
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{dir}, &out, &errOut); code != 0 {
+		t.Fatalf("fixed stopping spec still fails: %s", errOut.String())
+	}
+}
+
 func TestYAMLSpecsValidateWithoutByteCheck(t *testing.T) {
 	dir := t.TempDir()
 	write(t, dir, "experiment.yaml", `

@@ -1,0 +1,74 @@
+// Command adaptive-stopping runs a campaign whose repetition counts
+// are decided by the data, not fixed up front: the CONFIRM analysis
+// (Maricq et al., OSDI '18 — the method the paper applies in Figures
+// 13 and 19) tracks each (profile, regime) group's median CI as
+// repetitions accumulate, stops the group once the CI's relative
+// error fits the target bound, and reallocates the unspent budget to
+// groups that still need it. High-variance groups get more
+// repetitions, stable ones fewer — the paper's answer to "how many
+// repetitions are enough?".
+//
+// The schedule is deterministic: bit-identical results at any worker
+// count, and a committed experiment.json next to this file declares
+// the exact same experiment.
+//
+// Run with: go run ./examples/adaptive-stopping
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudvar"
+)
+
+func main() {
+	doc, err := cloudvar.NewExperiment("adaptive-stopping").
+		WithProfile("ec2", "c5.xlarge").
+		WithProfile("gce", "4").
+		WithRegimes("full-speed", "10-30").
+		WithDuration(0.02). // emulated hours per repetition
+		WithSeed(7).
+		// Stop a group once its median's 95% CI has <= 2% relative
+		// error; never run a group past 30 repetitions. Repetitions
+		// (unset here) becomes the per-group budget and defaults to
+		// maxReps.
+		WithStopping(cloudvar.ExperimentStopping{ErrorBound: 0.02, MaxReps: 30}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hash, err := doc.Hash()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("experiment %q, spec hash %.12s\n\n", doc.Name, hash)
+
+	plan, err := cloudvar.CompileExperiment(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cloudvar.RunFleet(plan.Campaign.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-group achieved precision (the stopping decision):")
+	for _, g := range res.Groups {
+		p := g.Precision
+		if p == nil {
+			continue
+		}
+		verdict := "hit the repetition cap"
+		if p.Converged {
+			verdict = "converged"
+		}
+		fmt.Printf("  %-28s n=%-3d rel. CI error %6.2f%%  %s\n",
+			g.Result.Name, p.N, p.RelErr*100, verdict)
+	}
+	fmt.Println("\nnext steps:")
+	fmt.Println("  go run ./cmd/cloudbench -spec examples/adaptive-stopping/experiment.json")
+}

@@ -105,6 +105,18 @@ func (b *Builder) WithSummarize(mode string) *Builder {
 	return b
 }
 
+// WithStopping enables CONFIRM-driven sequential stopping: the
+// campaign stops repeating a (profile, regime) group once its CI's
+// relative error fits errBound, up to maxReps repetitions per group.
+// Zero-valued fields of s take the documented defaults (median,
+// 95% confidence, the achievability minimum). With stopping, the
+// builder's WithRepetitions sets the per-group budget (0 means
+// maxReps).
+func (b *Builder) WithStopping(s Stopping) *Builder {
+	b.campaign().Stopping = &s
+	return b
+}
+
 // WithScenario expands the campaign with a named adverse-condition
 // scenario; params override the registry defaults (nil keeps them).
 func (b *Builder) WithScenario(name string, params map[string]float64) *Builder {

@@ -165,6 +165,9 @@ func compileCampaign(c Campaign, w *WorkloadSection) (*CampaignPlan, error) {
 		ErrorBound:  c.ErrorBound,
 		Summarize:   fleet.SummarizeMode(c.Summarize),
 	}
+	if c.Stopping != nil {
+		spec.Stopping = c.Stopping.toFleet()
+	}
 	if w != nil {
 		spec.Workload = w.compile()
 	}

@@ -724,6 +724,33 @@ func decodeCampaign(o *object) (Campaign, error) {
 		return Campaign{}, err
 	}
 
+	st, err := o.section("stopping")
+	if err != nil {
+		return Campaign{}, err
+	}
+	if st != nil {
+		var s Stopping
+		if s.Quantile, err = st.float("quantile"); err != nil {
+			return Campaign{}, err
+		}
+		if s.Confidence, err = st.float("confidence"); err != nil {
+			return Campaign{}, err
+		}
+		if s.ErrorBound, err = st.float("errorBound"); err != nil {
+			return Campaign{}, err
+		}
+		if s.MinReps, err = st.integer("minReps"); err != nil {
+			return Campaign{}, err
+		}
+		if s.MaxReps, err = st.integer("maxReps"); err != nil {
+			return Campaign{}, err
+		}
+		if err := st.finish(); err != nil {
+			return Campaign{}, err
+		}
+		c.Stopping = &s
+	}
+
 	sc, err := o.section("scenario")
 	if err != nil {
 		return Campaign{}, err

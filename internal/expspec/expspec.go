@@ -133,9 +133,39 @@ type Campaign struct {
 	// (internal/sketch). Part of the document's identity, like the
 	// matrix: sketch summaries are a different experiment.
 	Summarize string `json:"summarize,omitempty"`
+	// Stopping enables CONFIRM-driven sequential stopping: repetitions
+	// per (profile, regime) group are decided by achieved CI precision
+	// instead of being fixed. With stopping, repetitions: is the
+	// per-group budget (0 canonicalizes to maxReps). Part of the
+	// document's identity: an adaptive campaign is a different
+	// experiment from a fixed one.
+	Stopping *Stopping `json:"stopping,omitempty"`
 	// Scenario expands the campaign with a named adverse-condition
 	// scenario.
 	Scenario *ScenarioRef `json:"scenario,omitempty"`
+}
+
+// Stopping is the campaign.stopping section: the sequential-stopping
+// policy (fleet.StoppingSpec) in document form. Canonical form spells
+// out every default — quantile 0.5, confidence 0.95, minReps the
+// smallest n at which the quantile CI is achievable — so a sparse
+// policy hashes identically to an explicit one.
+type Stopping struct {
+	// Quantile of the per-repetition statistic whose CI is tracked; 0
+	// canonicalizes to the median (0.5).
+	Quantile float64 `json:"quantile,omitempty"`
+	// Confidence of the tracked CI; 0 canonicalizes to 0.95.
+	Confidence float64 `json:"confidence,omitempty"`
+	// ErrorBound is the target relative error — the convergence
+	// criterion. Required, in (0, 1).
+	ErrorBound float64 `json:"errorBound"`
+	// MinReps is the smallest repetition count scheduled per group
+	// before a stopping decision; 0 canonicalizes to the achievability
+	// minimum.
+	MinReps int `json:"minReps,omitempty"`
+	// MaxReps caps any one group's repetitions regardless of
+	// convergence. Required, >= the effective minReps.
+	MaxReps int `json:"maxReps"`
 }
 
 // ProfileRef selects one cloud profile: a cloud name plus the
@@ -368,10 +398,30 @@ func (c Campaign) canonical() (Campaign, error) {
 		return Campaign{}, err
 	}
 	out.Regimes = regimes
+	if c.Stopping != nil {
+		s, err := c.Stopping.canonical()
+		if err != nil {
+			return Campaign{}, err
+		}
+		out.Stopping = &s
+	}
 	if c.Repetitions < 0 {
 		return Campaign{}, fmt.Errorf("campaign.repetitions: %d must be >= 0", c.Repetitions)
 	}
-	if c.Repetitions == 0 {
+	if out.Stopping != nil {
+		// With stopping, repetitions is the per-group budget; canonical
+		// form resolves the default (maxReps) and clamps into
+		// [minReps, maxReps] exactly as fleet.EffectiveBudget does, so
+		// sparse and explicit budgets hash identically.
+		b := c.Repetitions
+		if b == 0 || b > out.Stopping.MaxReps {
+			b = out.Stopping.MaxReps
+		}
+		if b < out.Stopping.MinReps {
+			b = out.Stopping.MinReps
+		}
+		out.Repetitions = b
+	} else if c.Repetitions == 0 {
 		out.Repetitions = 1
 	}
 	if c.Hours <= 0 {
@@ -413,6 +463,52 @@ func (c Campaign) canonical() (Campaign, error) {
 		out.Scenario = &ref
 	}
 	return out, nil
+}
+
+// canonical validates and defaults the stopping section, spelling out
+// every effective value.
+func (s Stopping) canonical() (Stopping, error) {
+	if s == (Stopping{}) {
+		return Stopping{}, fmt.Errorf("campaign.stopping: section is empty (set errorBound and maxReps, or drop it)")
+	}
+	out := s
+	if s.Quantile == 0 {
+		out.Quantile = 0.5
+	}
+	if out.Quantile <= 0 || out.Quantile >= 1 {
+		return Stopping{}, fmt.Errorf("campaign.stopping.quantile: %g outside (0, 1)", out.Quantile)
+	}
+	if s.Confidence == 0 {
+		out.Confidence = DefaultConfidence
+	}
+	if out.Confidence <= 0 || out.Confidence >= 1 {
+		return Stopping{}, fmt.Errorf("campaign.stopping.confidence: %g outside (0, 1)", out.Confidence)
+	}
+	if s.ErrorBound <= 0 || s.ErrorBound >= 1 {
+		return Stopping{}, fmt.Errorf("campaign.stopping.errorBound: %g outside (0, 1) (required — the convergence criterion)", s.ErrorBound)
+	}
+	if s.MinReps < 0 {
+		return Stopping{}, fmt.Errorf("campaign.stopping.minReps: %d must be >= 0", s.MinReps)
+	}
+	// The achievability default comes from the same fleet logic that
+	// will schedule the campaign, so document and scheduler can never
+	// disagree on the effective minimum.
+	out.MinReps = out.toFleet().EffectiveMinReps()
+	if s.MaxReps < out.MinReps {
+		return Stopping{}, fmt.Errorf("campaign.stopping.maxReps: %d below the effective minimum %d", s.MaxReps, out.MinReps)
+	}
+	return out, nil
+}
+
+// toFleet lowers the section to the scheduler's policy type.
+func (s Stopping) toFleet() fleet.StoppingSpec {
+	return fleet.StoppingSpec{
+		Quantile:   s.Quantile,
+		Confidence: s.Confidence,
+		ErrorBound: s.ErrorBound,
+		MinReps:    s.MinReps,
+		MaxReps:    s.MaxReps,
+	}
 }
 
 // cellCount is the campaign matrix size after canonicalization.

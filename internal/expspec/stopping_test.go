@@ -1,0 +1,186 @@
+package expspec_test
+
+// Spec-level coverage for the campaign.stopping section: the
+// sequential-stopping policy is identity-bearing, canonicalizes to its
+// fully-spelled form, and lowers to fleet.StoppingSpec.
+
+import (
+	"strings"
+	"testing"
+
+	"cloudvar/internal/expspec"
+	"cloudvar/internal/fleet"
+)
+
+func adaptive() expspec.Document {
+	d := minimal()
+	d.Campaign.Stopping = &expspec.Stopping{ErrorBound: 0.02, MaxReps: 30}
+	return d
+}
+
+func TestStoppingCanonicalSpellsDefaults(t *testing.T) {
+	canon, err := adaptive().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expspec.Stopping{Quantile: 0.5, Confidence: 0.95, ErrorBound: 0.02, MinReps: 6, MaxReps: 30}
+	if *canon.Campaign.Stopping != want {
+		t.Errorf("canonical stopping = %+v, want defaults spelled out %+v", *canon.Campaign.Stopping, want)
+	}
+	// With stopping, repetitions is the per-group budget; unset
+	// canonicalizes to maxReps, not to the fixed path's 1.
+	if canon.Campaign.Repetitions != 30 {
+		t.Errorf("canonical repetitions = %d, want the default budget 30", canon.Campaign.Repetitions)
+	}
+	// A sub-minimum budget clamps up, mirroring fleet.EffectiveBudget.
+	low := adaptive()
+	low.Campaign.Repetitions = 3
+	canon, err = low.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Campaign.Repetitions != 6 {
+		t.Errorf("canonical sub-minimum budget = %d, want clamped to 6", canon.Campaign.Repetitions)
+	}
+	// Idempotence: canonical is a fixed point.
+	again, err := canon.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *again.Campaign.Stopping != *canon.Campaign.Stopping || again.Campaign.Repetitions != canon.Campaign.Repetitions {
+		t.Error("canonical stopping is not a fixed point")
+	}
+}
+
+func TestStoppingHash(t *testing.T) {
+	fixedHash, err := minimal().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseHash, err := adaptive().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity-bearing: an adaptive campaign is a different experiment.
+	if sparseHash == fixedHash {
+		t.Error("stopping section did not move the hash")
+	}
+	// Sparse and explicit policies mean the same experiment.
+	explicit := minimal()
+	explicit.Campaign.Repetitions = 30
+	explicit.Campaign.Stopping = &expspec.Stopping{
+		Quantile: 0.5, Confidence: 0.95, ErrorBound: 0.02, MinReps: 6, MaxReps: 30,
+	}
+	h, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != sparseHash {
+		t.Error("explicit stopping defaults moved the hash")
+	}
+	// The policy's parameters are identity.
+	tighter := adaptive()
+	tighter.Campaign.Stopping.ErrorBound = 0.01
+	h, err = tighter.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == sparseHash {
+		t.Error("stopping errorBound did not move the hash")
+	}
+}
+
+func TestStoppingCanonicalErrors(t *testing.T) {
+	cases := []struct {
+		mutate func(*expspec.Stopping)
+		path   string
+	}{
+		{func(s *expspec.Stopping) { *s = expspec.Stopping{} }, "campaign.stopping:"},
+		{func(s *expspec.Stopping) { s.Quantile = 1.5 }, "campaign.stopping.quantile"},
+		{func(s *expspec.Stopping) { s.Confidence = -1 }, "campaign.stopping.confidence"},
+		{func(s *expspec.Stopping) { s.ErrorBound = 0; s.MinReps = 6 }, "campaign.stopping.errorBound"},
+		{func(s *expspec.Stopping) { s.MinReps = -1 }, "campaign.stopping.minReps"},
+		{func(s *expspec.Stopping) { s.MaxReps = 3 }, "campaign.stopping.maxReps"},
+	}
+	for _, c := range cases {
+		d := adaptive()
+		c.mutate(d.Campaign.Stopping)
+		if _, err := d.Canonical(); err == nil || !strings.Contains(err.Error(), c.path) {
+			t.Errorf("error = %v, want path %s", err, c.path)
+		}
+	}
+}
+
+func TestStoppingCompileAndDecode(t *testing.T) {
+	doc, err := expspec.Decode([]byte(`{
+  "schemaVersion": 2,
+  "campaign": {
+    "profiles": [{"cloud": "ec2"}],
+    "repetitions": 12,
+    "hours": 0.01,
+    "seed": 7,
+    "stopping": {"errorBound": 0.02, "maxReps": 30}
+  }
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := expspec.Compile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fleet.StoppingSpec{Quantile: 0.5, Confidence: 0.95, ErrorBound: 0.02, MinReps: 6, MaxReps: 30}
+	if plan.Campaign.Spec.Stopping != want {
+		t.Errorf("compiled stopping = %+v, want %+v", plan.Campaign.Spec.Stopping, want)
+	}
+	if plan.Campaign.Spec.Repetitions != 12 {
+		t.Errorf("compiled budget = %d, want 12", plan.Campaign.Spec.Repetitions)
+	}
+	// Unknown fields in the section fail loudly, like everywhere else.
+	if _, err := expspec.Decode([]byte(`{
+  "schemaVersion": 2,
+  "campaign": {
+    "profiles": [{"cloud": "ec2"}],
+    "hours": 0.01,
+    "seed": 7,
+    "stopping": {"errorBound": 0.02, "maxReps": 30, "mode": "fast"}
+  }
+}`)); err == nil || !strings.Contains(err.Error(), "campaign.stopping") {
+		t.Errorf("unknown stopping field error = %v, want campaign.stopping path", err)
+	}
+}
+
+// TestStoppingBuilderRoundTrip: the fluent builder's document decodes
+// and re-encodes to the same canonical bytes — the speccheck property
+// for adaptive specs.
+func TestStoppingBuilderRoundTrip(t *testing.T) {
+	doc, err := expspec.NewExperiment("adaptive").
+		WithProfile("ec2", "").
+		WithRegimes("full-speed").
+		WithDuration(0.01).
+		WithSeed(7).
+		WithStopping(expspec.Stopping{ErrorBound: 0.02, MaxReps: 30}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := doc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := expspec.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := again.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := canon.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("builder document is not canonical:\n%s\nvs\n%s", b, b2)
+	}
+}

@@ -1,0 +1,240 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cloudvar/internal/cloudmodel"
+	"cloudvar/internal/confirm"
+	"cloudvar/internal/fleet/pool"
+	"cloudvar/internal/trace"
+)
+
+// Adaptive campaign sizing: the CONFIRM analysis (internal/confirm)
+// promoted from post-hoc reporting into the scheduler itself, per the
+// paper's §5 methodology. Fixed repetition counts are the central
+// failure mode the paper warns about — short campaigns reach wrong
+// conclusions where variance is high, long ones waste budget where it
+// is low — so when CampaignSpec.Stopping is active, repetition counts
+// are decided by achieved CI precision instead.
+//
+// Determinism contract: the stopping decision is derived only from
+// cell substreams and arrival-order-independent group state. Cells run
+// in batches with a barrier between rounds; within a round, per-group
+// trackers are fed in repetition order after *all* of the round's
+// cells finished, never in completion order. Every quantity the
+// schedule depends on (summaries, trackers, budget arithmetic) is a
+// pure function of (spec minus Workers/Progress/Sink), so adaptive
+// runs are bit-identical at any worker count and across resume — the
+// same property the fixed path proves, extended to the schedule
+// itself.
+
+// adaptiveGroup is the scheduler's per-(profile, regime) state.
+type adaptiveGroup struct {
+	profile cloudmodel.Profile
+	regime  trace.Regime
+	// results holds the group's cells in repetition order.
+	results []CellResult
+	// tracker accumulates each successful repetition's summary mean.
+	tracker *confirm.Tracker
+	// stopped marks a group the policy will not grow again: its CI
+	// converged or it hit MaxReps.
+	stopped bool
+}
+
+// runAdaptive executes the campaign under the sequential-stopping
+// policy. spec has been validated; stored holds the sink's persisted
+// cells (nil without a sink).
+func runAdaptive(spec CampaignSpec, stored map[string]StoredCell) CampaignResult {
+	st := spec.Stopping
+	minReps, maxReps := st.EffectiveMinReps(), st.MaxReps
+
+	regimes := spec.EffectiveRegimes()
+	groups := make([]*adaptiveGroup, 0, len(spec.Profiles)*len(regimes))
+	for _, p := range spec.Profiles {
+		for _, r := range regimes {
+			// Parameters were validated with the spec; a tracker error
+			// here would be a programming error, so surface it loudly.
+			tr, err := confirm.NewTracker(st.EffectiveQuantile(), st.EffectiveConfidence(), st.ErrorBound)
+			if err != nil {
+				panic(fmt.Sprintf("fleet: stopping spec validated but tracker rejected it: %v", err))
+			}
+			groups = append(groups, &adaptiveGroup{profile: p, regime: r, tracker: tr})
+		}
+	}
+
+	// The campaign-wide repetition budget. Every group starts at the
+	// minimum; what converged groups leave unspent is reallocated to
+	// the unconverged ones, up to MaxReps each.
+	budget := spec.EffectiveBudget() * len(groups)
+	spent := 0
+	targets := make([]int, len(groups))
+	for i := range targets {
+		targets[i] = minReps
+	}
+
+	var mu sync.Mutex
+	done := 0
+	// One scratch arena per worker, reused across batches; contents
+	// never outlive a cell (the determinism-vs-reuse contract).
+	scratches := make([]workerScratch, pool.NumWorkers(spec.Workers, budget))
+	var restoreScratch workerScratch
+
+	for {
+		// Gather this round's batch: per group, the repetitions between
+		// the current count and its target, in enumeration order.
+		var batch []Cell
+		var owner []int
+		for gi, g := range groups {
+			for rep := len(g.results); rep < targets[gi]; rep++ {
+				batch = append(batch, Cell{Profile: g.profile, Regime: g.regime, Rep: rep})
+				owner = append(owner, gi)
+			}
+		}
+		if len(batch) == 0 {
+			break
+		}
+
+		results := make([]CellResult, len(batch))
+		var pending []int
+		for i, c := range batch {
+			// Same restore gate as the fixed path: a stored cell is only
+			// usable when its workload presence matches the spec.
+			if sc, ok := stored[c.Label()]; ok && sc.Series != nil && (spec.Workload == nil) == (sc.Workload == nil) {
+				results[i] = CellResult{Cell: c, Series: sc.Series, Summary: summarizeSeries(spec.Summarize, sc.Series, &restoreScratch), Workload: sc.Workload}
+				continue
+			}
+			pending = append(pending, i)
+		}
+		scheduled := spent + len(batch)
+		done += len(batch) - len(pending)
+		fresh, errs := pool.CollectWorker(len(pending), spec.Workers, func(w, j int) (CellResult, error) {
+			res := runCell(spec, batch[pending[j]], &scratches[w])
+			if spec.Sink != nil && res.Err == nil {
+				if err := spec.Sink.Put(res); err != nil {
+					res = CellResult{Cell: res.Cell, Err: fmt.Errorf("fleet: cell %s: persisting: %w", res.Cell.Label(), err)}
+				}
+			}
+			if spec.Progress != nil {
+				mu.Lock()
+				done++
+				ev := Progress{Done: done, Total: scheduled, Result: res}
+				func() {
+					defer mu.Unlock()
+					spec.Progress(ev)
+				}()
+			}
+			return res, nil
+		})
+		for j, i := range pending {
+			results[i] = fresh[j]
+			if errs[j] != nil {
+				// Only a panicking Progress hook lands here (runCell
+				// recovers its own); mark the cell failed.
+				results[i] = CellResult{Cell: batch[i], Err: errs[j]}
+			}
+		}
+
+		// Batch barrier passed: only now do results feed the group
+		// state, in repetition order — the stopping decision must not
+		// see completion order.
+		for i, res := range results {
+			g := groups[owner[i]]
+			g.results = append(g.results, res)
+			if res.Err == nil {
+				g.tracker.Push(res.Summary.Mean)
+			}
+			spent++
+		}
+
+		// Stopping decisions, then budget reallocation over whatever
+		// is still unconverged.
+		var open []int
+		for gi, g := range groups {
+			if g.stopped {
+				continue
+			}
+			if pt, ok := g.tracker.Latest(); ok && pt.WithinBound {
+				g.stopped = true
+				continue
+			}
+			if len(g.results) >= maxReps {
+				g.stopped = true
+				continue
+			}
+			open = append(open, gi)
+		}
+		remaining := budget - spent
+		if len(open) == 0 || remaining <= 0 {
+			break
+		}
+		base, extra := remaining/len(open), remaining%len(open)
+		grew := false
+		for idx, gi := range open {
+			share := base
+			if idx < extra {
+				share++
+			}
+			if share == 0 {
+				continue
+			}
+			g := groups[gi]
+			n := len(g.results)
+			// CONFIRM's c/sqrt(n) extrapolation guides the next target;
+			// when it has no usable prediction, grow geometrically (×1.5)
+			// so a stubborn group converges in O(log MaxReps) rounds.
+			want := g.tracker.Analysis().RequiredRepetitions()
+			if want <= n {
+				want = n + (n+1)/2
+			}
+			add := want - n
+			if add > share {
+				add = share
+			}
+			if n+add > maxReps {
+				add = maxReps - n
+			}
+			if add <= 0 {
+				continue
+			}
+			targets[gi] = n + add
+			grew = true
+		}
+		if !grew {
+			break
+		}
+	}
+
+	// Cells in enumeration order: profiles outermost, then regimes,
+	// then each group's repetitions 0..n-1.
+	var cells []CellResult
+	for _, g := range groups {
+		cells = append(cells, g.results...)
+	}
+	result := CampaignResult{Cells: cells, Groups: groupResults(spec, cells)}
+	// groupResults builds groups in first-cell-encounter order, which
+	// is exactly the scheduler's enumeration order, so precision
+	// attaches 1:1.
+	for gi := range result.Groups {
+		result.Groups[gi].Precision = groups[gi].precision()
+	}
+	return result
+}
+
+// precision snapshots the group's achieved CI state.
+func (g *adaptiveGroup) precision() *GroupPrecision {
+	p := &GroupPrecision{N: len(g.results), HalfWidth: -1, RelErr: -1}
+	an := g.tracker.Analysis()
+	p.Diverging = an.Diverging()
+	if pt, ok := g.tracker.Latest(); ok && !math.IsNaN(pt.Lo) {
+		p.HalfWidth = (pt.Hi - pt.Lo) / 2
+		p.Converged = pt.WithinBound
+		// A zero quantile estimate makes RelErr non-finite; keep the
+		// -1 sentinel so the record stays JSON-encodable everywhere.
+		if !math.IsInf(pt.RelErr, 0) && !math.IsNaN(pt.RelErr) {
+			p.RelErr = pt.RelErr
+		}
+	}
+	return p
+}

@@ -1,0 +1,227 @@
+package fleet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cloudvar/internal/fleet"
+	"cloudvar/internal/testutil"
+)
+
+// adaptiveSpec builds the small adaptive matrix the stopping tests
+// share: one EC2 profile over two regimes (2 groups), with the given
+// stopping policy and per-group budget.
+func adaptiveSpec(t *testing.T, seed uint64, workers int, budget int, st fleet.StoppingSpec) fleet.CampaignSpec {
+	t.Helper()
+	spec := testutil.EC2Spec(t, seed, workers)
+	spec.Repetitions = budget
+	spec.Stopping = st
+	return spec
+}
+
+// TestAdaptiveDeterministicAcrossWorkerCounts extends the fleet's
+// tentpole guarantee to the sequential-stopping scheduler: with an
+// error bound tight enough to force budget reallocation past the
+// minimum, the full result — cells, groups, and the achieved-precision
+// records the stopping decision produced — is bit-identical at any
+// worker count.
+func TestAdaptiveDeterministicAcrossWorkerCounts(t *testing.T) {
+	policy := fleet.StoppingSpec{ErrorBound: 0.001, MaxReps: 12}
+	seq, err := fleet.Run(adaptiveSpec(t, 7, 1, 8, policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := testutil.EncodeResult(t, seq)
+	minReps := policy.EffectiveMinReps()
+	grew := false
+	for _, g := range seq.Groups {
+		if g.Precision == nil {
+			t.Fatalf("adaptive group %s/%s has no precision record", g.Instance, g.Regime)
+		}
+		if g.Precision.N > minReps {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatalf("tight bound never grew any group past the minimum %d — reallocation untested", minReps)
+	}
+	for _, workers := range []int{2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			res, err := fleet.Run(adaptiveSpec(t, 7, workers, 8, policy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if got := testutil.EncodeResult(t, res); got != want {
+				t.Fatalf("adaptive run at workers=%d differs from sequential run", workers)
+			}
+		})
+	}
+}
+
+// TestAdaptiveLooseBoundStopsAtMinimum: a bound the data easily meets
+// converges every group at the effective minimum — the budget headroom
+// is left unspent, which is the whole point of adaptive sizing.
+func TestAdaptiveLooseBoundStopsAtMinimum(t *testing.T) {
+	policy := fleet.StoppingSpec{ErrorBound: 0.9, MaxReps: 20}
+	res, err := fleet.Run(adaptiveSpec(t, 7, 4, 20, policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	minReps := policy.EffectiveMinReps()
+	for _, g := range res.Groups {
+		p := g.Precision
+		if p == nil {
+			t.Fatalf("group %s/%s has no precision record", g.Instance, g.Regime)
+		}
+		if p.N != minReps {
+			t.Errorf("group %s/%s ran %d repetitions, want the minimum %d", g.Instance, g.Regime, p.N, minReps)
+		}
+		if !p.Converged {
+			t.Errorf("group %s/%s did not report convergence under a 90%% bound", g.Instance, g.Regime)
+		}
+		if len(g.Result.Samples) != minReps {
+			t.Errorf("group %s/%s aggregated %d samples, want %d", g.Instance, g.Regime, len(g.Result.Samples), minReps)
+		}
+	}
+}
+
+// TestAdaptiveTightBoundExhaustsBudget: an unreachable bound drives
+// every group to MaxReps (the default budget when Repetitions is
+// unset), with convergence honestly reported false.
+func TestAdaptiveTightBoundExhaustsBudget(t *testing.T) {
+	policy := fleet.StoppingSpec{ErrorBound: 1e-9, MaxReps: 10}
+	res, err := fleet.Run(adaptiveSpec(t, 7, 4, 0, policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, g := range res.Groups {
+		p := g.Precision
+		if p == nil {
+			t.Fatalf("group %s/%s has no precision record", g.Instance, g.Regime)
+		}
+		if p.N != policy.MaxReps {
+			t.Errorf("group %s/%s ran %d repetitions, want MaxReps %d", g.Instance, g.Regime, p.N, policy.MaxReps)
+		}
+		if p.Converged {
+			t.Errorf("group %s/%s claims convergence under a 1e-9 bound", g.Instance, g.Regime)
+		}
+		total += p.N
+	}
+	if want := len(res.Cells); total != want {
+		t.Errorf("precision records account for %d cells, result holds %d", total, want)
+	}
+}
+
+// TestAdaptiveBudgetRespected: the campaign never spends more than
+// EffectiveBudget × groups, and no group runs below the effective
+// minimum or above MaxReps.
+func TestAdaptiveBudgetRespected(t *testing.T) {
+	policy := fleet.StoppingSpec{ErrorBound: 1e-9, MaxReps: 12}
+	spec := adaptiveSpec(t, 7, 4, 7, policy)
+	res, err := fleet.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	budget := spec.EffectiveBudget() * len(res.Groups)
+	if len(res.Cells) > budget {
+		t.Errorf("campaign ran %d cells, budget is %d", len(res.Cells), budget)
+	}
+	minReps := policy.EffectiveMinReps()
+	for _, g := range res.Groups {
+		if g.Precision.N < minReps || g.Precision.N > policy.MaxReps {
+			t.Errorf("group %s/%s ran %d repetitions, want within [%d, %d]",
+				g.Instance, g.Regime, g.Precision.N, minReps, policy.MaxReps)
+		}
+	}
+	// An unreachable bound should leave no budget on the table.
+	if len(res.Cells) != budget {
+		t.Errorf("unreachable bound left budget unspent: ran %d of %d cells", len(res.Cells), budget)
+	}
+}
+
+// TestFixedPathCarriesNoPrecision: without a stopping policy the
+// result is exactly yesterday's — in particular no precision records,
+// so EncodeResult bytes (and golden files downstream) are unchanged.
+func TestFixedPathCarriesNoPrecision(t *testing.T) {
+	res, err := fleet.Run(testutil.EC2Spec(t, 7, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Groups {
+		if g.Precision != nil {
+			t.Fatalf("fixed-repetition group %s/%s carries a precision record", g.Instance, g.Regime)
+		}
+	}
+}
+
+func TestStoppingSpecValidate(t *testing.T) {
+	valid := []fleet.StoppingSpec{
+		{}, // zero value: stopping disabled, always valid
+		{ErrorBound: 0.05, MaxReps: 10},
+		{Quantile: 0.9, Confidence: 0.99, ErrorBound: 0.1, MinReps: 50, MaxReps: 60},
+	}
+	for i, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("valid spec %d rejected: %v", i, err)
+		}
+	}
+	invalid := []fleet.StoppingSpec{
+		{MaxReps: 10},                                   // active but no error bound
+		{ErrorBound: 1, MaxReps: 10},                    // bound not in (0,1)
+		{Quantile: 1.5, ErrorBound: 0.05, MaxReps: 10},  // quantile out of range
+		{Confidence: -1, ErrorBound: 0.05, MaxReps: 10}, // confidence out of range
+		{ErrorBound: 0.05, MinReps: -1, MaxReps: 10},    // negative minimum
+		{ErrorBound: 0.05, MaxReps: 3},                  // below effective minimum (6 for the median at 95%)
+		{ErrorBound: 0.05, MinReps: 8, MaxReps: 7},      // max below explicit min
+	}
+	for i, s := range invalid {
+		if err := s.Validate(); err == nil {
+			t.Errorf("invalid spec %d (%+v) accepted", i, s)
+		}
+	}
+	// CampaignSpec.Validate must surface the stopping error too.
+	spec := testutil.EC2Spec(t, 1, 1)
+	spec.Stopping = fleet.StoppingSpec{MaxReps: 10}
+	if err := spec.Validate(); err == nil {
+		t.Error("campaign with invalid stopping spec validated")
+	}
+}
+
+// TestEffectiveBudget pins the budget-defaulting contract: unset means
+// MaxReps, anything set is clamped into [EffectiveMinReps, MaxReps].
+func TestEffectiveBudget(t *testing.T) {
+	policy := fleet.StoppingSpec{ErrorBound: 0.05, MaxReps: 15} // effective min 6
+	cases := []struct{ reps, want int }{
+		{0, 15},  // unset: the cap itself
+		{3, 6},   // below the minimum: clamped up
+		{9, 9},   // in range: as given
+		{40, 15}, // above the cap: clamped down
+	}
+	for _, c := range cases {
+		spec := fleet.CampaignSpec{Repetitions: c.reps, Stopping: policy}
+		if got := spec.EffectiveBudget(); got != c.want {
+			t.Errorf("EffectiveBudget with reps=%d: got %d, want %d", c.reps, got, c.want)
+		}
+	}
+	// Without stopping, the budget is just the repetition count.
+	fixed := fleet.CampaignSpec{Repetitions: 4}
+	if got := fixed.EffectiveBudget(); got != 4 {
+		t.Errorf("fixed-path EffectiveBudget = %d, want 4", got)
+	}
+}

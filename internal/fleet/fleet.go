@@ -89,6 +89,16 @@ type CampaignSpec struct {
 	// (zero takes the paper defaults 0.95 and 0.05).
 	Confidence float64
 	ErrorBound float64
+	// Stopping, when non-zero, turns the fixed repetition count into a
+	// CONFIRM-driven sequential-stopping policy: repetitions are
+	// scheduled in deterministic batches per (profile, regime) group
+	// and a group stops as soon as its quantile CI fits the target
+	// bound (internal/confirm). Repetitions then acts as the per-group
+	// repetition *budget* (see EffectiveBudget). Part of the spec
+	// identity: an adaptively sized campaign is a different experiment
+	// from a fixed one. The zero value keeps today's fixed-reps
+	// behavior — and today's spec keys.
+	Stopping StoppingSpec
 	// Scenario records the adverse-condition scenario the profiles
 	// were expanded with (internal/scenario); zero for plain
 	// campaigns. fleet never acts on it — it is carried so spec
@@ -159,6 +169,90 @@ func (s ScenarioID) String() string {
 	return s.Name + "(" + strings.Join(parts, ", ") + ")"
 }
 
+// StoppingSpec configures CONFIRM-driven sequential stopping (Maricq
+// et al., the paper's §5 sizing methodology): after each deterministic
+// batch, a (profile, regime) group's per-repetition summary statistics
+// are fed into an incremental confirm analysis, and the group stops
+// once the CI of the target quantile fits the relative-error bound.
+// The zero value disables stopping entirely.
+type StoppingSpec struct {
+	// Quantile of the per-repetition statistic whose CI is tracked;
+	// 0 means the median (0.5).
+	Quantile float64
+	// Confidence of the tracked CI; 0 means 0.95.
+	Confidence float64
+	// ErrorBound is the target relative error of the CI — the
+	// convergence criterion. Required (in (0, 1)) when stopping is
+	// active.
+	ErrorBound float64
+	// MinReps is the smallest repetition count scheduled per group
+	// before a stopping decision is made; 0 means the smallest n at
+	// which the quantile CI is achievable at the configured confidence
+	// (stats.MinSamplesForQuantileCI).
+	MinReps int
+	// MaxReps caps any one group's repetitions regardless of
+	// convergence. Required (>= the effective MinReps).
+	MaxReps int
+}
+
+// IsZero reports whether stopping is disabled.
+func (s StoppingSpec) IsZero() bool { return s == StoppingSpec{} }
+
+// EffectiveQuantile returns the tracked quantile after defaulting.
+func (s StoppingSpec) EffectiveQuantile() float64 {
+	if s.Quantile == 0 {
+		return 0.5
+	}
+	return s.Quantile
+}
+
+// EffectiveConfidence returns the CI confidence after defaulting.
+func (s StoppingSpec) EffectiveConfidence() float64 {
+	if s.Confidence == 0 {
+		return 0.95
+	}
+	return s.Confidence
+}
+
+// EffectiveMinReps returns the minimum repetitions scheduled per group
+// before the first stopping decision: the configured MinReps, or the
+// smallest sample size at which the tracked quantile's CI is
+// achievable (never below 2 — a CI needs two measurements).
+func (s StoppingSpec) EffectiveMinReps() int {
+	min := s.MinReps
+	if min == 0 {
+		min = stats.MinSamplesForQuantileCI(s.EffectiveQuantile(), s.EffectiveConfidence())
+	}
+	if min < 2 {
+		min = 2
+	}
+	return min
+}
+
+// Validate checks an active stopping configuration; the zero value is
+// always valid (stopping disabled).
+func (s StoppingSpec) Validate() error {
+	if s.IsZero() {
+		return nil
+	}
+	if q := s.EffectiveQuantile(); q <= 0 || q >= 1 {
+		return fmt.Errorf("fleet: stopping quantile %g outside (0,1)", q)
+	}
+	if c := s.EffectiveConfidence(); c <= 0 || c >= 1 {
+		return fmt.Errorf("fleet: stopping confidence %g outside (0,1)", c)
+	}
+	if s.ErrorBound <= 0 || s.ErrorBound >= 1 {
+		return fmt.Errorf("fleet: stopping error bound %g outside (0,1)", s.ErrorBound)
+	}
+	if s.MinReps < 0 {
+		return fmt.Errorf("fleet: negative stopping min repetitions")
+	}
+	if min := s.EffectiveMinReps(); s.MaxReps < min {
+		return fmt.Errorf("fleet: stopping max repetitions %d below the effective minimum %d", s.MaxReps, min)
+	}
+	return nil
+}
+
 // Sink is the persistence hook for campaign cells. internal/store
 // implements it on disk; fleet deliberately only knows the interface
 // so the orchestrator stays storage-agnostic.
@@ -204,6 +298,9 @@ func (s CampaignSpec) Validate() error {
 	if err := s.Summarize.Validate(); err != nil {
 		return err
 	}
+	if err := s.Stopping.Validate(); err != nil {
+		return err
+	}
 	if s.Workload != nil {
 		if err := s.Workload.Validate(); err != nil {
 			return err
@@ -241,6 +338,30 @@ func (s CampaignSpec) EffectiveRepetitions() int {
 		return 1
 	}
 	return s.Repetitions
+}
+
+// EffectiveBudget returns the per-group repetition budget. Without
+// stopping it is just EffectiveRepetitions. With stopping active,
+// Repetitions is read as "what I can afford per group on average":
+// unset means every group may run to MaxReps, and any explicit value
+// is clamped into [EffectiveMinReps, MaxReps]. The adaptive scheduler
+// spends budget × group-count repetitions in total, reallocating what
+// converged groups leave unspent to the unconverged ones.
+func (s CampaignSpec) EffectiveBudget() int {
+	if s.Stopping.IsZero() {
+		return s.EffectiveRepetitions()
+	}
+	b := s.Repetitions
+	if b <= 0 {
+		b = s.Stopping.MaxReps
+	}
+	if min := s.Stopping.EffectiveMinReps(); b < min {
+		b = min
+	}
+	if b > s.Stopping.MaxReps {
+		b = s.Stopping.MaxReps
+	}
+	return b
 }
 
 // Cell is one unit of fleet work: a (profile, regime, repetition)
@@ -290,7 +411,9 @@ type CellResult struct {
 // Progress reports one completed cell to the spec's hook.
 type Progress struct {
 	// Done counts cells completed so far (including this one); Total
-	// is the matrix size.
+	// is the matrix size. In an adaptive run (Stopping active) the
+	// matrix size is not known upfront, so Total is the number of
+	// cells scheduled so far — it grows as batches are added.
 	Done, Total int
 	// Result is the cell that just finished.
 	Result CellResult
@@ -313,6 +436,30 @@ type GroupResult struct {
 	Classes []ClassResult
 	// Failed counts repetitions that errored.
 	Failed int
+	// Precision is the achieved CI precision of an adaptive run's
+	// stopping decision; nil for fixed-repetition campaigns.
+	Precision *GroupPrecision
+}
+
+// GroupPrecision records what an adaptive campaign achieved for one
+// group: how many repetitions the stopping policy spent and how tight
+// the tracked quantile CI ended up. It rides into the store manifest
+// so longitudinal comparisons know each group's precision, not just
+// its mean.
+type GroupPrecision struct {
+	// N is the number of repetitions scheduled (including failed ones).
+	N int
+	// HalfWidth is the final CI half-width of the tracked quantile;
+	// -1 when no finite CI was ever achieved.
+	HalfWidth float64
+	// RelErr is the final CI half-width relative to the quantile
+	// estimate; -1 when no finite CI was ever achieved.
+	RelErr float64
+	// Converged reports whether the final CI fits the stopping bound.
+	Converged bool
+	// Diverging reports whether CI widths widened as repetitions
+	// accumulated — the broken-independence signature (Figure 19).
+	Diverging bool
 }
 
 // ClassResult aggregates one SLO class within a (profile, regime)
@@ -401,7 +548,6 @@ func Run(spec CampaignSpec) (CampaignResult, error) {
 	if err := spec.Validate(); err != nil {
 		return CampaignResult{}, err
 	}
-	cells := spec.Cells()
 
 	// Restore persisted cells first; only the remainder is scheduled.
 	// The summary is recomputed from the stored series so a restored
@@ -413,6 +559,10 @@ func Run(spec CampaignSpec) (CampaignResult, error) {
 			return CampaignResult{}, fmt.Errorf("fleet: loading persisted cells: %w", err)
 		}
 	}
+	if !spec.Stopping.IsZero() {
+		return runAdaptive(spec, stored), nil
+	}
+	cells := spec.Cells()
 	results := make([]CellResult, len(cells))
 	var pending []int
 	var restoreScratch workerScratch

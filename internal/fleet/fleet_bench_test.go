@@ -33,3 +33,30 @@ func BenchmarkFleetRun(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFleetAdaptiveRun measures the sequential-stopping scheduler
+// on the same matrix with a bound tight enough that every round
+// reallocates budget — the worst case for batch-barrier overhead
+// relative to the fixed path above.
+//
+//	go test ./internal/fleet -run '^$' -bench BenchmarkFleetAdaptiveRun -benchmem -count 10
+func BenchmarkFleetAdaptiveRun(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec := testutil.TwoCloudSpec(b, 42, workers)
+			spec.Repetitions = 8
+			spec.Stopping = fleet.StoppingSpec{ErrorBound: 0.001, MaxReps: 12}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -470,6 +470,51 @@ func (r *Report) WriteMarkdown(w io.Writer) error {
 		}
 	}
 
+	// Adaptive campaigns record their achieved per-group precision in
+	// the manifest; surface it so a reader knows how trustworthy each
+	// run's medians are. Fixed-repetition runs have no records and the
+	// section (like the report bytes) is unchanged.
+	hasPrecision := false
+	for _, m := range r.Runs {
+		if len(m.Precision) > 0 {
+			hasPrecision = true
+			break
+		}
+	}
+	if hasPrecision {
+		if err := p("\n## Adaptive stopping precision (CONFIRM)\n\n"); err != nil {
+			return err
+		}
+		for _, m := range r.Runs {
+			if len(m.Precision) == 0 {
+				if err := p("- %s: no precision records (fixed repetitions, or interrupted before completion)\n", m.RunID); err != nil {
+					return err
+				}
+				continue
+			}
+			for _, pr := range m.Precision {
+				line := fmt.Sprintf("- %s %s: n=%d", m.RunID, pr.Group, pr.N)
+				if pr.HalfWidth >= 0 {
+					line += fmt.Sprintf(", CI half-width %.4g", pr.HalfWidth)
+				}
+				if pr.RelErr >= 0 {
+					line += fmt.Sprintf(" (rel. error %.2f%%)", pr.RelErr*100)
+				}
+				if pr.Converged {
+					line += " — converged"
+				} else {
+					line += " — NOT converged"
+				}
+				if pr.Diverging {
+					line += ", DIVERGING (repetitions may not be independent)"
+				}
+				if err := p("%s\n", line); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
 	if err := p("\n## Fingerprint gate (F5.2, tolerance %.0f%%)\n\n", r.Options.FingerprintTolerance*100); err != nil {
 		return err
 	}

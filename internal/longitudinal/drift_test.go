@@ -33,7 +33,13 @@ func runPersisted(t *testing.T, st *store.Store, runID string, spec fleet.Campai
 		t.Fatal(err)
 	}
 	defer run.Close()
-	return runWith(t, run, spec)
+	res, executed := runWith(t, run, spec)
+	// Adaptive runs record their achieved precision in the manifest
+	// (a no-op for fixed-repetition specs), as cloudbench does.
+	if err := run.RecordPrecision(res.Groups); err != nil {
+		t.Fatal(err)
+	}
+	return res, executed
 }
 
 func runWith(t *testing.T, sink fleet.Sink, spec fleet.CampaignSpec) (fleet.CampaignResult, int) {
@@ -119,6 +125,85 @@ func TestResumeByteIdentical(t *testing.T) {
 			}
 			if !bytes.Equal(report("alpha"), report("bravo")) {
 				t.Fatal("drift report from the resumed run is not byte-identical to the uninterrupted run's")
+			}
+		})
+	}
+}
+
+// adaptiveTestSpec is testSpec under a sequential-stopping policy
+// whose bound is unreachable, so every group deterministically grows
+// past the minimum into reallocated budget — the schedule itself is
+// exercised, not just the fixed prefix.
+func adaptiveTestSpec(t *testing.T, seed uint64, workers int) fleet.CampaignSpec {
+	t.Helper()
+	spec := testutil.EC2Spec(t, seed, workers)
+	spec.Repetitions = 8
+	spec.Stopping = fleet.StoppingSpec{ErrorBound: 0.001, MaxReps: 12}
+	return spec
+}
+
+// TestAdaptiveResumeByteIdentical extends the resume acceptance
+// criterion to adaptive campaigns: because the stopping decisions are
+// a pure function of cell data, a resumed run re-derives the same
+// schedule, re-executes only the missing cells, and produces a result
+// (including the achieved-precision records) byte-identical to the
+// uninterrupted run — at workers=1 and workers=8.
+func TestAdaptiveResumeByteIdentical(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			st := testutil.TempStore(t)
+
+			// Drift partner: same adaptive matrix, different seed.
+			day2, _ := runPersisted(t, st, "day2", adaptiveTestSpec(t, 8, workers))
+			_ = day2
+
+			spec := adaptiveTestSpec(t, 7, workers)
+			full, _ := runPersisted(t, st, "alpha", spec)
+
+			interrupted, err := st.Create("bravo", spec, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			half := len(full.Cells) / 2
+			for _, c := range full.Cells[:half] {
+				if err := interrupted.Put(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			resumed, executed := runWith(t, interrupted, spec)
+			if err := interrupted.RecordPrecision(resumed.Groups); err != nil {
+				t.Fatal(err)
+			}
+			interrupted.Close()
+			if want := len(full.Cells) - half; executed != want {
+				t.Fatalf("adaptive resume executed %d cells, want exactly the %d missing ones", executed, want)
+			}
+			if got, want := testutil.EncodeResult(t, resumed), testutil.EncodeResult(t, full); got != want {
+				t.Fatal("resumed adaptive CampaignResult is not byte-identical to the uninterrupted run")
+			}
+
+			report := func(runID string) []byte {
+				runs, err := longitudinal.Load(st, runID, "day2")
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := longitudinal.Analyze(runs, longitudinal.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := rep.WriteMarkdown(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return bytes.ReplaceAll(buf.Bytes(), []byte(runID), []byte("RUN"))
+			}
+			alpha := report("alpha")
+			if !bytes.Contains(alpha, []byte("## Adaptive stopping precision")) {
+				t.Error("drift report lacks the adaptive precision section")
+			}
+			if !bytes.Equal(alpha, report("bravo")) {
+				t.Fatal("drift report from the resumed adaptive run is not byte-identical to the uninterrupted run's")
 			}
 		})
 	}

@@ -25,13 +25,15 @@ import (
 // encoding "columnar" is stamped schema 4 even if its spec identity
 // is older, so pre-columnar binaries refuse it instead of finding an
 // empty cells.jsonl).
+// Version 5 added the sequential-stopping identity
+// (fleet.StoppingSpec) and the manifest's achieved-precision records.
 //
 // Versioning rule: a run is stamped with the *oldest* schema able to
 // express it (identitySchema), and readers accept every version in
 // [MinSchemaVersion, SchemaVersion]. A spec that uses no workload
 // section therefore keys and serialises exactly as version 2 did —
 // stored runs stay resumable and comparable across the upgrade.
-const SchemaVersion = 4
+const SchemaVersion = 5
 
 // MinSchemaVersion is the oldest on-disk format this binary reads.
 const MinSchemaVersion = 2
@@ -79,11 +81,32 @@ type SpecIdentity struct {
 	// summaries carry the contract's rank error and must never be
 	// drift-compared against exact ones as if interchangeable.
 	Summarize string `json:"summarize,omitempty"`
+	// Stopping records an active sequential-stopping policy; nil for
+	// fixed-repetition campaigns, which therefore key exactly as before
+	// schema 5. Part of both keys: an adaptive campaign's cell set is
+	// data-dependent, so it is a different experiment from a fixed run
+	// — resume must re-derive the same schedule and drift must not
+	// compare across policies.
+	Stopping *StoppingIdentity `json:"stopping,omitempty"`
+}
+
+// StoppingIdentity is the canonical form of fleet.StoppingSpec:
+// every default spelled out, so a spec relying on zero-value defaults
+// keys identically to one writing them explicitly.
+type StoppingIdentity struct {
+	Quantile   float64 `json:"quantile"`
+	Confidence float64 `json:"confidence"`
+	ErrorBound float64 `json:"error_bound"`
+	MinReps    int     `json:"min_reps"`
+	MaxReps    int     `json:"max_reps"`
 }
 
 // identitySchema returns the schema an identity is stamped with: the
 // oldest version able to express it (see the SchemaVersion comment).
 func identitySchema(spec fleet.CampaignSpec) int {
+	if !spec.Stopping.IsZero() {
+		return 5
+	}
 	if summarizeIdentity(spec.Summarize) != "" {
 		return 4
 	}
@@ -121,6 +144,19 @@ func Identity(spec fleet.CampaignSpec) SpecIdentity {
 	}
 	if id.ErrorBound == 0 {
 		id.ErrorBound = 0.05
+	}
+	if st := spec.Stopping; !st.IsZero() {
+		// With stopping active, Repetitions is a per-group *budget*
+		// (fleet.EffectiveBudget applies defaulting and clamping), so
+		// specs that resolve to the same budget key identically.
+		id.Repetitions = spec.EffectiveBudget()
+		id.Stopping = &StoppingIdentity{
+			Quantile:   st.EffectiveQuantile(),
+			Confidence: st.EffectiveConfidence(),
+			ErrorBound: st.ErrorBound,
+			MinReps:    st.EffectiveMinReps(),
+			MaxReps:    st.MaxReps,
+		}
 	}
 	for _, p := range spec.Profiles {
 		id.Profiles = append(id.Profiles, ProfileID{

@@ -49,8 +49,10 @@ import (
 	"cloudvar/internal/workload"
 )
 
-// Manifest describes one stored run. It is written once, at run
-// creation, and never mutated.
+// Manifest describes one stored run. It is written at run creation
+// and — with one exception — never mutated: an adaptive campaign's
+// achieved precision (Precision) is recorded after the run completes,
+// by atomically rewriting the manifest with only that field added.
 type Manifest struct {
 	// Schema is the on-disk format version of the run.
 	Schema int `json:"schema"`
@@ -90,6 +92,26 @@ type Manifest struct {
 	// metadata, not spec identity: the same experiment stored either
 	// way has the same keys.
 	Encoding string `json:"encoding,omitempty"`
+	// Precision holds the per-group achieved precision of an adaptive
+	// (sequential-stopping) campaign, recorded via RecordPrecision when
+	// the run completes (schema >= 5); nil for fixed-repetition runs
+	// and for adaptive runs interrupted before completion.
+	Precision []PrecisionRecord `json:"precision,omitempty"`
+}
+
+// PrecisionRecord is one group's achieved CI precision under the
+// sequential-stopping policy — the store's durable form of
+// fleet.GroupPrecision. HalfWidth and RelErr are -1 when no finite
+// interval was achieved (the sentinel keeps the record JSON-clean;
+// NaN/Inf have no JSON encoding).
+type PrecisionRecord struct {
+	// Group is the owning group's "cloud/instance/regime" label.
+	Group     string  `json:"group"`
+	N         int     `json:"n"`
+	HalfWidth float64 `json:"half_width"`
+	RelErr    float64 `json:"rel_err"`
+	Converged bool    `json:"converged"`
+	Diverging bool    `json:"diverging,omitempty"`
 }
 
 // RunMeta carries the creation-time metadata of a run beyond its
@@ -500,6 +522,60 @@ func (r *Run) Put(res fleet.CellResult) error {
 	if err := r.f.Sync(); err != nil {
 		return fmt.Errorf("store: syncing cell %s: %w", rec.Label, err)
 	}
+	return nil
+}
+
+// RecordPrecision records an adaptive campaign's achieved per-group
+// precision in the run's manifest, atomically (write-temp-then-rename,
+// like run creation): a crash mid-record leaves the old manifest
+// intact, and the cells file is untouched either way. Groups without a
+// precision record (a fixed-repetition result) are skipped; recording
+// an empty set is a no-op, so callers can pass any CampaignResult's
+// groups unconditionally.
+func (r *Run) RecordPrecision(groups []fleet.GroupResult) error {
+	var recs []PrecisionRecord
+	for _, g := range groups {
+		p := g.Precision
+		if p == nil {
+			continue
+		}
+		recs = append(recs, PrecisionRecord{
+			Group:     g.Cloud + "/" + g.Instance + "/" + g.Regime,
+			N:         p.N,
+			HalfWidth: p.HalfWidth,
+			RelErr:    p.RelErr,
+			Converged: p.Converged,
+			Diverging: p.Diverging,
+		})
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.manifest
+	m.Precision = recs
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	dir := r.store.runDir(m.RunID)
+	tmp, err := os.CreateTemp(dir, ".manifest-")
+	if err != nil {
+		return fmt.Errorf("store: recording precision for run %q: %w", m.RunID, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: recording precision for run %q: %w", m.RunID, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: recording precision for run %q: %w", m.RunID, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, "manifest.json")); err != nil {
+		return fmt.Errorf("store: recording precision for run %q: %w", m.RunID, err)
+	}
+	r.manifest = m
 	return nil
 }
 

@@ -140,6 +140,12 @@ func EncodeResult(tb testing.TB, res fleet.CampaignResult) string {
 	for _, g := range res.Groups {
 		fmt.Fprintf(&b, "group %s/%s/%s failed=%d samples=%v summary=%+v ciErr=%v\n",
 			g.Cloud, g.Instance, g.Regime, g.Failed, g.Result.Samples, g.Result.Summary, g.Result.MedianCIErr)
+		if g.Precision != nil {
+			// Adaptive runs: the achieved precision is part of the
+			// observable result, so the determinism diffs cover the
+			// stopping decision itself.
+			fmt.Fprintf(&b, "precision %+v\n", *g.Precision)
+		}
 		for _, cl := range g.Classes {
 			fmt.Fprintf(&b, "class %s requests=%d samples=%v summary=%+v\n",
 				cl.Result.Name, cl.Requests, cl.Result.Samples, cl.Result.Summary)
