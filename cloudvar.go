@@ -17,6 +17,8 @@
 //     (internal/spark, internal/workloads)
 //   - the persistent campaign store and longitudinal drift analysis
 //     (internal/store, internal/longitudinal)
+//   - distributed campaign sharding with a byte-identical merge
+//     (internal/shard, cmd/campaignd)
 //   - composable adverse-condition scenarios (internal/scenario)
 //   - the declarative experiment-spec API (internal/expspec)
 //   - figure/table regeneration (internal/figures)
@@ -43,6 +45,7 @@ import (
 	"cloudvar/internal/longitudinal"
 	"cloudvar/internal/netem"
 	"cloudvar/internal/scenario"
+	"cloudvar/internal/shard"
 	"cloudvar/internal/simrand"
 	"cloudvar/internal/spark"
 	"cloudvar/internal/stats"
@@ -371,6 +374,47 @@ var (
 	// FingerprintCampaign measures the F5.2 baseline of every profile
 	// in a spec, on substreams independent of all campaign cells.
 	FingerprintCampaign = fleet.FingerprintProfiles
+)
+
+// Distributed campaigns: shard a campaign's cell matrix across worker
+// processes and merge the shard stores back into a run byte-identical
+// to a single-process RunFleet (internal/shard, cmd/campaignd).
+type (
+	// ShardCampaign describes a distributed campaign: the spec, its
+	// identity, and the worker fleet to shard across.
+	ShardCampaign = shard.Campaign
+	// ShardWorker executes assigned cells into a shard-stamped store.
+	ShardWorker = shard.Worker
+	// ShardAssignmentSet is the deterministic cell→shard partition.
+	ShardAssignmentSet = shard.AssignmentSet
+	// ShardStamp marks a store as shard index/count of a campaign.
+	ShardStamp = store.ShardStamp
+	// ShardStoreData is one shard store's complete contents — what a
+	// worker hands back and MergeShards consumes.
+	ShardStoreData = store.ShardData
+	// StoredRunMeta is the creation metadata shared by every shard of
+	// a campaign (fingerprints, spec document, encoding).
+	StoredRunMeta = store.RunMeta
+	// InProcShardWorker runs shards inside the coordinator process.
+	InProcShardWorker = shard.InProcWorker
+	// HTTPShardWorker drives a remote campaignd -worker over HTTP.
+	HTTPShardWorker = shard.HTTPWorker
+)
+
+// Distributed-campaign functions.
+var (
+	// ShardOwner assigns a cell label to a shard — a pure function of
+	// the campaign's SpecKey, so reassignment after worker death
+	// reproduces identical bytes.
+	ShardOwner = shard.Owner
+	// AssignShards partitions a campaign's cells across n shards.
+	AssignShards = shard.Assign
+	// RunShardedCampaign executes a campaign across the workers and
+	// collects the shard-stamped stores.
+	RunShardedCampaign = shard.Run
+	// MergeShards recombines shard stores into one byte-identical run,
+	// refusing mismatched identities and non-identical duplicates.
+	MergeShards = store.MergeShards
 )
 
 // Adverse-condition scenarios: named, seedable, composable.

@@ -1,0 +1,98 @@
+package main
+
+// Process-level smoke test: the real campaignd binary, one
+// coordinator and two worker processes over loopback HTTP, executing
+// a sharded campaign whose merged keys and cells must equal a
+// single-process run. This is the CI smoke job; everything in-process
+// is covered by main_test.go and internal/shard.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// freeAddr reserves a loopback port and returns host:port. The
+// listener is closed before the process starts — a small race, fine
+// for a test.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startProcess launches the built binary and waits for its /healthz.
+func startProcess(t *testing.T, bin string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+}
+
+func awaitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never became healthy: %v", base, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestE2ETwoWorkerLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level e2e test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "campaignd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building campaignd: %v", err)
+	}
+
+	w1Addr, w2Addr, coordAddr := freeAddr(t), freeAddr(t), freeAddr(t)
+	startProcess(t, bin, "-worker", "-listen", w1Addr, "-dir", t.TempDir())
+	startProcess(t, bin, "-worker", "-listen", w2Addr, "-dir", t.TempDir())
+	storeDir := t.TempDir()
+	startProcess(t, bin, "-listen", coordAddr, "-dir", storeDir,
+		"-workers", fmt.Sprintf("http://%s,http://%s", w1Addr, w2Addr))
+	w1, w2, coord := "http://"+w1Addr, "http://"+w2Addr, "http://"+coordAddr
+	awaitHealthy(t, w1)
+	awaitHealthy(t, w2)
+	awaitHealthy(t, coord)
+
+	doc := specDoc(13, "e2e")
+	rs := submit(t, coord, doc)
+	if rs.Shards != 2 {
+		t.Fatalf("shards = %d, want one per worker process", rs.Shards)
+	}
+	awaitDone(t, coord, "e2e")
+
+	_, keys, want := singleProcessReference(t, doc)
+	assertRunMatchesReference(t, storeDir, "e2e", keys, want)
+}

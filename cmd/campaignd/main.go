@@ -1,0 +1,92 @@
+// Command campaignd is the distributed campaign service: a
+// long-running coordinator that accepts experiment-spec documents
+// over HTTP, shards each campaign's cell matrix across worker
+// processes (internal/shard), merges the per-shard stores into a run
+// byte-identical to a single-process fleet.Run, and serves the cached
+// manifests and drift reports back out.
+//
+// Coordinator mode (the default):
+//
+//	campaignd -listen 127.0.0.1:7070 -dir results \
+//	          -workers http://127.0.0.1:7071,http://127.0.0.1:7072
+//
+//	POST /v1/runs               submit a spec document (JSON or YAML)
+//	GET  /v1/runs               list submitted runs
+//	GET  /v1/runs/{id}          one run's status
+//	GET  /v1/runs/{id}/manifest the merged run's manifest bytes
+//	GET  /v1/runs/{id}/drift?baseline=ID  drift report vs a baseline
+//	GET  /healthz               liveness
+//
+// Worker mode — one per process, each with its own store directory:
+//
+//	campaignd -worker -listen 127.0.0.1:7071 -dir worker1
+//
+// A spec's sharding: section picks its worker fleet; -workers is the
+// default for specs that name none, and with neither the campaign
+// runs in-process shards. Worker failure mid-campaign is survived by
+// deterministic reassignment: cells re-execute elsewhere from their
+// original substreams, and the merge deduplicates the byte-identical
+// overlap.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("campaignd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	worker := fs.Bool("worker", false, "run as a worker process instead of the coordinator")
+	listen := fs.String("listen", "127.0.0.1:7070", "address to listen on")
+	dir := fs.String("dir", "", "store directory: merged results (coordinator) or the worker's shard store (required)")
+	workerList := fs.String("workers", "", "comma-separated worker base URLs, the default fleet for specs without sharding.workers")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 1
+	}
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "campaignd:", err)
+		return 1
+	}
+	if *dir == "" {
+		return fatal(fmt.Errorf("-dir is required (the store directory)"))
+	}
+
+	var handler http.Handler
+	if *worker {
+		if *workerList != "" {
+			return fatal(fmt.Errorf("-workers is a coordinator flag; a worker has no fleet"))
+		}
+		handler = workerHandler(*dir)
+		fmt.Fprintf(stdout, "campaignd: worker serving shards into %s on %s\n", *dir, *listen)
+	} else {
+		var urls []string
+		if *workerList != "" {
+			urls = strings.Split(*workerList, ",")
+		}
+		svc, err := newService(*dir, urls)
+		if err != nil {
+			return fatal(err)
+		}
+		svc.start()
+		defer svc.stop()
+		handler = svc.handler()
+		fmt.Fprintf(stdout, "campaignd: coordinator serving %s on %s (%d configured workers)\n", *dir, *listen, len(urls))
+	}
+	if err := http.ListenAndServe(*listen, handler); err != nil {
+		return fatal(err)
+	}
+	return 0
+}

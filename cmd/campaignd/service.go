@@ -1,0 +1,373 @@
+package main
+
+// The coordinator service: an HTTP API over submit → schedule →
+// shard → merge → serve. Runs execute one at a time (FIFO) — a
+// campaign already saturates its workers; queueing keeps two
+// campaigns from interleaving on the same fleet — and every completed
+// run is a merged, byte-identical store run that the manifest and
+// drift endpoints serve straight from disk.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"cloudvar/internal/core"
+	"cloudvar/internal/expspec"
+	"cloudvar/internal/fleet"
+	"cloudvar/internal/longitudinal"
+	"cloudvar/internal/shard"
+	"cloudvar/internal/store"
+)
+
+// workerHandler is the worker-mode API: internal/shard's worker
+// server, verbatim.
+func workerHandler(dir string) http.Handler {
+	return shard.NewWorkerServer(dir).Handler()
+}
+
+// run statuses, in lifecycle order.
+const (
+	statusQueued  = "queued"
+	statusRunning = "running"
+	statusDone    = "done"
+	statusFailed  = "failed"
+)
+
+// runState is one submitted campaign's lifecycle record.
+type runState struct {
+	ID       string `json:"id"`
+	Status   string `json:"status"`
+	SpecHash string `json:"specHash"`
+	Shards   int    `json:"shards"`
+	Error    string `json:"error,omitempty"`
+	// Cached marks a run served from the store without re-execution:
+	// the submitted spec's run already existed with a matching key.
+	Cached bool `json:"cached,omitempty"`
+
+	plan    expspec.Plan
+	specKey string
+	workers []string
+}
+
+// service is the coordinator: it owns the merged results store, the
+// run registry and the FIFO scheduler.
+type service struct {
+	dir     string
+	st      *store.Store
+	workers []string // default worker URLs for specs without sharding.workers
+
+	mu    sync.Mutex
+	runs  map[string]*runState
+	order []string
+
+	queue chan *runState
+	quit  chan struct{}
+	done  sync.WaitGroup
+}
+
+// newService opens (or creates) the merged-results store under dir.
+// workers are the default worker URLs applied to specs whose sharding
+// section names none.
+func newService(dir string, workers []string) (*service, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &service{
+		dir:     dir,
+		st:      st,
+		workers: workers,
+		runs:    make(map[string]*runState),
+		queue:   make(chan *runState, 64),
+		quit:    make(chan struct{}),
+	}, nil
+}
+
+// start launches the scheduler loop.
+func (s *service) start() {
+	s.done.Add(1)
+	go func() {
+		defer s.done.Done()
+		for {
+			select {
+			case <-s.quit:
+				return
+			case rs := <-s.queue:
+				s.execute(rs)
+			}
+		}
+	}()
+}
+
+// stop shuts the scheduler down after the in-flight run finishes.
+func (s *service) stop() {
+	close(s.quit)
+	s.done.Wait()
+}
+
+// handler returns the coordinator's HTTP API.
+func (s *service) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/manifest", s.handleManifest)
+	mux.HandleFunc("GET /v1/runs/{id}/drift", s.handleDrift)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	http.Error(w, err.Error(), status)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleSubmit accepts an experiment-spec document, names its run and
+// queues it. Submitting a spec whose run already exists with the same
+// spec key is idempotent — the cached run is served; a same-ID run
+// with a different key is a conflict, never an overwrite.
+func (s *service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	doc, err := expspec.Decode(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := expspec.Compile(doc)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if plan.Campaign == nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("campaignd: spec has no campaign section"))
+		return
+	}
+	specKey, err := store.SpecKey(plan.Campaign.Spec)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// The run's name: the spec's own store.runId when it declares one,
+	// else derived from the document's content address — same document,
+	// same run.
+	runID := "r-" + plan.Hash[:12]
+	if plan.Store != nil && plan.Store.RunID != "" {
+		runID = plan.Store.RunID
+	}
+	workers := s.workers
+	shards := 1
+	if plan.Sharding != nil {
+		shards = plan.Sharding.Shards
+		if len(plan.Sharding.Workers) > 0 {
+			workers = plan.Sharding.Workers
+		}
+	}
+	if len(workers) > 0 {
+		shards = len(workers)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rs, ok := s.runs[runID]; ok {
+		if rs.SpecHash != plan.Hash {
+			httpError(w, http.StatusConflict, fmt.Errorf("campaignd: run %s already submitted from a different spec (hash %.12s vs %.12s)", runID, rs.SpecHash, plan.Hash))
+			return
+		}
+		writeJSON(w, rs)
+		return
+	}
+	rs := &runState{
+		ID:       runID,
+		SpecHash: plan.Hash,
+		Shards:   shards,
+		plan:     plan,
+		specKey:  specKey,
+		workers:  workers,
+	}
+	// A run already in the store is served cached — if it is the same
+	// campaign. SpecKey is the arbiter, exactly as in resume.
+	if m, err := s.st.Manifest(runID); err == nil {
+		if m.SpecKey != specKey {
+			httpError(w, http.StatusConflict, fmt.Errorf("campaignd: store already holds run %s for a different campaign (spec key %.12s vs %.12s)", runID, m.SpecKey, specKey))
+			return
+		}
+		rs.Status = statusDone
+		rs.Cached = true
+		s.register(rs)
+		writeJSON(w, rs)
+		return
+	}
+	rs.Status = statusQueued
+	select {
+	case s.queue <- rs:
+	default:
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("campaignd: run queue is full"))
+		return
+	}
+	s.register(rs)
+	writeJSON(w, rs)
+}
+
+// register records a run; the caller holds s.mu.
+func (s *service) register(rs *runState) {
+	s.runs[rs.ID] = rs
+	s.order = append(s.order, rs.ID)
+}
+
+func (s *service) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := struct {
+		Runs []runState `json:"runs"`
+	}{Runs: make([]runState, 0, len(s.order))}
+	for _, id := range s.order {
+		out.Runs = append(out.Runs, *s.runs[id])
+	}
+	writeJSON(w, out)
+}
+
+func (s *service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rs, ok := s.runs[r.PathValue("id")]
+	var snap runState
+	if ok {
+		snap = *rs
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("campaignd: unknown run %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, snap)
+}
+
+// handleManifest serves the merged run's manifest bytes verbatim from
+// the store — the byte-identity artifact itself.
+func (s *service) handleManifest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !store.ValidRunID(id) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("campaignd: %q is not a valid run id", id))
+		return
+	}
+	b, err := os.ReadFile(filepath.Join(s.dir, "runs", id, "manifest.json"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("campaignd: no stored manifest for run %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+// handleDrift renders the longitudinal drift report between a stored
+// baseline run and this run.
+func (s *service) handleDrift(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	baseline := r.URL.Query().Get("baseline")
+	if baseline == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("campaignd: drift needs ?baseline=RUNID"))
+		return
+	}
+	runs, err := longitudinal.Load(s.st, baseline, id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	report, err := longitudinal.Analyze(runs, longitudinal.Options{})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/markdown")
+	report.WriteMarkdown(w)
+}
+
+// setStatus transitions a run's lifecycle state.
+func (s *service) setStatus(rs *runState, status, errMsg string) {
+	s.mu.Lock()
+	rs.Status = status
+	rs.Error = errMsg
+	s.mu.Unlock()
+}
+
+// execute runs one campaign: shard across the fleet, merge the shard
+// stores into the service store, record precision. Worker failure is
+// survived inside shard.Run (ring reassignment); only a campaign that
+// no worker could finish fails here.
+func (s *service) execute(rs *runState) {
+	s.setStatus(rs, statusRunning, "")
+	if err := s.runCampaign(rs); err != nil {
+		s.setStatus(rs, statusFailed, err.Error())
+		return
+	}
+	s.setStatus(rs, statusDone, "")
+}
+
+func (s *service) runCampaign(rs *runState) error {
+	spec := rs.plan.Campaign.Spec
+	prints, err := fleet.FingerprintProfiles(spec, core.FingerprintConfig{})
+	if err != nil {
+		return err
+	}
+	meta := store.RunMeta{
+		Fingerprints:       prints,
+		CreatedUnix:        time.Now().Unix(),
+		ExperimentSpec:     rs.plan.Bytes,
+		ExperimentSpecHash: rs.plan.Hash,
+	}
+	if rs.plan.Store != nil {
+		meta.Encoding = rs.plan.Store.Encoding
+	}
+
+	// Build the fleet: HTTP workers when URLs are configured, else
+	// in-process shards in scratch stores under the service directory.
+	var workers []shard.Worker
+	scratch := filepath.Join(s.dir, ".shards", rs.ID)
+	if len(rs.workers) > 0 {
+		for _, u := range rs.workers {
+			workers = append(workers, &shard.HTTPWorker{URL: u})
+		}
+	} else {
+		for i := 0; i < rs.Shards; i++ {
+			dir := filepath.Join(scratch, strconv.Itoa(i))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+			workers = append(workers, &shard.InProcWorker{Dir: dir})
+		}
+		defer os.RemoveAll(scratch)
+	}
+
+	res, shards, err := shard.Run(shard.Campaign{
+		Spec:    spec,
+		SpecDoc: rs.plan.Bytes,
+		RunID:   rs.ID,
+		Meta:    meta,
+		Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	merged, err := store.MergeShards(s.st, rs.ID, shards)
+	if err != nil {
+		return err
+	}
+	defer merged.Close()
+	return merged.RecordPrecision(res.Groups)
+}

@@ -200,7 +200,7 @@ func listRuns(st *store.Store, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "drift:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "%-20s %-14s %-14s %-14s %6s %6s %-16s %s\n", "run", "matrix", "spec", "expspec", "seed", "cells", "scenario", "workload")
+	fmt.Fprintf(stdout, "%-20s %-14s %-14s %-14s %6s %6s %-8s %6s %-16s %s\n", "run", "matrix", "spec", "expspec", "seed", "cells", "enc", "schema", "scenario", "workload")
 	for _, m := range manifests {
 		cells, cellsErr := st.Cells(m.RunID)
 		n := fmt.Sprintf("%d", len(cells))
@@ -211,12 +211,22 @@ func listRuns(st *store.Store, stdout, stderr io.Writer) int {
 		if m.ExperimentSpecHash != "" {
 			expHash = m.ExperimentSpecHash
 		}
+		enc := "jsonl"
+		if m.Encoding != "" {
+			enc = m.Encoding
+		}
+		// A shard-stamped run is a fragment of a distributed campaign
+		// awaiting its merge; flag it so nobody mistakes it for a full
+		// run.
+		if m.Shard != nil {
+			enc += fmt.Sprintf("@%d/%d", m.Shard.Index, m.Shard.Count)
+		}
 		wl := "none"
 		if m.Spec.Workload != nil {
 			wl = m.Spec.Workload.Summary()
 		}
-		fmt.Fprintf(stdout, "%-20s %-14.12s %-14.12s %-14.12s %6d %6s %-16s %s\n",
-			m.RunID, m.MatrixKey, m.SpecKey, expHash, m.Spec.Seed, n, m.Spec.Scenario, wl)
+		fmt.Fprintf(stdout, "%-20s %-14.12s %-14.12s %-14.12s %6d %6s %-8s %6d %-16s %s\n",
+			m.RunID, m.MatrixKey, m.SpecKey, expHash, m.Spec.Seed, n, enc, m.Schema, m.Spec.Scenario, wl)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "drift:", err)

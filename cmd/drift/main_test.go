@@ -90,6 +90,13 @@ func TestRunList(t *testing.T) {
 			t.Errorf("list missing %q:\n%s", want, out.String())
 		}
 	}
+	// The listing surfaces each run's store encoding and manifest
+	// schema version.
+	for _, want := range []string{"enc", "schema", "jsonl"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing the %q column:\n%s", want, out.String())
+		}
+	}
 }
 
 func TestRunErrors(t *testing.T) {

@@ -110,6 +110,74 @@ func TestFacadeArtifacts(t *testing.T) {
 	}
 }
 
+// TestFacadeDistributedCampaign drives the distributed-campaign
+// surface: shard a small campaign across two in-process workers,
+// merge the shard stores, and check the merged run carries the
+// single-process identity (SpecKey, no shard stamp, all cells).
+func TestFacadeDistributedCampaign(t *testing.T) {
+	profile, err := cloudvar.EC2Profile("c5.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cloudvar.CampaignSpec{
+		Profiles:    []cloudvar.CloudProfile{profile},
+		Regimes:     cloudvar.StandardRegimes()[:2],
+		Repetitions: 2,
+		Config:      cloudvar.DefaultCampaignConfig(60),
+		Seed:        9,
+	}
+	if owner := cloudvar.ShardOwner("key", "label", 2); owner < 0 || owner > 1 {
+		t.Fatalf("ShardOwner = %d, want 0 or 1", owner)
+	}
+
+	_, shards, err := cloudvar.RunShardedCampaign(cloudvar.ShardCampaign{
+		Spec:  spec,
+		RunID: "facade",
+		Meta:  cloudvar.StoredRunMeta{CreatedUnix: 1754600000},
+		Workers: []cloudvar.ShardWorker{
+			&cloudvar.InProcShardWorker{Dir: t.TempDir()},
+			&cloudvar.InProcShardWorker{Dir: t.TempDir()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("collected %d shards, want 2", len(shards))
+	}
+
+	st, err := cloudvar.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := cloudvar.MergeShards(st, "facade", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged.Close()
+	m, err := st.Manifest("facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKey, err := cloudvar.CampaignSpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SpecKey != wantKey {
+		t.Fatalf("merged SpecKey %.12s, want %.12s", m.SpecKey, wantKey)
+	}
+	if m.Shard != nil {
+		t.Fatal("merged run must not carry a shard stamp")
+	}
+	cells, err := st.Cells("facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(spec.Cells()) {
+		t.Fatalf("merged %d cells, want %d", len(cells), len(spec.Cells()))
+	}
+}
+
 // TestFacadeExperimentSpec drives the declarative experiment-spec
 // surface: build a document fluently, round-trip it through the
 // strict decoder, and compile it to a runnable campaign.

@@ -214,6 +214,16 @@ func (b *Builder) WithStoreEncoding(encoding string) *Builder {
 	return b
 }
 
+// WithSharding distributes the campaign across worker processes:
+// shards is the partition width (0 means one shard per worker, or 1
+// with no workers), workers are campaignd worker base URLs (none
+// means in-process shards). Operational only — a sharded campaign
+// merges byte-identically, so it keeps the document's hash.
+func (b *Builder) WithSharding(shards int, workers ...string) *Builder {
+	b.doc.Sharding = &Sharding{Shards: shards, Workers: workers}
+	return b
+}
+
 // WithCSV writes the raw series of a single-cell campaign to path.
 func (b *Builder) WithCSV(path string) *Builder {
 	if b.doc.Output == nil {

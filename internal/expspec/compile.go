@@ -34,6 +34,8 @@ type Plan struct {
 	Apps []workloads.App
 	// Store mirrors the document's store section.
 	Store *StorePlan
+	// Sharding mirrors the document's sharding section.
+	Sharding *ShardingPlan
 	// Drift mirrors the document's drift section.
 	Drift *DriftPlan
 	// CSV is the raw-series output path ("" when none).
@@ -59,6 +61,13 @@ type StorePlan struct {
 	Resume bool
 	// Encoding is the canonical cell encoding ("" JSONL, "columnar").
 	Encoding string
+}
+
+// ShardingPlan parameterises distributed execution: the canonical
+// shard count and the worker URLs (empty means in-process shards).
+type ShardingPlan struct {
+	Shards  int
+	Workers []string
 }
 
 // DriftPlan parameterises the longitudinal comparison.
@@ -112,6 +121,12 @@ func Compile(doc Document) (Plan, error) {
 	}
 	if canon.Store != nil {
 		plan.Store = &StorePlan{Dir: canon.Store.Dir, RunID: canon.Store.RunID, Resume: canon.Store.Resume, Encoding: canon.Store.Encoding}
+	}
+	if canon.Sharding != nil {
+		plan.Sharding = &ShardingPlan{
+			Shards:  canon.Sharding.Shards,
+			Workers: append([]string(nil), canon.Sharding.Workers...),
+		}
 	}
 	if canon.Drift != nil {
 		plan.Drift = &DriftPlan{

@@ -490,6 +490,24 @@ func decodeTree(tree any, baseDir string) (Document, error) {
 		d.Store = &s
 	}
 
+	sharding, err := root.section("sharding")
+	if err != nil {
+		return Document{}, err
+	}
+	if sharding != nil {
+		var sh Sharding
+		if sh.Shards, err = sharding.integer("shards"); err != nil {
+			return Document{}, err
+		}
+		if sh.Workers, err = sharding.strList("workers"); err != nil {
+			return Document{}, err
+		}
+		if err := sharding.finish(); err != nil {
+			return Document{}, err
+		}
+		d.Sharding = &sh
+	}
+
 	drift, err := root.section("drift")
 	if err != nil {
 		return Document{}, err

@@ -95,6 +95,9 @@ type Document struct {
 	Workloads *WorkloadSection `json:"workloads,omitempty"`
 	// Store persists campaign cells to an on-disk results store.
 	Store *Store `json:"store,omitempty"`
+	// Sharding distributes the campaign across worker processes
+	// (internal/shard, cmd/campaignd).
+	Sharding *Sharding `json:"sharding,omitempty"`
 	// Drift configures the longitudinal comparison over stored runs.
 	Drift *Drift `json:"drift,omitempty"`
 	// Output names campaign output artifacts (raw CSV series).
@@ -200,6 +203,21 @@ type Store struct {
 	// delta-encoded cells.col). Operational, like the whole store
 	// section: the same experiment stored either way keeps its hash.
 	Encoding string `json:"encoding,omitempty"`
+}
+
+// Sharding distributes the campaign's cell matrix across worker
+// processes (internal/shard). Operational, like store: and workers:
+// — the merge contract makes a sharded run byte-identical to a
+// single-process one, so sharding does not participate in the
+// identity hash.
+type Sharding struct {
+	// Shards is the partition width; 0 canonicalizes to
+	// max(len(workers), 1).
+	Shards int `json:"shards,omitempty"`
+	// Workers are worker-process base URLs ("http://host:port");
+	// empty means the shards execute in-process. When both shards and
+	// workers are given they must agree: each worker owns one shard.
+	Workers []string `json:"workers,omitempty"`
 }
 
 // Drift configures the longitudinal comparison (cmd/drift) over the
@@ -314,6 +332,13 @@ func (d Document) Canonical() (Document, error) {
 		}
 		s.Encoding = enc
 		out.Store = &s
+	}
+	if d.Sharding != nil {
+		sh, err := d.Sharding.canonical(d.Campaign != nil)
+		if err != nil {
+			return Document{}, err
+		}
+		out.Sharding = &sh
 	}
 	if d.Drift != nil {
 		dr := *d.Drift
@@ -461,6 +486,39 @@ func (c Campaign) canonical() (Campaign, error) {
 			}
 		}
 		out.Scenario = &ref
+	}
+	return out, nil
+}
+
+// canonical validates and defaults the sharding section.
+func (s Sharding) canonical(hasCampaign bool) (Sharding, error) {
+	if !hasCampaign {
+		return Sharding{}, fmt.Errorf("sharding: requires a campaign section (sharding partitions the campaign's cell matrix)")
+	}
+	out := s
+	if s.Shards < 0 {
+		return Sharding{}, fmt.Errorf("sharding.shards: %d must be >= 0", s.Shards)
+	}
+	seen := make(map[string]bool)
+	for i, u := range s.Workers {
+		if u == "" {
+			return Sharding{}, fmt.Errorf("sharding.workers[%d]: empty worker URL", i)
+		}
+		if seen[u] {
+			return Sharding{}, fmt.Errorf("sharding.workers[%d]: duplicate worker %q", i, u)
+		}
+		seen[u] = true
+	}
+	if len(s.Workers) > 0 {
+		out.Workers = append([]string(nil), s.Workers...)
+	}
+	if s.Shards == 0 {
+		out.Shards = len(s.Workers)
+		if out.Shards == 0 {
+			out.Shards = 1
+		}
+	} else if len(s.Workers) > 0 && s.Shards != len(s.Workers) {
+		return Sharding{}, fmt.Errorf("sharding.shards: %d disagrees with %d workers (each worker owns one shard; set one of them or make them equal)", s.Shards, len(s.Workers))
 	}
 	return out, nil
 }
@@ -619,8 +677,10 @@ func (d Document) Encode() ([]byte, error) {
 // parameters — regardless of formatting, field order or omitted
 // defaults. The human label (name), the storage location (store
 // section), output paths (csv, outdir) and scheduling (workers,
-// resume) are operational: the same experiment re-run on more cores,
-// resumed, or persisted somewhere else keeps its hash.
+// resume, sharding) are operational: the same experiment re-run on
+// more cores, resumed, sharded across processes, or persisted
+// somewhere else keeps its hash — the merge contract guarantees the
+// bytes do too.
 func (d Document) Hash() (string, error) {
 	canon, err := d.Canonical()
 	if err != nil {
@@ -635,6 +695,7 @@ func (d Document) Hash() (string, error) {
 func hashCanonical(canon Document) (string, error) {
 	canon.Name = ""
 	canon.Store = nil
+	canon.Sharding = nil
 	canon.Output = nil
 	if canon.Campaign != nil {
 		c := *canon.Campaign

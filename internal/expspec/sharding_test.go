@@ -1,0 +1,150 @@
+package expspec_test
+
+// Spec-level coverage for the sharding: section — the operational
+// knob that fans a campaign out across worker processes. The contract
+// under test: it canonicalizes predictably, it never moves the
+// document's identity hash (a sharded campaign merges byte-identically,
+// so it is the same experiment), and nonsense partitions are refused
+// with their field path.
+
+import (
+	"strings"
+	"testing"
+
+	"cloudvar/internal/expspec"
+)
+
+func shardedDoc() expspec.Document {
+	d := minimal()
+	d.Sharding = &expspec.Sharding{Workers: []string{"http://127.0.0.1:7071", "http://127.0.0.1:7072"}}
+	return d
+}
+
+func TestShardingCanonicalDefaults(t *testing.T) {
+	// shards omitted with two workers → one shard per worker.
+	canon, err := shardedDoc().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Sharding.Shards != 2 {
+		t.Errorf("shards = %d, want one per worker (2)", canon.Sharding.Shards)
+	}
+
+	// shards omitted with no workers → a single in-process shard.
+	d := minimal()
+	d.Sharding = &expspec.Sharding{}
+	canon, err = d.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Sharding.Shards != 1 {
+		t.Errorf("shards = %d, want 1 with no workers", canon.Sharding.Shards)
+	}
+
+	// An explicit in-process shard count survives.
+	d.Sharding = &expspec.Sharding{Shards: 4}
+	canon, err = d.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Sharding.Shards != 4 {
+		t.Errorf("shards = %d, want the explicit 4", canon.Sharding.Shards)
+	}
+}
+
+func TestShardingRejectsBadSections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*expspec.Document)
+		want string
+	}{
+		{"no campaign", func(d *expspec.Document) {
+			d.Campaign = nil
+			d.Apps = []string{"kmeans"}
+		}, "requires a campaign"},
+		{"negative shards", func(d *expspec.Document) {
+			d.Sharding.Shards = -1
+		}, "sharding.shards"},
+		{"count disagrees with workers", func(d *expspec.Document) {
+			d.Sharding.Shards = 3
+		}, "disagrees with 2 workers"},
+		{"empty worker url", func(d *expspec.Document) {
+			d.Sharding.Workers = []string{""}
+		}, "sharding.workers[0]"},
+		{"duplicate worker", func(d *expspec.Document) {
+			d.Sharding.Workers = []string{"http://w:1", "http://w:1"}
+		}, "duplicate worker"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := shardedDoc()
+			c.mut(&d)
+			_, err := d.Canonical()
+			if err == nil {
+				t.Fatal("invalid sharding section canonicalized")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestShardingIsOperational pins the identity rule: adding, changing
+// or removing the sharding section never moves the document's hash.
+func TestShardingIsOperational(t *testing.T) {
+	plain, err := minimal().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := shardedDoc().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != sharded {
+		t.Error("sharding section moved the document hash — distribution must be operational, not identity")
+	}
+	d := minimal()
+	d.Sharding = &expspec.Sharding{Shards: 16}
+	wide, err := d.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide != plain {
+		t.Error("shard count moved the document hash")
+	}
+}
+
+func TestShardingDecodes(t *testing.T) {
+	doc, err := expspec.Decode([]byte(`
+schemaVersion: 2
+campaign:
+  profiles:
+    - cloud: ec2
+  hours: 0.01
+  seed: 7
+sharding:
+  workers:
+    - "http://127.0.0.1:7071"
+    - "http://127.0.0.1:7072"
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Sharding == nil || len(doc.Sharding.Workers) != 2 {
+		t.Fatalf("sharding section misdecoded: %+v", doc.Sharding)
+	}
+	plan, err := expspec.Compile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Sharding == nil || plan.Sharding.Shards != 2 || len(plan.Sharding.Workers) != 2 {
+		t.Fatalf("sharding plan miscompiled: %+v", plan.Sharding)
+	}
+
+	// Strict decoding: an unknown field inside sharding names its path.
+	_, err = expspec.Decode([]byte(`{"schemaVersion":2,"campaign":{"profiles":[{"cloud":"ec2"}],"hours":0.01,"seed":7},"sharding":{"shard":2}}`))
+	if err == nil || !strings.Contains(err.Error(), `"sharding.shard"`) {
+		t.Errorf("unknown sharding field not rejected with its path: %v", err)
+	}
+}

@@ -3,7 +3,6 @@ package fleet
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"cloudvar/internal/cloudmodel"
 	"cloudvar/internal/confirm"
@@ -29,6 +28,15 @@ import (
 // runs are bit-identical at any worker count and across resume — the
 // same property the fixed path proves, extended to the schedule
 // itself.
+//
+// The schedule lives in AdaptivePlanner, a feed-forward state machine
+// (NextBatch → execute anywhere → Observe, repeat): runAdaptive drives
+// it with the local worker pool, and a distributed coordinator
+// (internal/shard) drives the identical machine with cells executed on
+// remote workers — the batch barrier becomes the coordinator's
+// synchronization point, and because the planner never sees *where* a
+// cell ran, the schedule (and therefore every result byte) matches the
+// single-process run.
 
 // adaptiveGroup is the scheduler's per-(profile, regime) state.
 type adaptiveGroup struct {
@@ -43,13 +51,44 @@ type adaptiveGroup struct {
 	stopped bool
 }
 
-// runAdaptive executes the campaign under the sequential-stopping
-// policy. spec has been validated; stored holds the sink's persisted
-// cells (nil without a sink).
-func runAdaptive(spec CampaignSpec, stored map[string]StoredCell) CampaignResult {
-	st := spec.Stopping
-	minReps, maxReps := st.EffectiveMinReps(), st.MaxReps
+// AdaptivePlanner is the sequential-stopping schedule as an explicit
+// state machine. Repeatedly take NextBatch, execute its cells by any
+// means that honors the per-cell substream contract (the local pool,
+// RunCells on remote shards), and feed every result of the batch back
+// through Observe; when NextBatch returns an empty batch, Result holds
+// the campaign outcome. The batch sequence is a pure function of (spec
+// minus Workers/Progress/Sink) and the observed summaries, so two
+// drivers that execute cells faithfully produce bit-identical
+// campaigns.
+type AdaptivePlanner struct {
+	spec             CampaignSpec
+	groups           []*adaptiveGroup
+	targets          []int
+	budget, spent    int
+	minReps, maxReps int
+	// batch/owner hold the outstanding batch between NextBatch and
+	// Observe; ready distinguishes "not yet gathered" from "gathered
+	// and empty" (campaign complete).
+	batch []Cell
+	owner []int
+	ready bool
+}
 
+// NewAdaptivePlanner validates the spec and builds the scheduler state
+// for its stopping policy. The spec must have Stopping active.
+func NewAdaptivePlanner(spec CampaignSpec) (*AdaptivePlanner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Stopping.IsZero() {
+		return nil, fmt.Errorf("fleet: adaptive planner needs a stopping policy")
+	}
+	return newPlanner(spec), nil
+}
+
+// newPlanner builds the planner for an already-validated spec.
+func newPlanner(spec CampaignSpec) *AdaptivePlanner {
+	st := spec.Stopping
 	regimes := spec.EffectiveRegimes()
 	groups := make([]*adaptiveGroup, 0, len(spec.Profiles)*len(regimes))
 	for _, p := range spec.Profiles {
@@ -63,163 +102,174 @@ func runAdaptive(spec CampaignSpec, stored map[string]StoredCell) CampaignResult
 			groups = append(groups, &adaptiveGroup{profile: p, regime: r, tracker: tr})
 		}
 	}
-
-	// The campaign-wide repetition budget. Every group starts at the
-	// minimum; what converged groups leave unspent is reallocated to
-	// the unconverged ones, up to MaxReps each.
-	budget := spec.EffectiveBudget() * len(groups)
-	spent := 0
-	targets := make([]int, len(groups))
-	for i := range targets {
-		targets[i] = minReps
+	p := &AdaptivePlanner{
+		spec:    spec,
+		groups:  groups,
+		targets: make([]int, len(groups)),
+		minReps: st.EffectiveMinReps(),
+		maxReps: st.MaxReps,
+		// The campaign-wide repetition budget. Every group starts at
+		// the minimum; what converged groups leave unspent is
+		// reallocated to the unconverged ones, up to MaxReps each.
+		budget: spec.EffectiveBudget() * len(groups),
 	}
+	for i := range p.targets {
+		p.targets[i] = p.minReps
+	}
+	return p
+}
 
-	var mu sync.Mutex
-	done := 0
-	// One scratch arena per worker, reused across batches; contents
-	// never outlive a cell (the determinism-vs-reuse contract).
-	scratches := make([]workerScratch, pool.NumWorkers(spec.Workers, budget))
-	var restoreScratch workerScratch
+// Budget returns the campaign-wide repetition budget — an upper bound
+// on the total cells the schedule can ever issue, useful for sizing
+// worker arenas upfront.
+func (p *AdaptivePlanner) Budget() int { return p.budget }
 
-	for {
-		// Gather this round's batch: per group, the repetitions between
-		// the current count and its target, in enumeration order.
-		var batch []Cell
-		var owner []int
-		for gi, g := range groups {
-			for rep := len(g.results); rep < targets[gi]; rep++ {
-				batch = append(batch, Cell{Profile: g.profile, Regime: g.regime, Rep: rep})
-				owner = append(owner, gi)
-			}
-		}
-		if len(batch) == 0 {
-			break
-		}
+// Scheduled returns the number of cells issued so far: consumed
+// batches plus the outstanding one. It is the Progress total an
+// adaptive driver should report.
+func (p *AdaptivePlanner) Scheduled() int { return p.spent + len(p.batch) }
 
-		results := make([]CellResult, len(batch))
-		var pending []int
-		for i, c := range batch {
-			// Same restore gate as the fixed path: a stored cell is only
-			// usable when its workload presence matches the spec.
-			if sc, ok := stored[c.Label()]; ok && sc.Series != nil && (spec.Workload == nil) == (sc.Workload == nil) {
-				results[i] = CellResult{Cell: c, Series: sc.Series, Summary: summarizeSeries(spec.Summarize, sc.Series, &restoreScratch), Workload: sc.Workload}
-				continue
-			}
-			pending = append(pending, i)
-		}
-		scheduled := spent + len(batch)
-		done += len(batch) - len(pending)
-		fresh, errs := pool.CollectWorker(len(pending), spec.Workers, func(w, j int) (CellResult, error) {
-			res := runCell(spec, batch[pending[j]], &scratches[w])
-			if spec.Sink != nil && res.Err == nil {
-				if err := spec.Sink.Put(res); err != nil {
-					res = CellResult{Cell: res.Cell, Err: fmt.Errorf("fleet: cell %s: persisting: %w", res.Cell.Label(), err)}
-				}
-			}
-			if spec.Progress != nil {
-				mu.Lock()
-				done++
-				ev := Progress{Done: done, Total: scheduled, Result: res}
-				func() {
-					defer mu.Unlock()
-					spec.Progress(ev)
-				}()
-			}
-			return res, nil
-		})
-		for j, i := range pending {
-			results[i] = fresh[j]
-			if errs[j] != nil {
-				// Only a panicking Progress hook lands here (runCell
-				// recovers its own); mark the cell failed.
-				results[i] = CellResult{Cell: batch[i], Err: errs[j]}
+// NextBatch returns the next deterministic batch of cells — per group,
+// the repetitions between the current count and its target, in
+// enumeration order — or an empty batch when the campaign is
+// complete. The same batch is returned until Observe consumes it.
+func (p *AdaptivePlanner) NextBatch() []Cell {
+	if !p.ready {
+		for gi, g := range p.groups {
+			for rep := len(g.results); rep < p.targets[gi]; rep++ {
+				p.batch = append(p.batch, Cell{Profile: g.profile, Regime: g.regime, Rep: rep})
+				p.owner = append(p.owner, gi)
 			}
 		}
+		p.ready = true
+	}
+	return p.batch
+}
 
-		// Batch barrier passed: only now do results feed the group
-		// state, in repetition order — the stopping decision must not
-		// see completion order.
-		for i, res := range results {
-			g := groups[owner[i]]
-			g.results = append(g.results, res)
-			if res.Err == nil {
-				g.tracker.Push(res.Summary.Mean)
-			}
-			spent++
-		}
-
-		// Stopping decisions, then budget reallocation over whatever
-		// is still unconverged.
-		var open []int
-		for gi, g := range groups {
-			if g.stopped {
-				continue
-			}
-			if pt, ok := g.tracker.Latest(); ok && pt.WithinBound {
-				g.stopped = true
-				continue
-			}
-			if len(g.results) >= maxReps {
-				g.stopped = true
-				continue
-			}
-			open = append(open, gi)
-		}
-		remaining := budget - spent
-		if len(open) == 0 || remaining <= 0 {
-			break
-		}
-		base, extra := remaining/len(open), remaining%len(open)
-		grew := false
-		for idx, gi := range open {
-			share := base
-			if idx < extra {
-				share++
-			}
-			if share == 0 {
-				continue
-			}
-			g := groups[gi]
-			n := len(g.results)
-			// CONFIRM's c/sqrt(n) extrapolation guides the next target;
-			// when it has no usable prediction, grow geometrically (×1.5)
-			// so a stubborn group converges in O(log MaxReps) rounds.
-			want := g.tracker.Analysis().RequiredRepetitions()
-			if want <= n {
-				want = n + (n+1)/2
-			}
-			add := want - n
-			if add > share {
-				add = share
-			}
-			if n+add > maxReps {
-				add = maxReps - n
-			}
-			if add <= 0 {
-				continue
-			}
-			targets[gi] = n + add
-			grew = true
-		}
-		if !grew {
-			break
+// Observe consumes the outstanding batch's results — one per cell, in
+// batch order — then makes the round's stopping decisions and
+// reallocates unspent budget to the unconverged groups. Results feed
+// the group trackers in repetition order only here, after the whole
+// batch finished: the barrier that keeps the schedule independent of
+// completion order.
+func (p *AdaptivePlanner) Observe(results []CellResult) error {
+	if !p.ready {
+		return fmt.Errorf("fleet: Observe without an outstanding batch")
+	}
+	if len(results) != len(p.batch) {
+		return fmt.Errorf("fleet: observed %d results for a batch of %d", len(results), len(p.batch))
+	}
+	for i, res := range results {
+		if want := p.batch[i].Label(); res.Cell.Label() != want {
+			return fmt.Errorf("fleet: result %d is cell %s, batch expects %s", i, res.Cell.Label(), want)
 		}
 	}
+	for i, res := range results {
+		g := p.groups[p.owner[i]]
+		g.results = append(g.results, res)
+		if res.Err == nil {
+			g.tracker.Push(res.Summary.Mean)
+		}
+		p.spent++
+	}
+	p.batch, p.owner, p.ready = nil, nil, false
 
-	// Cells in enumeration order: profiles outermost, then regimes,
-	// then each group's repetitions 0..n-1.
+	// Stopping decisions, then budget reallocation over whatever is
+	// still unconverged.
+	var open []int
+	for gi, g := range p.groups {
+		if g.stopped {
+			continue
+		}
+		if pt, ok := g.tracker.Latest(); ok && pt.WithinBound {
+			g.stopped = true
+			continue
+		}
+		if len(g.results) >= p.maxReps {
+			g.stopped = true
+			continue
+		}
+		open = append(open, gi)
+	}
+	remaining := p.budget - p.spent
+	if len(open) == 0 || remaining <= 0 {
+		return nil
+	}
+	base, extra := remaining/len(open), remaining%len(open)
+	for idx, gi := range open {
+		share := base
+		if idx < extra {
+			share++
+		}
+		if share == 0 {
+			continue
+		}
+		g := p.groups[gi]
+		n := len(g.results)
+		// CONFIRM's c/sqrt(n) extrapolation guides the next target;
+		// when it has no usable prediction, grow geometrically (×1.5)
+		// so a stubborn group converges in O(log MaxReps) rounds.
+		want := g.tracker.Analysis().RequiredRepetitions()
+		if want <= n {
+			want = n + (n+1)/2
+		}
+		add := want - n
+		if add > share {
+			add = share
+		}
+		if n+add > p.maxReps {
+			add = p.maxReps - n
+		}
+		if add <= 0 {
+			continue
+		}
+		p.targets[gi] = n + add
+	}
+	return nil
+}
+
+// Result assembles the campaign outcome: cells in enumeration order
+// (profiles outermost, then regimes, then each group's repetitions
+// 0..n-1), group aggregates, and each group's achieved CI precision.
+func (p *AdaptivePlanner) Result() CampaignResult {
 	var cells []CellResult
-	for _, g := range groups {
+	for _, g := range p.groups {
 		cells = append(cells, g.results...)
 	}
-	result := CampaignResult{Cells: cells, Groups: groupResults(spec, cells)}
+	result := CampaignResult{Cells: cells, Groups: groupResults(p.spec, cells)}
 	// groupResults builds groups in first-cell-encounter order, which
 	// is exactly the scheduler's enumeration order, so precision
 	// attaches 1:1.
 	for gi := range result.Groups {
-		result.Groups[gi].Precision = groups[gi].precision()
+		result.Groups[gi].Precision = p.groups[gi].precision()
 	}
 	return result
+}
+
+// runAdaptive executes the campaign under the sequential-stopping
+// policy with the local worker pool. spec has been validated; stored
+// holds the sink's persisted cells (nil without a sink).
+func runAdaptive(spec CampaignSpec, stored map[string]StoredCell) CampaignResult {
+	p := newPlanner(spec)
+	// One scratch arena per worker, reused across batches; contents
+	// never outlive a cell (the determinism-vs-reuse contract).
+	scratches := make([]workerScratch, pool.NumWorkers(spec.Workers, p.Budget()))
+	var restoreScratch workerScratch
+	ps := &progressState{}
+	for {
+		batch := p.NextBatch()
+		if len(batch) == 0 {
+			break
+		}
+		ps.total = p.Scheduled()
+		results := executeCells(spec, batch, stored, scratches, &restoreScratch, ps)
+		if err := p.Observe(results); err != nil {
+			// The driver above hands Observe exactly what NextBatch
+			// issued; a mismatch is a programming error.
+			panic(fmt.Sprintf("fleet: adaptive batch bookkeeping: %v", err))
+		}
+	}
+	return p.Result()
 }
 
 // precision snapshots the group's achieved CI state.

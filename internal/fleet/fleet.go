@@ -19,6 +19,7 @@ package fleet
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -396,6 +397,34 @@ func (s CampaignSpec) Cells() []Cell {
 	return out
 }
 
+// CellForLabel resolves a cell label ("cloud/instance/regime/repN")
+// against the spec's matrix — the inverse of Cell.Label, used by
+// distributed workers that receive shard assignments as labels over
+// the wire. The repetition index is deliberately not bounded by
+// EffectiveRepetitions: an adaptive schedule addresses repetitions
+// beyond the fixed count, and their substreams are equally well
+// defined. Labels naming a (profile, regime) outside the spec are
+// errors, never guesses.
+func (s CampaignSpec) CellForLabel(label string) (Cell, error) {
+	for _, p := range s.Profiles {
+		for _, r := range s.EffectiveRegimes() {
+			prefix := p.Cloud + "/" + p.Instance + "/" + r.Name + "/rep"
+			if !strings.HasPrefix(label, prefix) {
+				continue
+			}
+			rep, err := strconv.Atoi(label[len(prefix):])
+			if err != nil || rep < 0 {
+				continue
+			}
+			c := Cell{Profile: p, Regime: r, Rep: rep}
+			if c.Label() == label {
+				return c, nil
+			}
+		}
+	}
+	return Cell{}, fmt.Errorf("fleet: label %q names no cell of this spec", label)
+}
+
 // CellResult is the outcome of one cell.
 type CellResult struct {
 	Cell   Cell
@@ -563,9 +592,86 @@ func Run(spec CampaignSpec) (CampaignResult, error) {
 		return runAdaptive(spec, stored), nil
 	}
 	cells := spec.Cells()
+	var restoreScratch workerScratch
+	ps := &progressState{total: len(cells)}
+	results := executeCells(spec, cells, stored, nil, &restoreScratch, ps)
+	return CampaignResult{Cells: results, Groups: groupResults(spec, results)}, nil
+}
+
+// RunCells executes exactly the given cells of the campaign — the
+// shard-scoped entry point distributed workers use (internal/shard):
+// a coordinator partitions the matrix into label sets and each worker
+// runs only its own. The cells need not form the spec's full matrix
+// and may address repetitions beyond the fixed count (adaptive shard
+// batches do). Everything else matches Run: per-cell substreams keyed
+// by label make the results bit-identical to the same cells of a
+// single-process run, the Sink restore gate applies, and cell errors
+// are isolated per cell. Results are returned in the given order.
+func RunCells(spec CampaignSpec, cells []Cell) ([]CellResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		if c.Rep < 0 {
+			return nil, fmt.Errorf("fleet: negative repetition in cell request")
+		}
+		label := c.Label()
+		if seen[label] {
+			return nil, fmt.Errorf("fleet: duplicate cell %s in request", label)
+		}
+		seen[label] = true
+	}
+	var stored map[string]StoredCell
+	if spec.Sink != nil {
+		var err error
+		if stored, err = spec.Sink.Completed(); err != nil {
+			return nil, fmt.Errorf("fleet: loading persisted cells: %w", err)
+		}
+	}
+	var restoreScratch workerScratch
+	ps := &progressState{total: len(cells)}
+	return executeCells(spec, cells, stored, nil, &restoreScratch, ps), nil
+}
+
+// Assemble rolls per-cell results into a CampaignResult — the final
+// aggregation step a distributed coordinator performs after gathering
+// shard results back into enumeration order. Assemble(spec,
+// result.Cells) reproduces result.Groups (minus adaptive precision,
+// which AdaptivePlanner.Result attaches).
+func Assemble(spec CampaignSpec, results []CellResult) CampaignResult {
+	return CampaignResult{Cells: results, Groups: groupResults(spec, results)}
+}
+
+// SummarizeStored computes the bandwidth summary a live run would have
+// produced for a stored or wire-transported series under the given
+// summarization mode. The points feed the summarizer in append order —
+// the order the live observer saw them — so the summary is
+// byte-identical to the originating run's in both exact and sketch
+// modes. This is how distributed clients (internal/shard) rebuild full
+// CellResults from series that crossed a process boundary.
+func SummarizeStored(mode SummarizeMode, series *trace.Series) stats.Summary {
+	var scratch workerScratch
+	return summarizeSeries(mode, series, &scratch)
+}
+
+// progressState is the shared done/total bookkeeping behind the
+// Progress hook; total is the fixed matrix size, or the number of
+// cells scheduled so far in an adaptive run.
+type progressState struct {
+	mu          sync.Mutex
+	done, total int
+}
+
+// executeCells is the shared execution core of Run, RunCells and the
+// adaptive scheduler: restore what the sink already holds, fan the
+// remainder across the worker pool, and return results in cell order.
+// scratches supplies the per-worker arenas (nil means size-to-fit);
+// restored cells advance ps.done without firing the Progress hook,
+// matching the established resume semantics.
+func executeCells(spec CampaignSpec, cells []Cell, stored map[string]StoredCell, scratches []workerScratch, restoreScratch *workerScratch, ps *progressState) []CellResult {
 	results := make([]CellResult, len(cells))
 	var pending []int
-	var restoreScratch workerScratch
 	for i, c := range cells {
 		// A stored cell is only restorable when its workload presence
 		// matches the spec: a cell persisted before a workload section
@@ -578,21 +684,22 @@ func Run(spec CampaignSpec) (CampaignResult, error) {
 			// same order the live observer saw them — so a restored
 			// cell's summary is byte-identical to a fresh run's in both
 			// exact and sketch modes.
-			results[i] = CellResult{Cell: c, Series: sc.Series, Summary: summarizeSeries(spec.Summarize, sc.Series, &restoreScratch), Workload: sc.Workload}
+			results[i] = CellResult{Cell: c, Series: sc.Series, Summary: summarizeSeries(spec.Summarize, sc.Series, restoreScratch), Workload: sc.Workload}
+			ps.done++
 			continue
 		}
 		pending = append(pending, i)
 	}
 
-	var mu sync.Mutex
-	done := len(cells) - len(pending)
 	// Each worker owns a scratch arena reused across the cells it
 	// runs. Scratch never carries state between cells — every cell's
 	// randomness comes from its own substream and every series is
 	// freshly built — so results stay bit-identical at any worker
 	// count (the determinism-vs-reuse contract, proven by the
 	// workers=1-vs-8 property tests).
-	scratches := make([]workerScratch, pool.NumWorkers(spec.Workers, len(pending)))
+	if scratches == nil {
+		scratches = make([]workerScratch, pool.NumWorkers(spec.Workers, len(pending)))
+	}
 	fresh, errs := pool.CollectWorker(len(pending), spec.Workers, func(w, j int) (CellResult, error) {
 		res := runCell(spec, cells[pending[j]], &scratches[w])
 		if spec.Sink != nil && res.Err == nil {
@@ -604,14 +711,14 @@ func Run(spec CampaignSpec) (CampaignResult, error) {
 			}
 		}
 		if spec.Progress != nil {
-			mu.Lock()
-			done++
-			ev := Progress{Done: done, Total: len(cells), Result: res}
+			ps.mu.Lock()
+			ps.done++
+			ev := Progress{Done: ps.done, Total: ps.total, Result: res}
 			// The deferred unlock keeps a panicking hook from
 			// deadlocking the other workers; the panic itself is
 			// recovered by the pool and folded into the cell below.
 			func() {
-				defer mu.Unlock()
+				defer ps.mu.Unlock()
 				spec.Progress(ev)
 			}()
 		}
@@ -626,8 +733,7 @@ func Run(spec CampaignSpec) (CampaignResult, error) {
 			results[i] = CellResult{Cell: cells[i], Err: errs[j]}
 		}
 	}
-
-	return CampaignResult{Cells: results, Groups: groupResults(spec, results)}, nil
+	return results
 }
 
 // workerScratch is one fleet worker's reusable arena: the campaign

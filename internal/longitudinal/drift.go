@@ -49,6 +49,12 @@ func Load(st *store.Store, runIDs ...string) ([]RunData, error) {
 		if err != nil {
 			return nil, err
 		}
+		// A shard-stamped run is one worker's fragment of a distributed
+		// campaign: comparing it longitudinally would report drift that
+		// is really just missing cells.
+		if m.Shard != nil {
+			return nil, fmt.Errorf("longitudinal: run %s is shard %d/%d of a distributed campaign — merge the shards before drift analysis", id, m.Shard.Index, m.Shard.Count)
+		}
 		cells, err := st.Cells(id)
 		if err != nil {
 			return nil, err

@@ -354,6 +354,29 @@ func TestAnalyzeRejectsIncomparableRuns(t *testing.T) {
 	}
 }
 
+// TestLoadRefusesShardStampedRun: a shard store is one worker's
+// fragment of a distributed campaign; drifting over it would report
+// missing cells as drift. Load must refuse it and point at the merge.
+func TestLoadRefusesShardStampedRun(t *testing.T) {
+	spec := testSpec(t, 7, 1)
+	st := testutil.TempStore(t)
+	run, err := st.CreateWithMeta("frag", spec, store.RunMeta{
+		CreatedUnix: 1,
+		Shard:       &store.ShardStamp{Index: 0, Count: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Close()
+	_, err = longitudinal.Load(st, "frag")
+	if err == nil {
+		t.Fatal("Load accepted a shard-stamped run")
+	}
+	if !strings.Contains(err.Error(), "merge the shards") {
+		t.Errorf("refusal should point at the merge, got: %v", err)
+	}
+}
+
 // TestAnalyzeNamesScenarioMismatch checks the scenario gate: two runs
 // whose matrices differ because their scenarios differ get an error
 // that names the scenarios, not just opaque hashes.

@@ -1,0 +1,213 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"cloudvar/internal/fleet"
+	"cloudvar/internal/store"
+)
+
+// Campaign configures one distributed campaign run.
+type Campaign struct {
+	// Spec is the campaign to execute.
+	Spec fleet.CampaignSpec
+	// SpecDoc is the canonical experiment-spec document, forwarded to
+	// remote workers so they can recompile the identical spec; may be
+	// empty when every worker is process-local.
+	SpecDoc []byte
+	// RunID names the run in every participating store.
+	RunID string
+	// Meta is the shared creation metadata (fingerprints, creation
+	// time, spec document, encoding). The coordinator fingerprints
+	// once; handing every worker the same bytes is what makes the
+	// shard manifests mergeable — and the merged manifest
+	// byte-identical to a single-process run's.
+	Meta store.RunMeta
+	// Workers execute the shards; the shard count is len(Workers).
+	Workers []Worker
+	// Attempts bounds how many workers a shard is tried on before the
+	// campaign fails; 0 means every worker once. Retries visit workers
+	// in ring order starting at the shard's own index, and because
+	// cell substreams are keyed by label, a retried shard reproduces
+	// the dead worker's results byte for byte.
+	Attempts int
+}
+
+// Run executes the campaign across the workers and returns the
+// assembled result plus every worker's persisted shard store (ready
+// for store.MergeShards). The result is bit-identical to a
+// single-process fleet.Run of the same spec: assignment is a pure
+// function of (SpecKey, worker count), workers execute explicit cell
+// lists on label-keyed substreams, and adaptive batch barriers
+// synchronize here, so the stopping schedule matches exactly.
+func Run(c Campaign) (fleet.CampaignResult, []store.ShardData, error) {
+	if len(c.Workers) == 0 {
+		return fleet.CampaignResult{}, nil, fmt.Errorf("shard: campaign has no workers")
+	}
+	spec := c.Spec
+	if err := spec.Validate(); err != nil {
+		return fleet.CampaignResult{}, nil, err
+	}
+	specKey, err := store.SpecKey(spec)
+	if err != nil {
+		return fleet.CampaignResult{}, nil, err
+	}
+	attempts := c.Attempts
+	if attempts <= 0 || attempts > len(c.Workers) {
+		attempts = len(c.Workers)
+	}
+	rc := RunContext{Spec: spec, SpecKey: specKey, SpecDoc: c.SpecDoc, RunID: c.RunID, Meta: c.Meta}
+	for i, w := range c.Workers {
+		if err := w.Begin(rc, i, len(c.Workers)); err != nil {
+			return fleet.CampaignResult{}, nil, fmt.Errorf("shard: worker %d: %w", i, err)
+		}
+	}
+	defer func() {
+		for _, w := range c.Workers {
+			w.Close()
+		}
+	}()
+
+	// dead marks workers that failed an Execute. Their cells were
+	// re-executed elsewhere, so an unreachable store at collection time
+	// is survivable for them — and only for them: losing a healthy
+	// worker's shard would silently drop cells from the merge.
+	dead := &deadSet{members: make([]bool, len(c.Workers))}
+
+	var result fleet.CampaignResult
+	if spec.Stopping.IsZero() {
+		results, err := runBatch(c.Workers, specKey, attempts, dead, spec.Cells())
+		if err != nil {
+			return fleet.CampaignResult{}, nil, err
+		}
+		result = fleet.Assemble(spec, results)
+	} else {
+		// The adaptive schedule runs here, never on workers: each
+		// planner batch fans out by owner, and Observe at this barrier
+		// feeds trackers in repetition order — the same schedule a
+		// single process computes.
+		planner, err := fleet.NewAdaptivePlanner(spec)
+		if err != nil {
+			return fleet.CampaignResult{}, nil, err
+		}
+		for {
+			batch := planner.NextBatch()
+			if len(batch) == 0 {
+				break
+			}
+			results, err := runBatch(c.Workers, specKey, attempts, dead, batch)
+			if err != nil {
+				return fleet.CampaignResult{}, nil, err
+			}
+			if err := planner.Observe(results); err != nil {
+				return fleet.CampaignResult{}, nil, err
+			}
+		}
+		result = planner.Result()
+	}
+
+	var shards []store.ShardData
+	for i, w := range c.Workers {
+		d, ok, err := w.Shard()
+		if err != nil {
+			if dead.is(i) {
+				// The worker died mid-campaign and its store is out of
+				// reach; whatever it had persisted was re-executed on
+				// another worker, so the merge stays complete.
+				continue
+			}
+			return fleet.CampaignResult{}, nil, fmt.Errorf("shard: collecting worker %d store: %w", i, err)
+		}
+		if ok {
+			shards = append(shards, d)
+		}
+	}
+	return result, shards, nil
+}
+
+// deadSet tracks which workers have failed an Execute; runBatch's
+// goroutines mark it concurrently.
+type deadSet struct {
+	mu      sync.Mutex
+	members []bool
+}
+
+func (d *deadSet) mark(i int) {
+	d.mu.Lock()
+	d.members[i] = true
+	d.mu.Unlock()
+}
+
+func (d *deadSet) is(i int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.members[i]
+}
+
+// runBatch partitions one batch of cells by owner, executes every
+// part on its preferred worker (falling through the worker ring on
+// transport failure), and scatters the results back into batch order.
+func runBatch(workers []Worker, specKey string, attempts int, dead *deadSet, cells []fleet.Cell) ([]fleet.CellResult, error) {
+	n := len(workers)
+	parts := make([][]fleet.Cell, n)
+	slot := make(map[string]int, len(cells))
+	for i, cell := range cells {
+		label := cell.Label()
+		slot[label] = i
+		s := Owner(specKey, label, n)
+		parts[s] = append(parts[s], cell)
+	}
+
+	out := make([][]fleet.CellResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		if len(parts[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var lastErr error
+			for a := 0; a < attempts; a++ {
+				w := (s + a) % n
+				res, err := workers[w].Execute(parts[s])
+				if err == nil {
+					out[s] = res
+					return
+				}
+				// Worker-level failure: the cells re-execute on the
+				// next worker from their original substreams, so the
+				// recovery is deterministic.
+				dead.mark(w)
+				lastErr = err
+			}
+			errs[s] = fmt.Errorf("shard: shard %d failed on all %d workers tried: %w", s, attempts, lastErr)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	results := make([]fleet.CellResult, len(cells))
+	for s, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		if len(out[s]) != len(part) {
+			return nil, fmt.Errorf("shard: shard %d returned %d results for %d cells", s, len(out[s]), len(part))
+		}
+		for j, res := range out[s] {
+			want := part[j].Label()
+			if res.Cell.Label() != want {
+				return nil, fmt.Errorf("shard: shard %d result %d is cell %s, want %s", s, j, res.Cell.Label(), want)
+			}
+			results[slot[want]] = res
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,393 @@
+package shard
+
+// HTTP transport: a campaignd worker process exposes its shard
+// execution over a small JSON API, and HTTPWorker is the
+// coordinator-side client. The wire format carries cell labels out
+// and full series back; JSON round-trips float64 exactly (shortest
+// representation), and the client rebuilds summaries with
+// fleet.SummarizeStored — the same append-order replay the store's
+// resume path uses — so a cell that crossed the wire is byte-identical
+// to one executed locally.
+//
+//	POST /v1/execute  — run cells of a campaign, creating the
+//	                    worker's shard-stamped store run on first use
+//	GET  /v1/shard    — the worker's persisted shard (store.ShardData)
+//	POST /v1/close    — release a campaign's store handle
+//	GET  /healthz     — liveness
+//
+// The worker recompiles the campaign from the canonical expspec
+// document. Compile is pure, so coordinator and worker hold equal
+// specs; the worker still re-verifies the coordinator's SpecKey
+// against its own compilation and refuses on mismatch — a version
+// skew between binaries must fail loudly, not corrupt a store.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"cloudvar/internal/core"
+	"cloudvar/internal/expspec"
+	"cloudvar/internal/fleet"
+	"cloudvar/internal/store"
+	"cloudvar/internal/trace"
+	"cloudvar/internal/workload"
+)
+
+// executeRequest is the body of POST /v1/execute.
+type executeRequest struct {
+	RunID   string          `json:"run_id"`
+	SpecKey string          `json:"spec_key"`
+	SpecDoc json.RawMessage `json:"spec_doc"`
+	Index   int             `json:"index"`
+	Count   int             `json:"count"`
+	Meta    executeMeta     `json:"meta"`
+	Cells   []string        `json:"cells"`
+}
+
+// executeMeta is store.RunMeta in wire form (RunMeta's []byte field
+// would base64-encode; the document is JSON and ships as such).
+type executeMeta struct {
+	Fingerprints       map[string]core.Fingerprint `json:"fingerprints,omitempty"`
+	CreatedUnix        int64                       `json:"created_unix"`
+	ExperimentSpec     json.RawMessage             `json:"experiment_spec,omitempty"`
+	ExperimentSpecHash string                      `json:"experiment_spec_hash,omitempty"`
+	Encoding           string                      `json:"encoding,omitempty"`
+}
+
+func metaToWire(m store.RunMeta) executeMeta {
+	return executeMeta{
+		Fingerprints:       m.Fingerprints,
+		CreatedUnix:        m.CreatedUnix,
+		ExperimentSpec:     json.RawMessage(m.ExperimentSpec),
+		ExperimentSpecHash: m.ExperimentSpecHash,
+		Encoding:           m.Encoding,
+	}
+}
+
+func metaFromWire(m executeMeta) store.RunMeta {
+	return store.RunMeta{
+		Fingerprints:       m.Fingerprints,
+		CreatedUnix:        m.CreatedUnix,
+		ExperimentSpec:     []byte(m.ExperimentSpec),
+		ExperimentSpecHash: m.ExperimentSpecHash,
+		Encoding:           m.Encoding,
+	}
+}
+
+// executeResponse is the body of a successful POST /v1/execute.
+type executeResponse struct {
+	Results []wireResult `json:"results"`
+}
+
+// wireResult is one cell's outcome in transit. Per-cell errors travel
+// as strings — they are campaign facts, not transport failures.
+type wireResult struct {
+	Label    string                `json:"label"`
+	Series   *trace.Series         `json:"series,omitempty"`
+	Workload *workload.CellMetrics `json:"workload,omitempty"`
+	Error    string                `json:"error,omitempty"`
+}
+
+// WorkerServer is the worker-process side of the HTTP transport: it
+// compiles incoming campaigns, executes assigned cells into
+// shard-stamped stores under Dir, and serves the resulting shard data
+// back to the coordinator.
+type WorkerServer struct {
+	dir string
+
+	mu   sync.Mutex
+	runs map[string]*workerCampaign
+}
+
+type workerCampaign struct {
+	spec fleet.CampaignSpec
+	st   *store.Store
+	run  *store.Run
+}
+
+// NewWorkerServer returns a worker serving shard executions that
+// persist under dir.
+func NewWorkerServer(dir string) *WorkerServer {
+	return &WorkerServer{dir: dir, runs: make(map[string]*workerCampaign)}
+}
+
+// Handler returns the worker's HTTP API.
+func (s *WorkerServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/execute", s.handleExecute)
+	mux.HandleFunc("GET /v1/shard", s.handleShard)
+	mux.HandleFunc("POST /v1/close", s.handleClose)
+	return mux
+}
+
+// httpError writes a plain-text error with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	http.Error(w, err.Error(), status)
+}
+
+// campaignFor returns (creating on first use) the worker's state for
+// one run: the compiled spec and the shard-stamped store run.
+func (s *WorkerServer) campaignFor(req executeRequest) (*workerCampaign, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if wc, ok := s.runs[req.RunID]; ok {
+		return wc, nil
+	}
+	doc, err := expspec.Decode(req.SpecDoc)
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker decoding spec: %w", err)
+	}
+	plan, err := expspec.Compile(doc)
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker compiling spec: %w", err)
+	}
+	if plan.Campaign == nil {
+		return nil, fmt.Errorf("shard: spec document has no campaign section")
+	}
+	spec := plan.Campaign.Spec
+	key, err := store.SpecKey(spec)
+	if err != nil {
+		return nil, err
+	}
+	if req.SpecKey != "" && key != req.SpecKey {
+		return nil, fmt.Errorf("shard: coordinator sent spec key %.12s but the document compiles to %.12s — mismatched binaries must not share a campaign", req.SpecKey, key)
+	}
+	st, err := store.Open(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	meta := metaFromWire(req.Meta)
+	meta.Shard = &store.ShardStamp{Index: req.Index, Count: req.Count}
+	run, err := st.CreateWithMeta(req.RunID, spec, meta)
+	if err != nil {
+		return nil, err
+	}
+	wc := &workerCampaign{spec: spec, st: st, run: run}
+	s.runs[req.RunID] = wc
+	return wc, nil
+}
+
+func (s *WorkerServer) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req executeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("shard: decoding execute request: %w", err))
+		return
+	}
+	wc, err := s.campaignFor(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := wc.spec
+	spec.Sink = wc.run
+	cells, err := resolveCells(spec, req.Cells)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	results, err := fleet.RunCells(spec, cells)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := executeResponse{Results: make([]wireResult, len(results))}
+	for i, res := range results {
+		wr := wireResult{Label: res.Cell.Label()}
+		if res.Err != nil {
+			wr.Error = res.Err.Error()
+		} else {
+			wr.Series = res.Series
+			wr.Workload = res.Workload
+		}
+		resp.Results[i] = wr
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *WorkerServer) handleShard(w http.ResponseWriter, r *http.Request) {
+	runID := r.URL.Query().Get("run")
+	s.mu.Lock()
+	wc, ok := s.runs[runID]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("shard: worker holds no run %q", runID))
+		return
+	}
+	d, err := store.LoadShard(wc.st, runID)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	b, err := d.Encode()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func (s *WorkerServer) handleClose(w http.ResponseWriter, r *http.Request) {
+	runID := r.URL.Query().Get("run")
+	s.mu.Lock()
+	wc, ok := s.runs[runID]
+	delete(s.runs, runID)
+	s.mu.Unlock()
+	if ok {
+		wc.run.Close()
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// HTTPWorker drives one remote worker process. The coordinator
+// retries a shard on the next worker when a call fails at the
+// transport level (connection refused, timeout via Client.Timeout,
+// non-2xx status) — the dead-worker reassignment path.
+type HTTPWorker struct {
+	// URL is the worker's base URL (e.g. "http://127.0.0.1:7071").
+	URL string
+	// Client issues the requests; nil means http.DefaultClient. Set
+	// Client.Timeout to bound how long a dead worker can stall a
+	// shard before reassignment.
+	Client *http.Client
+
+	rc           RunContext
+	index, count int
+}
+
+func (w *HTTPWorker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+// Begin implements Worker. The campaign must carry its canonical spec
+// document — that is what crosses the wire.
+func (w *HTTPWorker) Begin(rc RunContext, index, count int) error {
+	if len(rc.SpecDoc) == 0 {
+		return fmt.Errorf("shard: HTTP worker %s needs the campaign's spec document", w.URL)
+	}
+	w.rc = rc
+	w.index, w.count = index, count
+	return nil
+}
+
+// Execute implements Worker: ship labels out, rebuild full results
+// from the returned series.
+func (w *HTTPWorker) Execute(cells []fleet.Cell) ([]fleet.CellResult, error) {
+	labels := make([]string, len(cells))
+	for i, c := range cells {
+		labels[i] = c.Label()
+	}
+	body, err := json.Marshal(executeRequest{
+		RunID:   w.rc.RunID,
+		SpecKey: w.rc.SpecKey,
+		SpecDoc: json.RawMessage(w.rc.SpecDoc),
+		Index:   w.index,
+		Count:   w.count,
+		Meta:    metaToWire(w.rc.Meta),
+		Cells:   labels,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard: encoding execute request: %w", err)
+	}
+	var resp executeResponse
+	if err := w.post("/v1/execute", body, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(cells) {
+		return nil, fmt.Errorf("shard: worker %s returned %d results for %d cells", w.URL, len(resp.Results), len(cells))
+	}
+	results := make([]fleet.CellResult, len(cells))
+	for i, wr := range resp.Results {
+		if wr.Label != labels[i] {
+			return nil, fmt.Errorf("shard: worker %s result %d is cell %s, want %s", w.URL, i, wr.Label, labels[i])
+		}
+		res := fleet.CellResult{Cell: cells[i]}
+		if wr.Error != "" {
+			res.Err = errors.New(wr.Error)
+		} else if wr.Series == nil {
+			return nil, fmt.Errorf("shard: worker %s returned cell %s with neither series nor error", w.URL, wr.Label)
+		} else {
+			res.Series = wr.Series
+			res.Summary = fleet.SummarizeStored(w.rc.Spec.Summarize, wr.Series)
+			res.Workload = wr.Workload
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// Shard implements Worker: fetch the worker's persisted shard store.
+func (w *HTTPWorker) Shard() (store.ShardData, bool, error) {
+	resp, err := w.client().Get(w.URL + "/v1/shard?run=" + w.rc.RunID)
+	if err != nil {
+		return store.ShardData{}, false, fmt.Errorf("shard: fetching shard from %s: %w", w.URL, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return store.ShardData{}, false, fmt.Errorf("shard: fetching shard from %s: %w", w.URL, err)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		// The worker never executed anything for this run (every one
+		// of its shards was reassigned before it started, or it held
+		// no cells): nothing to merge.
+		return store.ShardData{}, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return store.ShardData{}, false, fmt.Errorf("shard: worker %s: %s: %s", w.URL, resp.Status, bytes.TrimSpace(b))
+	}
+	d, err := store.DecodeShardData(b)
+	if err != nil {
+		return store.ShardData{}, false, err
+	}
+	return d, true, nil
+}
+
+// Close implements Worker: release the remote store handle. A dead
+// worker's close failing is not an error worth failing a campaign
+// over — the merge already has the data.
+func (w *HTTPWorker) Close() error {
+	if w.rc.RunID == "" {
+		return nil
+	}
+	resp, err := w.client().Post(w.URL+"/v1/close?run="+w.rc.RunID, "text/plain", nil)
+	if err != nil {
+		return nil
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// post issues one JSON request/response round trip. Any failure —
+// transport, timeout, non-2xx — is a worker-level error that triggers
+// reassignment at the coordinator.
+func (w *HTTPWorker) post(path string, body []byte, out any) error {
+	resp, err := w.client().Post(w.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("shard: calling worker %s: %w", w.URL, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("shard: reading worker %s response: %w", w.URL, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard: worker %s: %s: %s", w.URL, resp.Status, bytes.TrimSpace(b))
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		return fmt.Errorf("shard: decoding worker %s response: %w", w.URL, err)
+	}
+	return nil
+}

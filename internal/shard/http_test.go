@@ -1,0 +1,203 @@
+package shard_test
+
+// Loopback test of the HTTP transport: real worker servers behind
+// httptest, real HTTPWorker clients, and the same byte-identity bar
+// as the in-process tests — a cell whose series crossed the wire must
+// be indistinguishable from one executed locally.
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cloudvar/internal/expspec"
+	"cloudvar/internal/shard"
+	"cloudvar/internal/store"
+	"cloudvar/internal/testutil"
+)
+
+const loopbackDoc = `
+schemaVersion: 1
+name: loopback
+campaign:
+  profiles:
+    - cloud: ec2
+      instance: c5.xlarge
+  regimes:
+    - full-speed
+    - 10-30
+  repetitions: 2
+  hours: 0.02
+  seed: 13
+`
+
+// compileLoopbackDoc compiles the shared test document, returning the
+// plan (canonical bytes + executable spec).
+func compileLoopbackDoc(t *testing.T, doc string) expspec.Plan {
+	t.Helper()
+	d, err := expspec.Decode([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := expspec.Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Campaign == nil {
+		t.Fatal("document compiled without a campaign")
+	}
+	return plan
+}
+
+func TestHTTPWorkersByteIdentity(t *testing.T) {
+	plan := compileLoopbackDoc(t, loopbackDoc)
+	spec := plan.Campaign.Spec
+	meta := sharedMeta(t, spec, "")
+	meta.ExperimentSpec = plan.Bytes
+	meta.ExperimentSpecHash = plan.Hash
+	wantRes, wantStore := singleRun(t, spec, meta)
+	want := testutil.EncodeResult(t, wantRes)
+
+	srv1 := httptest.NewServer(shard.NewWorkerServer(t.TempDir()).Handler())
+	defer srv1.Close()
+	srv2 := httptest.NewServer(shard.NewWorkerServer(t.TempDir()).Handler())
+	defer srv2.Close()
+	workers := []shard.Worker{
+		&shard.HTTPWorker{URL: srv1.URL},
+		&shard.HTTPWorker{URL: srv2.URL},
+	}
+
+	gotRes, shards, err := shard.Run(shard.Campaign{
+		Spec:    spec,
+		SpecDoc: plan.Bytes,
+		RunID:   "r1",
+		Meta:    meta,
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gotRes.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := testutil.EncodeResult(t, gotRes); got != want {
+		t.Error("campaign result differs from single-process run across HTTP workers")
+	}
+	if len(shards) != 2 {
+		t.Fatalf("collected %d shard stores, want 2", len(shards))
+	}
+	dst := testutil.TempStore(t)
+	merged, err := store.MergeShards(dst, "r1", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	if err := merged.RecordPrecision(gotRes.Groups); err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, dst, wantStore, true, "cells.jsonl")
+}
+
+// TestHTTPWorkerReassignment kills one of the two worker processes
+// after it has executed (and persisted) part of its shard; the
+// coordinator must finish the campaign on the survivor and the merge
+// must still be byte-identical to a single-process run.
+func TestHTTPWorkerReassignment(t *testing.T) {
+	plan := compileLoopbackDoc(t, loopbackDoc)
+	spec := plan.Campaign.Spec
+	meta := sharedMeta(t, spec, "")
+	wantRes, wantStore := singleRun(t, spec, meta)
+	want := testutil.EncodeResult(t, wantRes)
+
+	srv1 := httptest.NewServer(shard.NewWorkerServer(t.TempDir()).Handler())
+	defer srv1.Close()
+	srv2 := httptest.NewServer(shard.NewWorkerServer(t.TempDir()).Handler())
+
+	// Worker 2 dies before the campaign starts — connection refused is
+	// the transport failure the retry ring exists for. (Partial-store
+	// recovery over HTTP is covered by the in-process flakyWorker test;
+	// a closed httptest server cannot serve its shard back.)
+	srv2.Close()
+
+	gotRes, shards, err := shard.Run(shard.Campaign{
+		Spec:    spec,
+		SpecDoc: plan.Bytes,
+		RunID:   "r1",
+		Meta:    meta,
+		Workers: []shard.Worker{
+			&shard.HTTPWorker{URL: srv1.URL},
+			&shard.HTTPWorker{URL: srv2.URL},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gotRes.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := testutil.EncodeResult(t, gotRes); got != want {
+		t.Error("campaign result differs from single-process run after losing an HTTP worker")
+	}
+	// Only the survivor has a store; its shard carries every cell.
+	if len(shards) != 1 {
+		t.Fatalf("collected %d shard stores, want 1 (the survivor)", len(shards))
+	}
+	dst := testutil.TempStore(t)
+	merged, err := store.MergeShards(dst, "r1", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	if err := merged.RecordPrecision(gotRes.Groups); err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, dst, wantStore, true, "cells.jsonl")
+}
+
+// TestHTTPWorkerRefusesSpecKeyMismatch pins the version-skew guard: a
+// worker whose compilation of the document disagrees with the
+// coordinator's spec key must refuse to execute, never silently write
+// a store under the wrong identity.
+func TestHTTPWorkerRefusesSpecKeyMismatch(t *testing.T) {
+	plan := compileLoopbackDoc(t, loopbackDoc)
+	// The coordinator runs a different campaign (another seed) but
+	// ships the original document — exactly what mismatched binaries
+	// or a stale document cache would produce.
+	tampered := compileLoopbackDoc(t, strings.Replace(loopbackDoc, "seed: 13", "seed: 14", 1))
+	spec := tampered.Campaign.Spec
+	meta := sharedMeta(t, spec, "")
+
+	srv := httptest.NewServer(shard.NewWorkerServer(t.TempDir()).Handler())
+	defer srv.Close()
+
+	_, _, err := shard.Run(shard.Campaign{
+		Spec:    spec,
+		SpecDoc: plan.Bytes, // compiles to seed 13, not 14
+		RunID:   "r1",
+		Meta:    meta,
+		Workers: []shard.Worker{&shard.HTTPWorker{URL: srv.URL}},
+	})
+	if err == nil {
+		t.Fatal("worker executed a campaign whose document does not compile to the coordinator's spec key")
+	}
+	if !strings.Contains(err.Error(), "spec key") {
+		t.Errorf("want a spec-key refusal, got: %v", err)
+	}
+}
+
+// TestHTTPWorkerNeedsSpecDoc: an HTTP worker cannot join a campaign
+// built in code with no canonical document.
+func TestHTTPWorkerNeedsSpecDoc(t *testing.T) {
+	spec := testutil.EC2Spec(t, 7, 0)
+	srv := httptest.NewServer(shard.NewWorkerServer(t.TempDir()).Handler())
+	defer srv.Close()
+	_, _, err := shard.Run(shard.Campaign{
+		Spec:    spec,
+		RunID:   "r1",
+		Meta:    store.RunMeta{CreatedUnix: 1},
+		Workers: []shard.Worker{&shard.HTTPWorker{URL: srv.URL}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "spec document") {
+		t.Fatalf("want a missing-spec-document error, got: %v", err)
+	}
+}

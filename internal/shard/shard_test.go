@@ -1,0 +1,246 @@
+package shard_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cloudvar/internal/shard"
+	"cloudvar/internal/store"
+	"cloudvar/internal/testutil"
+)
+
+// TestOwnerIsPureAndStable pins the assignment function: same inputs
+// → same shard, always in range, and sensitive to every argument.
+func TestOwnerIsPureAndStable(t *testing.T) {
+	const key = "a0b1c2"
+	labels := []string{
+		"ec2/c5.xlarge/full-speed/rep0",
+		"ec2/c5.xlarge/full-speed/rep1",
+		"gcp/n1-standard-4/token-bucket/rep0",
+	}
+	for _, label := range labels {
+		for _, n := range []int{1, 2, 3, 8, 64} {
+			s := shard.Owner(key, label, n)
+			if s < 0 || s >= n {
+				t.Fatalf("Owner(%q, %d) = %d out of range", label, n, s)
+			}
+			if again := shard.Owner(key, label, n); again != s {
+				t.Fatalf("Owner(%q, %d) not deterministic: %d then %d", label, n, s, again)
+			}
+		}
+		if shard.Owner(key, label, 1) != 0 {
+			t.Fatalf("Owner with one shard must be 0")
+		}
+	}
+	// Different spec keys must be able to produce different partitions
+	// — liveness-independent, but campaign-dependent.
+	varies := false
+	for _, label := range labels {
+		if shard.Owner(key, label, 64) != shard.Owner("other-key", label, 64) {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Error("Owner ignores the spec key")
+	}
+}
+
+// TestAssignPartitionsAllCellsOnce checks Assign against the real
+// cell matrix: every label lands in exactly one shard, in enumeration
+// order, in the shard Owner names.
+func TestAssignPartitionsAllCellsOnce(t *testing.T) {
+	spec := testutil.TwoCloudSpec(t, 41, 0)
+	specKey := testutil.SpecKeys(t, spec)[0]
+	var labels []string
+	for _, c := range spec.Cells() {
+		labels = append(labels, c.Label())
+	}
+	for _, n := range []int{1, 2, 5, 17} {
+		a, err := shard.Assign(specKey, labels, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("Assign produced an invalid set at %d shards: %v", n, err)
+		}
+		var total int
+		pos := make(map[string]int, len(labels))
+		for i, label := range labels {
+			pos[label] = i
+		}
+		for s, part := range a.Cells {
+			total += len(part)
+			last := -1
+			for _, label := range part {
+				if pos[label] < last {
+					t.Errorf("shard %d labels out of enumeration order", s)
+				}
+				last = pos[label]
+			}
+		}
+		if total != len(labels) {
+			t.Errorf("%d shards hold %d labels, want %d", n, total, len(labels))
+		}
+	}
+}
+
+func TestAssignRejectsBadInput(t *testing.T) {
+	if _, err := shard.Assign("k", []string{"a"}, 0); err == nil {
+		t.Error("Assign accepted zero shards")
+	}
+	if _, err := shard.Assign("", []string{"a"}, 2); err == nil {
+		t.Error("Assign accepted an empty spec key")
+	}
+	if _, err := shard.Assign("k", []string{"a", "a"}, 2); err == nil {
+		t.Error("Assign accepted a duplicate label")
+	}
+	if _, err := shard.Assign("k", []string{""}, 2); err == nil {
+		t.Error("Assign accepted an empty label")
+	}
+}
+
+// TestDecodeAssignmentsRefusesRemappedCell is the anti-tamper check:
+// an assignment set that moves a cell off its Owner shard must not
+// decode, or a corrupt coordinator could silently re-map substreams.
+func TestDecodeAssignmentsRefusesRemappedCell(t *testing.T) {
+	a, err := shard.Assign("deadbeef", []string{"x/rep0", "y/rep0", "z/rep0"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.DecodeAssignments(b); err != nil {
+		t.Fatalf("round trip rejected: %v", err)
+	}
+	// Swap the two shards' cell lists: same labels, wrong owners.
+	a.Cells[0], a.Cells[1] = a.Cells[1], a.Cells[0]
+	swapped, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.DecodeAssignments(swapped); err == nil {
+		t.Error("decoder accepted a partition that re-maps cells across shards")
+	} else if !strings.Contains(err.Error(), "Owner assigns") {
+		t.Errorf("want an owner-mismatch refusal, got: %v", err)
+	}
+}
+
+// assignSeeds are the fuzz seeds, shared between FuzzDecodeAssignments
+// and the committed-corpus check.
+func assignSeeds(t testing.TB) map[string][]byte {
+	t.Helper()
+	valid, err := shard.Assign("a0b1c2", []string{"x/rep0", "y/rep0", "z/rep0", "w/rep1"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validBytes, err := valid.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]byte{
+		"seed-valid":        validBytes,
+		"seed-empty":        []byte(``),
+		"seed-not-json":     []byte(`not json`),
+		"seed-wrong-shape":  []byte(`{"spec_key":"k","shards":"two","cells":[]}`),
+		"seed-zero-shards":  []byte(`{"spec_key":"k","shards":0,"cells":[]}`),
+		"seed-no-key":       []byte(`{"shards":1,"cells":[["a"]]}`),
+		"seed-short-cells":  []byte(`{"spec_key":"k","shards":3,"cells":[["a"]]}`),
+		"seed-wrong-owner":  []byte(`{"spec_key":"k","shards":2,"cells":[[],["x/rep0","y/rep0","z/rep0"]]}`),
+		"seed-dup-label":    []byte(`{"spec_key":"k","shards":1,"cells":[["a","a"]]}`),
+		"seed-empty-label":  []byte(`{"spec_key":"k","shards":1,"cells":[[""]]}`),
+		"seed-null-cells":   []byte(`{"spec_key":"k","shards":1,"cells":null}`),
+		"seed-deep-nesting": []byte(`{"spec_key":"k","shards":1,"cells":[[{"a":1}]]}`),
+	}
+}
+
+// FuzzDecodeAssignments hammers the transport decoder: it must never
+// panic, and anything it accepts must validate and survive an
+// encode/decode round trip unchanged (idempotent recovery).
+func FuzzDecodeAssignments(f *testing.F) {
+	for _, data := range assignSeeds(f) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := shard.DecodeAssignments(data)
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid assignment set: %v", err)
+		}
+		b, err := a.Encode()
+		if err != nil {
+			t.Fatalf("accepted set does not re-encode: %v", err)
+		}
+		again, err := shard.DecodeAssignments(b)
+		if err != nil {
+			t.Fatalf("re-encoded set does not decode: %v", err)
+		}
+		b2, err := again.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(b2) {
+			t.Fatalf("encode∘decode is not a fixed point:\n first %s\nsecond %s", b, b2)
+		}
+	})
+}
+
+var updateCorpus = flag.Bool("update", false, "rewrite the committed fuzz seed corpus under testdata/fuzz from the in-code seeds")
+
+// TestAssignSeedCorpusCommitted keeps the committed seed corpus
+// (testdata/fuzz/FuzzDecodeAssignments, which `go test -fuzz` picks up
+// alongside the f.Add seeds) in lockstep with the in-code seeds. Run
+// with -update to regenerate the files.
+func TestAssignSeedCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeAssignments")
+	for name, data := range assignSeeds(t) {
+		want := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		path := filepath.Join(dir, name)
+		if *updateCorpus {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("seed %s is not committed (run with -update): %v", name, err)
+		}
+		if string(got) != want {
+			t.Errorf("committed seed %s diverged from the in-code seed (run with -update)", name)
+		}
+	}
+}
+
+// TestInProcWorkerStoreless covers the Dir=="" mode: pure compute, no
+// shard store to collect.
+func TestInProcWorkerStoreless(t *testing.T) {
+	spec := testutil.EC2Spec(t, 7, 0)
+	specKey := testutil.SpecKeys(t, spec)[0]
+	w := &shard.InProcWorker{}
+	rc := shard.RunContext{Spec: spec, SpecKey: specKey, RunID: "r1", Meta: store.RunMeta{CreatedUnix: 1}}
+	if err := w.Begin(rc, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	res, err := w.Execute(spec.Cells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(spec.Cells()) {
+		t.Fatalf("got %d results for %d cells", len(res), len(spec.Cells()))
+	}
+	if _, ok, err := w.Shard(); err != nil || ok {
+		t.Fatalf("storeless worker reported a shard store (ok=%v, err=%v)", ok, err)
+	}
+}

@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"fmt"
+
+	"cloudvar/internal/fleet"
+	"cloudvar/internal/store"
+)
+
+// RunContext is everything a worker needs to participate in one
+// distributed campaign. The coordinator builds it once — including
+// the shared creation metadata (fingerprints, creation time, spec
+// document) — and hands the same context to every worker, which is
+// what makes the per-shard manifests byte-for-byte mergeable.
+type RunContext struct {
+	// Spec is the validated campaign. Process-local workers use it
+	// directly; remote workers recompile SpecDoc and must get an
+	// equal spec (expspec.Compile is pure).
+	Spec fleet.CampaignSpec
+	// SpecKey is the campaign's content address (store.SpecKey(Spec)).
+	SpecKey string
+	// SpecDoc is the canonical experiment-spec document the campaign
+	// was compiled from; empty for campaigns built in code, in which
+	// case only process-local workers can execute them.
+	SpecDoc []byte
+	// RunID names the run in every participating store.
+	RunID string
+	// Meta is the shared creation metadata. Meta.Shard is ignored —
+	// each worker stamps its own index.
+	Meta store.RunMeta
+}
+
+// Worker executes slices of a campaign. Implementations: InProcWorker
+// (same process, for tests and single-host fan-out) and HTTPWorker (a
+// campaignd worker process reached over loopback or LAN).
+//
+// Execute's error return means the worker itself failed (process
+// death, transport failure) and the coordinator should retry the
+// cells elsewhere; per-cell errors inside the results are campaign
+// facts and are never retried, exactly like fleet.Run's.
+type Worker interface {
+	// Begin prepares the worker for a campaign: index/count is the
+	// worker's shard stamp.
+	Begin(rc RunContext, index, count int) error
+	// Execute runs the given cells and returns their results in order.
+	Execute(cells []fleet.Cell) ([]fleet.CellResult, error)
+	// Shard returns the worker's persisted shard store, ok=false when
+	// the worker is storeless (nothing persisted).
+	Shard() (store.ShardData, bool, error)
+	// Close releases the worker's campaign state.
+	Close() error
+}
+
+// InProcWorker runs its shard in-process through fleet.RunCells,
+// persisting into a shard-stamped store under Dir ("" runs storeless
+// — useful for pure-compute tests).
+type InProcWorker struct {
+	// Dir is the worker's store directory.
+	Dir string
+
+	spec  fleet.CampaignSpec
+	st    *store.Store
+	run   *store.Run
+	runID string
+}
+
+// Begin implements Worker: create the worker's shard-stamped run.
+func (w *InProcWorker) Begin(rc RunContext, index, count int) error {
+	w.spec = rc.Spec
+	w.runID = rc.RunID
+	if w.Dir == "" {
+		return nil
+	}
+	st, err := store.Open(w.Dir)
+	if err != nil {
+		return err
+	}
+	meta := rc.Meta
+	meta.Shard = &store.ShardStamp{Index: index, Count: count}
+	run, err := st.CreateWithMeta(rc.RunID, rc.Spec, meta)
+	if err != nil {
+		return err
+	}
+	w.st, w.run = st, run
+	return nil
+}
+
+// Execute implements Worker.
+func (w *InProcWorker) Execute(cells []fleet.Cell) ([]fleet.CellResult, error) {
+	s := w.spec
+	if w.run != nil {
+		s.Sink = w.run
+	}
+	return fleet.RunCells(s, cells)
+}
+
+// Shard implements Worker.
+func (w *InProcWorker) Shard() (store.ShardData, bool, error) {
+	if w.st == nil {
+		return store.ShardData{}, false, nil
+	}
+	d, err := store.LoadShard(w.st, w.runID)
+	if err != nil {
+		return store.ShardData{}, false, err
+	}
+	return d, true, nil
+}
+
+// Close implements Worker.
+func (w *InProcWorker) Close() error {
+	if w.run == nil {
+		return nil
+	}
+	run := w.run
+	w.run = nil
+	return run.Close()
+}
+
+// resolveCells maps labels back to the spec's cells — the worker-side
+// half of a wire transfer, where assignments travel as labels.
+func resolveCells(spec fleet.CampaignSpec, labels []string) ([]fleet.Cell, error) {
+	cells := make([]fleet.Cell, len(labels))
+	for i, label := range labels {
+		c, err := spec.CellForLabel(label)
+		if err != nil {
+			return nil, fmt.Errorf("shard: resolving assignment: %w", err)
+		}
+		cells[i] = c
+	}
+	return cells, nil
+}

@@ -27,13 +27,19 @@ import (
 // empty cells.jsonl).
 // Version 5 added the sequential-stopping identity
 // (fleet.StoppingSpec) and the manifest's achieved-precision records.
+// Version 6 added the shard stamp (Manifest.Shard): a run holding one
+// shard of a distributed campaign is stamped schema 6 even if its spec
+// identity is older, so pre-shard binaries refuse the partial run
+// instead of mistaking it for a complete campaign. Merged runs carry
+// no stamp and keep their identity's schema — byte-identical to a
+// single-process run's manifest.
 //
 // Versioning rule: a run is stamped with the *oldest* schema able to
 // express it (identitySchema), and readers accept every version in
 // [MinSchemaVersion, SchemaVersion]. A spec that uses no workload
 // section therefore keys and serialises exactly as version 2 did —
 // stored runs stay resumable and comparable across the upgrade.
-const SchemaVersion = 5
+const SchemaVersion = 6
 
 // MinSchemaVersion is the oldest on-disk format this binary reads.
 const MinSchemaVersion = 2

@@ -1,0 +1,329 @@
+package store
+
+// Shard merge: recombining the per-shard stores of a distributed
+// campaign (internal/shard) into one complete run. The merge is where
+// the distributed path rejoins the single-process determinism
+// contract, so it is strict by design: shards must agree on every
+// byte of campaign identity (SpecKey, MatrixKey, the full spec
+// identity including the stopping policy, encoding, fingerprints,
+// creation time), and a disagreement is a loud error — never a
+// silent skip. The one tolerated overlap is a byte-identical
+// duplicate label, which is exactly what worker-failure reassignment
+// produces: the dead worker persisted some cells of a shard before
+// dying and the retry re-executed them elsewhere; because every
+// cell's bytes are a pure function of (seed, label), both copies are
+// equal, and merge keeps one. Differing duplicates mean two stores
+// that were never part of the same campaign, and the merge refuses.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ShardData is one shard store's complete contents — the unit a
+// worker ships back to the coordinator (over HTTP in campaignd, by
+// value in tests). It round-trips through Encode/DecodeShardData.
+type ShardData struct {
+	Manifest Manifest     `json:"manifest"`
+	Cells    []CellRecord `json:"cells"`
+}
+
+// LoadShard reads one shard-stamped run out of a store. Unstamped
+// runs are refused: merging a complete run "as a shard" would
+// silently double cells.
+func LoadShard(s *Store, runID string) (ShardData, error) {
+	m, err := s.Manifest(runID)
+	if err != nil {
+		return ShardData{}, err
+	}
+	if m.Shard == nil {
+		return ShardData{}, fmt.Errorf("store: run %q is not shard-stamped", runID)
+	}
+	cells, err := s.Cells(runID)
+	if err != nil {
+		return ShardData{}, err
+	}
+	d := ShardData{Manifest: m, Cells: cells}
+	if err := d.Validate(); err != nil {
+		return ShardData{}, err
+	}
+	return d, nil
+}
+
+// Encode serialises the shard data for transport.
+func (d ShardData) Encode() ([]byte, error) {
+	b, err := json.Marshal(d)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding shard data: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeShardData parses and validates transported shard data. It
+// never panics on malformed input, and accepted data re-encodes to an
+// equivalent value (the fuzz target's recovery contract).
+func DecodeShardData(b []byte) (ShardData, error) {
+	var d ShardData
+	if err := json.Unmarshal(b, &d); err != nil {
+		return ShardData{}, fmt.Errorf("store: decoding shard data: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return ShardData{}, err
+	}
+	return d, nil
+}
+
+// Validate checks the shard data's internal invariants: a stamped,
+// schema-compatible manifest and well-formed cells that belong to the
+// manifest's campaign matrix.
+func (d ShardData) Validate() error {
+	m := d.Manifest
+	if !ValidRunID(m.RunID) {
+		return fmt.Errorf("store: shard data run id %q must match %s", m.RunID, runIDPattern)
+	}
+	if m.Schema < MinSchemaVersion || m.Schema > SchemaVersion {
+		return fmt.Errorf("store: shard data has schema %d, this binary speaks %d-%d", m.Schema, MinSchemaVersion, SchemaVersion)
+	}
+	if m.Shard == nil {
+		return fmt.Errorf("store: shard data for run %q has no shard stamp", m.RunID)
+	}
+	if err := m.Shard.Validate(); err != nil {
+		return err
+	}
+	if m.SpecKey == "" || m.MatrixKey == "" {
+		return fmt.Errorf("store: shard data for run %q is missing its spec keys", m.RunID)
+	}
+	if _, err := NormalizeEncoding(m.Encoding); err != nil {
+		return err
+	}
+	profiles := make(map[string]bool, len(m.Spec.Profiles))
+	for _, p := range m.Spec.Profiles {
+		profiles[p.Cloud+"/"+p.Instance] = true
+	}
+	regimes := make(map[string]bool, len(m.Spec.Regimes))
+	for _, r := range m.Spec.Regimes {
+		regimes[r.Name] = true
+	}
+	seen := make(map[string]bool, len(d.Cells))
+	for i, rec := range d.Cells {
+		if rec.Schema < MinSchemaVersion || rec.Schema > SchemaVersion {
+			return fmt.Errorf("store: shard cell %d has schema %d, this binary speaks %d-%d", i, rec.Schema, MinSchemaVersion, SchemaVersion)
+		}
+		if rec.Series == nil {
+			return fmt.Errorf("store: shard cell %d (%s) has no series", i, rec.Label)
+		}
+		if rec.Rep < 0 {
+			return fmt.Errorf("store: shard cell %d (%s) has negative repetition", i, rec.Label)
+		}
+		if want := fmt.Sprintf("%s/%s/%s/rep%d", rec.Cloud, rec.Instance, rec.Regime, rec.Rep); rec.Label != want {
+			return fmt.Errorf("store: shard cell %d label %q disagrees with its fields (%s)", i, rec.Label, want)
+		}
+		if !profiles[rec.Cloud+"/"+rec.Instance] || !regimes[rec.Regime] {
+			return fmt.Errorf("store: shard cell %s is outside the manifest's campaign matrix", rec.Label)
+		}
+		if seen[rec.Label] {
+			return fmt.Errorf("store: shard data for run %q holds duplicate cell %s", m.RunID, rec.Label)
+		}
+		seen[rec.Label] = true
+	}
+	return nil
+}
+
+// MergeShards recombines per-shard stores into one complete run named
+// runID inside dst. The merged run's manifest is the shards' shared
+// manifest with the stamp removed and the schema recomputed, and its
+// cells are every shard's cells in canonical matrix order (profiles,
+// then regimes, then repetitions — the spec's enumeration order), so
+// the merged store is byte-identical per cell to a single-process run
+// of the same spec. Shards disagreeing on any campaign identity —
+// SpecKey, MatrixKey, the spec identity (stopping policy included),
+// encoding, fingerprints, shard count — are refused loudly, as are
+// overlapping cells whose bytes differ. The returned run is open for
+// appending precision records (RecordPrecision).
+func MergeShards(dst *Store, runID string, shards []ShardData) (*Run, error) {
+	if !runIDPattern.MatchString(runID) {
+		return nil, fmt.Errorf("store: run id %q must match %s", runID, runIDPattern)
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("store: merging zero shards")
+	}
+	for _, d := range shards {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	ref := shards[0].Manifest
+	refStop, err := json.Marshal(ref.Spec.Stopping)
+	if err != nil {
+		return nil, fmt.Errorf("store: hashing stopping identity: %w", err)
+	}
+	refSpec, err := json.Marshal(ref.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("store: hashing spec identity: %w", err)
+	}
+	refPrints, err := json.Marshal(ref.Fingerprints)
+	if err != nil {
+		return nil, fmt.Errorf("store: hashing fingerprints: %w", err)
+	}
+	indexes := make(map[int]string, len(shards))
+	for _, d := range shards {
+		m := d.Manifest
+		if m.SpecKey != ref.SpecKey {
+			return nil, fmt.Errorf("store: refusing merge: shard %q has spec key %.12s, shard %q has %.12s — these stores were not produced by the same campaign",
+				m.RunID, m.SpecKey, ref.RunID, ref.SpecKey)
+		}
+		stop, err := json.Marshal(m.Spec.Stopping)
+		if err != nil {
+			return nil, fmt.Errorf("store: hashing stopping identity: %w", err)
+		}
+		if !bytes.Equal(stop, refStop) {
+			return nil, fmt.Errorf("store: refusing merge: shard %q disagrees with shard %q on the stopping identity — an adaptive schedule from one policy cannot be merged with another's",
+				m.RunID, ref.RunID)
+		}
+		if m.MatrixKey != ref.MatrixKey {
+			return nil, fmt.Errorf("store: refusing merge: shard %q has matrix key %.12s, shard %q has %.12s",
+				m.RunID, m.MatrixKey, ref.RunID, ref.MatrixKey)
+		}
+		spec, err := json.Marshal(m.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("store: hashing spec identity: %w", err)
+		}
+		if !bytes.Equal(spec, refSpec) {
+			return nil, fmt.Errorf("store: refusing merge: shard %q disagrees with shard %q on the spec identity", m.RunID, ref.RunID)
+		}
+		if m.Encoding != ref.Encoding {
+			return nil, fmt.Errorf("store: refusing merge: shard %q uses encoding %q, shard %q uses %q", m.RunID, m.Encoding, ref.RunID, ref.Encoding)
+		}
+		prints, err := json.Marshal(m.Fingerprints)
+		if err != nil {
+			return nil, fmt.Errorf("store: hashing fingerprints: %w", err)
+		}
+		if !bytes.Equal(prints, refPrints) {
+			return nil, fmt.Errorf("store: refusing merge: shard %q disagrees with shard %q on the platform fingerprints", m.RunID, ref.RunID)
+		}
+		if m.CreatedUnix != ref.CreatedUnix {
+			return nil, fmt.Errorf("store: refusing merge: shard %q was created at %d, shard %q at %d", m.RunID, m.CreatedUnix, ref.RunID, ref.CreatedUnix)
+		}
+		if m.ExperimentSpecHash != ref.ExperimentSpecHash {
+			return nil, fmt.Errorf("store: refusing merge: shard %q disagrees with shard %q on the experiment spec", m.RunID, ref.RunID)
+		}
+		if m.Shard.Count != ref.Shard.Count {
+			return nil, fmt.Errorf("store: refusing merge: shard %q is stamped %d/%d, shard %q is stamped %d/%d",
+				m.RunID, m.Shard.Index, m.Shard.Count, ref.RunID, ref.Shard.Index, ref.Shard.Count)
+		}
+		if prev, taken := indexes[m.Shard.Index]; taken {
+			return nil, fmt.Errorf("store: refusing merge: shards %q and %q both claim index %d/%d", prev, m.RunID, m.Shard.Index, m.Shard.Count)
+		}
+		indexes[m.Shard.Index] = m.RunID
+	}
+
+	// Gather the union of cells. Duplicate labels across shards are
+	// legitimate only when byte-identical — the worker-failure
+	// reassignment overlap; anything else is two different
+	// measurements claiming one identity, which must never merge.
+	merged := make(map[string]CellRecord)
+	encoded := make(map[string][]byte)
+	for _, d := range shards {
+		for _, rec := range d.Cells {
+			b, err := json.Marshal(rec)
+			if err != nil {
+				return nil, fmt.Errorf("store: encoding cell %s: %w", rec.Label, err)
+			}
+			if prev, ok := encoded[rec.Label]; ok {
+				if !bytes.Equal(prev, b) {
+					return nil, fmt.Errorf("store: refusing merge: cell %s appears in two shards with different bytes — the shards were not produced by the same deterministic campaign", rec.Label)
+				}
+				continue
+			}
+			merged[rec.Label] = rec
+			encoded[rec.Label] = b
+		}
+	}
+
+	// Canonical matrix order: profiles as declared, then regimes, then
+	// repetitions — the fleet's enumeration order, so the merged cell
+	// sequence matches what a sequential single-process run persists.
+	profileIdx := make(map[string]int, len(ref.Spec.Profiles))
+	for i, p := range ref.Spec.Profiles {
+		profileIdx[p.Cloud+"/"+p.Instance] = i
+	}
+	regimeIdx := make(map[string]int, len(ref.Spec.Regimes))
+	for i, r := range ref.Spec.Regimes {
+		regimeIdx[r.Name] = i
+	}
+	order := make([]CellRecord, 0, len(merged))
+	for _, rec := range merged {
+		order = append(order, rec)
+	}
+	sortCells(order, profileIdx, regimeIdx)
+
+	m := ref
+	m.RunID = runID
+	m.Shard = nil
+	m.Precision = nil
+	// The merged run is complete: restore the schema a single-process
+	// run of the same spec would have stamped (the shard stamp's
+	// schema-6 floor no longer applies).
+	m.Schema = m.Spec.Schema
+	if m.Encoding == EncodingColumnar && m.Schema < 4 {
+		m.Schema = 4
+	}
+	err = dst.commitRun(m, func(dir string) error {
+		return writeCellFile(filepath.Join(dir, cellsFileName(m.Encoding)), m.Encoding, order)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst.openRun(m)
+}
+
+// sortCells orders records by (profile declaration index, regime
+// declaration index, repetition). Validation pinned every record to
+// the manifest's matrix, so the index lookups cannot miss.
+func sortCells(recs []CellRecord, profileIdx, regimeIdx map[string]int) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		pa, pb := profileIdx[a.Cloud+"/"+a.Instance], profileIdx[b.Cloud+"/"+b.Instance]
+		if pa != pb {
+			return pa < pb
+		}
+		ra, rb := regimeIdx[a.Regime], regimeIdx[b.Regime]
+		if ra != rb {
+			return ra < rb
+		}
+		return a.Rep < b.Rep
+	})
+}
+
+// writeCellFile writes records as one complete cell file in the given
+// encoding — the merge-time equivalent of Run.Put's append path,
+// producing the same bytes per record.
+func writeCellFile(path, enc string, recs []CellRecord) error {
+	var buf []byte
+	var payload []byte
+	for _, rec := range recs {
+		if enc == EncodingColumnar {
+			var err error
+			payload, err = encodeCellPayload(payload[:0], rec)
+			if err != nil {
+				return err
+			}
+			buf = appendFrame(buf, payload)
+			continue
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("store: encoding cell %s: %w", rec.Label, err)
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("store: writing merged cells: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package store_test
+
+// Merge contract tests: recombining per-shard stores must reproduce a
+// single-process run byte for byte — manifest and cell file alike —
+// and every identity disagreement between shards must be refused
+// loudly. The distributed orchestration on top (internal/shard) proves
+// the end-to-end shards=1-vs-N property; these tests pin the store
+// half of that contract in isolation.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cloudvar/internal/core"
+	"cloudvar/internal/fleet"
+	"cloudvar/internal/store"
+	"cloudvar/internal/testutil"
+)
+
+// mergeMeta is the creation metadata every store of one campaign
+// shares — the coordinator fingerprints once and hands the same meta
+// to every worker, which is what makes shard manifests mergeable.
+func mergeMeta(t testing.TB, spec fleet.CampaignSpec, enc string) store.RunMeta {
+	t.Helper()
+	prints, err := fleet.FingerprintProfiles(spec, core.FingerprintConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.RunMeta{Fingerprints: prints, CreatedUnix: 1754600000, Encoding: enc}
+}
+
+// runSingle executes the whole campaign sequentially into st under
+// runID — the reference every merge is compared against.
+func runSingle(t testing.TB, st *store.Store, runID string, spec fleet.CampaignSpec, meta store.RunMeta) fleet.CampaignResult {
+	t.Helper()
+	run, err := st.CreateWithMeta(runID, spec, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	s := spec
+	s.Workers = 1
+	s.Sink = run
+	res, err := fleet.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runShard executes just the given cells into a stamped run in st.
+func runShard(t testing.TB, st *store.Store, runID string, spec fleet.CampaignSpec, meta store.RunMeta, stamp store.ShardStamp, cells []fleet.Cell) {
+	t.Helper()
+	meta.Shard = &stamp
+	run, err := st.CreateWithMeta(runID, spec, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	s := spec
+	s.Workers = 1
+	s.Sink = run
+	results, err := fleet.RunCells(s, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("shard cell %s: %v", r.Cell.Label(), r.Err)
+		}
+	}
+}
+
+// splitCells partitions the matrix round-robin into n shards.
+func splitCells(cells []fleet.Cell, n int) [][]fleet.Cell {
+	out := make([][]fleet.Cell, n)
+	for i, c := range cells {
+		out[i%n] = append(out[i%n], c)
+	}
+	return out
+}
+
+// readFile reads one file of a run directory.
+func readFile(t testing.TB, st *store.Store, runID, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(st.Dir(), "runs", runID, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestMergeShardsByteIdentity(t *testing.T) {
+	for _, enc := range []string{store.EncodingJSONL, store.EncodingColumnar} {
+		name := "jsonl"
+		if enc == store.EncodingColumnar {
+			name = "columnar"
+		}
+		t.Run(name, func(t *testing.T) {
+			spec := testutil.TwoCloudSpec(t, 41, 1)
+			meta := mergeMeta(t, spec, enc)
+
+			single := testutil.TempStore(t)
+			runSingle(t, single, "r1", spec, meta)
+
+			const shards = 3
+			parts := splitCells(spec.Cells(), shards)
+			var data []store.ShardData
+			for i, part := range parts {
+				st := testutil.TempStore(t)
+				runShard(t, st, fmt.Sprintf("shard-%d", i), spec, meta, store.ShardStamp{Index: i, Count: shards}, part)
+				d, err := store.LoadShard(st, fmt.Sprintf("shard-%d", i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				data = append(data, d)
+			}
+
+			dst := testutil.TempStore(t)
+			merged, err := store.MergeShards(dst, "r1", data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer merged.Close()
+
+			// The merged run must be indistinguishable from the
+			// single-process one on disk: same manifest bytes, same cell
+			// file bytes (a sequential run persists in enumeration
+			// order, which is the merge's canonical order).
+			if got, want := readFile(t, dst, "r1", "manifest.json"), readFile(t, single, "r1", "manifest.json"); !bytes.Equal(got, want) {
+				t.Errorf("merged manifest differs from single-process run:\n got %s\nwant %s", got, want)
+			}
+			cellsFile := "cells.jsonl"
+			if enc == store.EncodingColumnar {
+				cellsFile = "cells.col"
+			}
+			if got, want := readFile(t, dst, "r1", cellsFile), readFile(t, single, "r1", cellsFile); !bytes.Equal(got, want) {
+				t.Errorf("merged %s differs from single-process run (%d vs %d bytes)", cellsFile, len(got), len(want))
+			}
+			if m := merged.Manifest(); m.Shard != nil {
+				t.Error("merged manifest still carries a shard stamp")
+			}
+		})
+	}
+}
+
+func TestMergeShardsDeduplicatesReassignedCells(t *testing.T) {
+	// Worker-failure reassignment leaves the same cell persisted in two
+	// stores. Determinism makes the copies byte-identical, and merge
+	// must keep exactly one.
+	spec := testutil.EC2Spec(t, 9, 1)
+	meta := mergeMeta(t, spec, "")
+
+	single := testutil.TempStore(t)
+	runSingle(t, single, "r1", spec, meta)
+
+	cells := spec.Cells()
+	stA, stB := testutil.TempStore(t), testutil.TempStore(t)
+	// Shard 0 executed its half and one stray cell of shard 1 (the
+	// "dead worker got partway" overlap); shard 1 re-executed its full
+	// half elsewhere.
+	runShard(t, stA, "a", spec, meta, store.ShardStamp{Index: 0, Count: 2}, cells[:3])
+	runShard(t, stB, "b", spec, meta, store.ShardStamp{Index: 1, Count: 2}, cells[2:])
+	a, err := store.LoadShard(stA, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := store.LoadShard(stB, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := testutil.TempStore(t)
+	merged, err := store.MergeShards(dst, "r1", []store.ShardData{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	if got, want := readFile(t, dst, "r1", "cells.jsonl"), readFile(t, single, "r1", "cells.jsonl"); !bytes.Equal(got, want) {
+		t.Errorf("merged cells with overlap differ from single-process run")
+	}
+}
+
+func TestMergeShardsRefusals(t *testing.T) {
+	spec := testutil.EC2Spec(t, 9, 1)
+	meta := mergeMeta(t, spec, "")
+	cells := spec.Cells()
+
+	load := func(t *testing.T, spec fleet.CampaignSpec, meta store.RunMeta, stamp store.ShardStamp, cells []fleet.Cell) store.ShardData {
+		st := testutil.TempStore(t)
+		runShard(t, st, "s", spec, meta, stamp, cells)
+		d, err := store.LoadShard(st, "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	t.Run("spec key mismatch", func(t *testing.T) {
+		a := load(t, spec, meta, store.ShardStamp{Index: 0, Count: 2}, cells[:2])
+		other := testutil.EC2Spec(t, 10, 1) // different seed, different campaign
+		b := load(t, other, mergeMeta(t, other, ""), store.ShardStamp{Index: 1, Count: 2}, other.Cells()[2:])
+		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b})
+		if err == nil || !strings.Contains(err.Error(), "spec key") {
+			t.Fatalf("want loud spec-key refusal, got %v", err)
+		}
+	})
+
+	t.Run("stopping identity mismatch", func(t *testing.T) {
+		a := load(t, spec, meta, store.ShardStamp{Index: 0, Count: 2}, cells[:2])
+		b := load(t, spec, meta, store.ShardStamp{Index: 1, Count: 2}, cells[2:])
+		// A hand-tampered manifest whose keys still match but whose
+		// stopping identity diverged must be refused on the stopping
+		// check itself, not silently merged on key equality.
+		b.Manifest.Spec.Stopping = &store.StoppingIdentity{Quantile: 0.5, Confidence: 0.95, ErrorBound: 0.1, MinReps: 2, MaxReps: 8}
+		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b})
+		if err == nil || !strings.Contains(err.Error(), "stopping identity") {
+			t.Fatalf("want loud stopping-identity refusal, got %v", err)
+		}
+	})
+
+	t.Run("unstamped shard", func(t *testing.T) {
+		a := load(t, spec, meta, store.ShardStamp{Index: 0, Count: 2}, cells[:2])
+		b := load(t, spec, meta, store.ShardStamp{Index: 1, Count: 2}, cells[2:])
+		b.Manifest.Shard = nil
+		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b})
+		if err == nil || !strings.Contains(err.Error(), "shard stamp") {
+			t.Fatalf("want unstamped refusal, got %v", err)
+		}
+	})
+
+	t.Run("duplicate shard index", func(t *testing.T) {
+		a := load(t, spec, meta, store.ShardStamp{Index: 0, Count: 2}, cells[:2])
+		b := load(t, spec, meta, store.ShardStamp{Index: 0, Count: 2}, cells[2:])
+		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b})
+		if err == nil || !strings.Contains(err.Error(), "claim index") {
+			t.Fatalf("want duplicate-index refusal, got %v", err)
+		}
+	})
+
+	t.Run("conflicting duplicate cell", func(t *testing.T) {
+		a := load(t, spec, meta, store.ShardStamp{Index: 0, Count: 2}, cells[:3])
+		b := load(t, spec, meta, store.ShardStamp{Index: 1, Count: 2}, cells[2:])
+		// Corrupt the overlapping cell in one shard: same label,
+		// different measurement bytes.
+		for i := range b.Cells {
+			if b.Cells[i].Label == cells[2].Label() {
+				b.Cells[i].Series.Points[0].BandwidthGbps++
+			}
+		}
+		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b})
+		if err == nil || !strings.Contains(err.Error(), "different bytes") {
+			t.Fatalf("want conflicting-duplicate refusal, got %v", err)
+		}
+	})
+
+	t.Run("zero shards", func(t *testing.T) {
+		if _, err := store.MergeShards(testutil.TempStore(t), "r1", nil); err == nil {
+			t.Fatal("want refusal for zero shards")
+		}
+	})
+}
+
+func TestLoadShardRefusesUnstampedRun(t *testing.T) {
+	spec := testutil.EC2Spec(t, 9, 1)
+	st := testutil.TempStore(t)
+	runSingle(t, st, "r1", spec, mergeMeta(t, spec, ""))
+	if _, err := store.LoadShard(st, "r1"); err == nil || !strings.Contains(err.Error(), "not shard-stamped") {
+		t.Fatalf("want not-stamped refusal, got %v", err)
+	}
+}
+
+func TestShardStampForcesSchema6(t *testing.T) {
+	// A shard run is partial; pre-shard binaries (schema <= 5) must
+	// refuse it rather than read it as a complete campaign.
+	spec := testutil.EC2Spec(t, 9, 1)
+	st := testutil.TempStore(t)
+	meta := mergeMeta(t, spec, "")
+	meta.Shard = &store.ShardStamp{Index: 0, Count: 2}
+	run, err := st.CreateWithMeta("s0", spec, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	if got := run.Manifest().Schema; got != 6 {
+		t.Errorf("stamped manifest has schema %d, want 6", got)
+	}
+	if got := run.Manifest().Spec.Schema; got != 2 {
+		t.Errorf("stamped manifest's spec identity has schema %d, want 2 (keys must not move)", got)
+	}
+}

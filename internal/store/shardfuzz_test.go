@@ -1,0 +1,154 @@
+package store
+
+// Fuzz target for the shard-data decoder — the bytes a campaignd
+// coordinator accepts from workers over the network. The contract:
+// DecodeShardData never panics on arbitrary input, accepted data
+// satisfies every merge invariant (so MergeShards can trust it), and
+// Encode∘Decode is a fixed point — recovery is idempotent.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"testing"
+
+	"cloudvar/internal/trace"
+)
+
+// validShardData builds a well-formed single-cell shard payload.
+func validShardData(tb testing.TB) ShardData {
+	tb.Helper()
+	s := trace.NewSeries("ec2/c5.xlarge/full-speed/rep0", 10)
+	if err := s.Append(trace.Point{TimeSec: 0, BandwidthGbps: 9.5}); err != nil {
+		tb.Fatal(err)
+	}
+	return ShardData{
+		Manifest: Manifest{
+			Schema:    6,
+			RunID:     "s0",
+			SpecKey:   "aa11",
+			MatrixKey: "bb22",
+			Spec: SpecIdentity{
+				Schema:      2,
+				Profiles:    []ProfileID{{Cloud: "ec2", Instance: "c5.xlarge", LineRateGbps: 10}},
+				Regimes:     []trace.Regime{trace.FullSpeed},
+				Repetitions: 1,
+				Seed:        7,
+				Confidence:  0.95,
+				ErrorBound:  0.05,
+			},
+			CreatedUnix: 1754600000,
+			Shard:       &ShardStamp{Index: 0, Count: 2},
+		},
+		Cells: []CellRecord{{
+			Schema: 2, Label: "ec2/c5.xlarge/full-speed/rep0",
+			Cloud: "ec2", Instance: "c5.xlarge", Regime: "full-speed", Rep: 0,
+			Series: s,
+		}},
+	}
+}
+
+// shardSeeds returns the seed corpus, keyed by committed file name.
+func shardSeeds(tb testing.TB) map[string][]byte {
+	tb.Helper()
+	valid := validShardData(tb)
+	validBytes, err := valid.Encode()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	unstamped := validShardData(tb)
+	unstamped.Manifest.Shard = nil
+	unstampedBytes, err := json.Marshal(unstamped)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mislabeled := validShardData(tb)
+	mislabeled.Cells[0].Rep = 3 // label now disagrees with its fields
+	mislabeledBytes, err := json.Marshal(mislabeled)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return map[string][]byte{
+		"seed-valid":      validBytes,
+		"seed-unstamped":  unstampedBytes,
+		"seed-mislabeled": mislabeledBytes,
+		"seed-truncated":  validBytes[:len(validBytes)/2],
+		"seed-empty":      []byte(""),
+		"seed-null":       []byte("null"),
+		"seed-garbage":    []byte("not json\x00\xff"),
+		"seed-bad-stamp":  []byte(`{"manifest":{"schema":6,"run_id":"s0","spec_key":"a","matrix_key":"b","spec":{"schema":2},"created_unix":1,"shard":{"index":9,"count":2}},"cells":[]}`),
+	}
+}
+
+func FuzzDecodeShardData(f *testing.F) {
+	seeds := shardSeeds(f)
+	names := make([]string, 0, len(seeds))
+	for name := range seeds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f.Add(seeds[name])
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// (1) Arbitrary bytes must never panic; errors are fine.
+		d, err := DecodeShardData(data)
+		if err != nil {
+			return
+		}
+		// (2) Accepted data re-validates: Decode must not hand
+		// MergeShards anything Validate would refuse.
+		if err := d.Validate(); err != nil {
+			t.Fatalf("decoded data fails validation: %v", err)
+		}
+		// (3) Idempotent recovery: Encode∘Decode is a fixed point.
+		// (JSON cannot carry NaN/Inf, so decoded data always
+		// re-encodes.)
+		enc1, err := d.Encode()
+		if err != nil {
+			t.Fatalf("decoded data does not re-encode: %v", err)
+		}
+		d2, err := DecodeShardData(enc1)
+		if err != nil {
+			t.Fatalf("re-encoded data does not decode: %v", err)
+		}
+		enc2, err := d2.Encode()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatal("encode(decode(encode(d))) != encode(d): recovery is not idempotent")
+		}
+	})
+}
+
+// TestShardSeedCorpusCommitted keeps the committed seed corpus
+// (testdata/fuzz/FuzzDecodeShardData) in lockstep with the in-code
+// seeds; run with -update to regenerate the files.
+func TestShardSeedCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeShardData")
+	for name, data := range shardSeeds(t) {
+		want := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		path := filepath.Join(dir, name)
+		if *updateCorpus {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("seed %s is not committed (run with -update): %v", name, err)
+		}
+		if string(got) != want {
+			t.Errorf("committed seed %s diverged from the in-code seed (run with -update)", name)
+		}
+	}
+}

@@ -97,6 +97,30 @@ type Manifest struct {
 	// the run completes (schema >= 5); nil for fixed-repetition runs
 	// and for adaptive runs interrupted before completion.
 	Precision []PrecisionRecord `json:"precision,omitempty"`
+	// Shard marks this run as one shard of a distributed campaign
+	// (schema >= 6); nil for complete runs, including merged ones. A
+	// stamped run holds only the cells its worker executed — it must
+	// never be read as a complete campaign, which is why the stamp
+	// forces the manifest's top-level schema to 6.
+	Shard *ShardStamp `json:"shard,omitempty"`
+}
+
+// ShardStamp identifies which slice of a distributed campaign a store
+// run holds: the producing worker's index out of the campaign's worker
+// count. Operational metadata, not spec identity — the stamped run's
+// SpecKey/MatrixKey are those of the whole campaign, which is exactly
+// what lets MergeShards verify that shards belong together.
+type ShardStamp struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// Validate checks the stamp's invariant.
+func (s ShardStamp) Validate() error {
+	if s.Count <= 0 || s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("store: shard stamp %d/%d outside [0, count)", s.Index, s.Count)
+	}
+	return nil
 }
 
 // PrecisionRecord is one group's achieved CI precision under the
@@ -127,6 +151,9 @@ type RunMeta struct {
 	// Encoding selects the cell-record encoding for the new run:
 	// "" or "jsonl" for JSONL (default), "columnar" for cells.col.
 	Encoding string
+	// Shard stamps the new run as one shard of a distributed campaign
+	// (see Manifest.Shard); nil for complete runs.
+	Shard *ShardStamp
 }
 
 // CellRecord is one persisted campaign cell. Failed cells are never
@@ -245,26 +272,56 @@ func (s *Store) CreateWithMeta(runID string, spec fleet.CampaignSpec, meta RunMe
 		// and silently re-executing everything.
 		m.Schema = 4
 	}
-	final := s.runDir(runID)
+	if meta.Shard != nil {
+		if err := meta.Shard.Validate(); err != nil {
+			return nil, err
+		}
+		stamp := *meta.Shard
+		m.Shard = &stamp
+		if m.Schema < 6 {
+			// Same reasoning as columnar: a shard run is partial by
+			// construction, so pre-shard binaries must refuse it rather
+			// than read it as a complete campaign.
+			m.Schema = 6
+		}
+	}
+	if err := s.commitRun(m, nil); err != nil {
+		return nil, err
+	}
+	return s.openRun(m)
+}
+
+// commitRun atomically materialises a run directory: the manifest
+// (plus any pre-built cell files) is staged under a temporary name and
+// renamed into place, so a run either exists completely or not at all.
+// stage, when non-nil, may write additional files into the staging
+// directory before the rename.
+func (s *Store) commitRun(m Manifest, stage func(dir string) error) error {
+	final := s.runDir(m.RunID)
 	if _, err := os.Stat(final); err == nil {
-		return nil, fmt.Errorf("store: run %q already exists (use resume)", runID)
+		return fmt.Errorf("store: run %q already exists (use resume)", m.RunID)
 	}
 	tmp, err := os.MkdirTemp(filepath.Join(s.dir, "runs"), ".staging-")
 	if err != nil {
-		return nil, fmt.Errorf("store: staging run %q: %w", runID, err)
+		return fmt.Errorf("store: staging run %q: %w", m.RunID, err)
 	}
 	defer os.RemoveAll(tmp) // no-op after a successful rename
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
-		return nil, fmt.Errorf("store: encoding manifest: %w", err)
+		return fmt.Errorf("store: encoding manifest: %w", err)
 	}
 	if err := os.WriteFile(filepath.Join(tmp, "manifest.json"), append(b, '\n'), 0o644); err != nil {
-		return nil, fmt.Errorf("store: writing manifest: %w", err)
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if stage != nil {
+		if err := stage(tmp); err != nil {
+			return err
+		}
 	}
 	if err := os.Rename(tmp, final); err != nil {
-		return nil, fmt.Errorf("store: committing run %q: %w", runID, err)
+		return fmt.Errorf("store: committing run %q: %w", m.RunID, err)
 	}
-	return s.openRun(m)
+	return nil
 }
 
 // Resume opens an existing run for appending. spec must hash to the

@@ -1,6 +1,7 @@
 package store_test
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -156,6 +157,56 @@ func BenchmarkStoreRecoveryColumnar(b *testing.B) {
 			b.Fatalf("recovered %d cells, want 4", len(cells))
 		}
 		if err := os.Truncate(cellsPath, intact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreShardMerge measures MergeShards — the campaignd
+// coordinator's per-campaign cost of recombining worker stores:
+// cross-shard identity verification, duplicate detection against the
+// re-marshaled record bytes, canonical reordering, and the staged
+// write of the merged run.
+func BenchmarkStoreShardMerge(b *testing.B) {
+	spec := testutil.EC2Spec(b, 7, 1)
+	cells := benchCells(b)
+	meta := store.RunMeta{CreatedUnix: 1}
+	const shards = 2
+	var data []store.ShardData
+	for i := 0; i < shards; i++ {
+		st := testutil.TempStore(b)
+		m := meta
+		m.Shard = &store.ShardStamp{Index: i, Count: shards}
+		run, err := st.CreateWithMeta("s", spec, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, c := range cells {
+			if j%shards != i {
+				continue
+			}
+			if err := run.Put(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := run.Close(); err != nil {
+			b.Fatal(err)
+		}
+		d, err := store.LoadShard(st, "s")
+		if err != nil {
+			b.Fatal(err)
+		}
+		data = append(data, d)
+	}
+	dst := testutil.TempStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := store.MergeShards(dst, fmt.Sprintf("m%d", i), data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := run.Close(); err != nil {
 			b.Fatal(err)
 		}
 	}
