@@ -413,7 +413,8 @@ var (
 	// collects the shard-stamped stores.
 	RunShardedCampaign = shard.Run
 	// MergeShards recombines shard stores into one byte-identical run,
-	// refusing mismatched identities and non-identical duplicates.
+	// refusing mismatched identities, non-identical duplicates, and —
+	// given the coordinator's expected label set — incomplete unions.
 	MergeShards = store.MergeShards
 )
 

@@ -305,6 +305,41 @@ func TestServiceDriftReport(t *testing.T) {
 	}
 }
 
+// TestServiceRejectsShardsWorkersDisagreement: a spec that explicitly
+// declares a partition width must not be silently re-partitioned to
+// the service's default worker fleet — the disagreement is a 409,
+// mirroring expspec's own shards-vs-workers agreement rule.
+func TestServiceRejectsShardsWorkersDisagreement(t *testing.T) {
+	base, _ := startService(t, []string{"http://127.0.0.1:1", "http://127.0.0.1:2"})
+	doc := strings.TrimSuffix(specDoc(13, ""), "\n}\n") + `,
+  "sharding": {"shards": 3}
+}
+`
+	resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("disagreeing shard count answered %s, want 409: %s", resp.Status, buf.String())
+	}
+	if !strings.Contains(buf.String(), "sharding.shards=3") {
+		t.Errorf("refusal does not surface the disagreement: %s", buf.String())
+	}
+
+	// An agreeing declaration (shards == worker count) is accepted.
+	doc2 := strings.TrimSuffix(specDoc(13, ""), "\n}\n") + `,
+  "sharding": {"shards": 2}
+}
+`
+	rs := submit(t, base, doc2)
+	if rs.Shards != 2 {
+		t.Errorf("agreeing spec got %d shards, want 2", rs.Shards)
+	}
+}
+
 func TestServiceRejectsBadSubmissions(t *testing.T) {
 	base, _ := startService(t, nil)
 	cases := map[string]string{

@@ -173,13 +173,25 @@ func (s *service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	workers := s.workers
 	shards := 1
+	declared := 0 // shard count the document set explicitly, sans workers
 	if plan.Sharding != nil {
 		shards = plan.Sharding.Shards
 		if len(plan.Sharding.Workers) > 0 {
 			workers = plan.Sharding.Workers
 		}
 	}
+	if doc.Sharding != nil && len(doc.Sharding.Workers) == 0 {
+		declared = doc.Sharding.Shards
+	}
 	if len(workers) > 0 {
+		// Each worker owns one shard. A spec that explicitly declared a
+		// different partition width must not be silently re-partitioned
+		// to the service's fleet — mirror expspec's own
+		// shards-vs-workers agreement rule and refuse.
+		if declared > 0 && declared != len(workers) {
+			httpError(w, http.StatusConflict, fmt.Errorf("campaignd: spec declares sharding.shards=%d but the service runs %d workers (each worker owns one shard; align them or name the workers in the spec)", declared, len(workers)))
+			return
+		}
 		shards = len(workers)
 	}
 
@@ -364,7 +376,9 @@ func (s *service) runCampaign(rs *runState) error {
 	if err != nil {
 		return err
 	}
-	merged, err := store.MergeShards(s.st, rs.ID, shards)
+	// StoredLabels is the completeness expectation: the merge refuses
+	// if any successfully measured cell is in no shard store.
+	merged, err := store.MergeShards(s.st, rs.ID, shards, res.StoredLabels())
 	if err != nil {
 		return err
 	}

@@ -150,7 +150,7 @@ func TestFacadeDistributedCampaign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	merged, err := cloudvar.MergeShards(st, "facade", shards)
+	merged, err := cloudvar.MergeShards(st, "facade", shards, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

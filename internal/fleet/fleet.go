@@ -525,6 +525,20 @@ func (r CampaignResult) Failed() []CellResult {
 	return out
 }
 
+// StoredLabels returns the labels of every successful cell in
+// enumeration order — exactly the set a run's sink persisted (errored
+// cells are never stored), and so the completeness expectation to
+// hand store.MergeShards when recombining this campaign's shards.
+func (r CampaignResult) StoredLabels() []string {
+	out := make([]string, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		if c.Err == nil {
+			out = append(out, c.Cell.Label())
+		}
+	}
+	return out
+}
+
 // Err summarises cell failures: nil when every cell succeeded,
 // otherwise an error naming the count and the first failure.
 func (r CampaignResult) Err() error {

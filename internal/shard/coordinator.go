@@ -36,7 +36,8 @@ type Campaign struct {
 
 // Run executes the campaign across the workers and returns the
 // assembled result plus every worker's persisted shard store (ready
-// for store.MergeShards). The result is bit-identical to a
+// for store.MergeShards — hand the merge result.StoredLabels() so it
+// re-verifies the same coverage). The result is bit-identical to a
 // single-process fleet.Run of the same spec: assignment is a pure
 // function of (SpecKey, worker count), workers execute explicit cell
 // lists on label-keyed substreams, and adaptive batch barriers
@@ -69,10 +70,12 @@ func Run(c Campaign) (fleet.CampaignResult, []store.ShardData, error) {
 		}
 	}()
 
-	// dead marks workers that failed an Execute. Their cells were
-	// re-executed elsewhere, so an unreachable store at collection time
-	// is survivable for them — and only for them: losing a healthy
-	// worker's shard would silently drop cells from the merge.
+	// dead marks workers that failed an Execute. An unreachable store
+	// at collection time is survivable for them — and only for them —
+	// but not automatically safe: in a multi-batch campaign a worker
+	// may have persisted earlier batches that were never re-executed
+	// elsewhere, so collection below re-checks coverage and recovers
+	// any cell that exists in no reachable store.
 	dead := &deadSet{members: make([]bool, len(c.Workers))}
 
 	var result fleet.CampaignResult
@@ -107,23 +110,73 @@ func Run(c Campaign) (fleet.CampaignResult, []store.ShardData, error) {
 		result = planner.Result()
 	}
 
+	shards, err := collectShards(c.Workers, dead)
+	if err != nil {
+		return fleet.CampaignResult{}, nil, err
+	}
+
+	// Completeness: every successful cell was persisted by some
+	// worker, and skipping a dead worker's unreachable store is safe
+	// only if its cells survive in another shard. A worker that died
+	// after persisting earlier batches (or restarted and lost its run)
+	// leaves a gap here; re-execute exactly the uncovered cells — the
+	// retry is byte-identical because substreams are keyed by label —
+	// and refuse loudly if coverage still fails. Storeless fleets
+	// collect no shards and have nothing to merge, so there is no
+	// expectation to enforce.
+	if len(shards) > 0 {
+		if missing := uncoveredCells(result, shards); len(missing) > 0 {
+			if _, err := runBatch(c.Workers, specKey, attempts, dead, missing); err != nil {
+				return fleet.CampaignResult{}, nil, fmt.Errorf("shard: recovering %d cells lost with an unreachable shard store: %w", len(missing), err)
+			}
+			if shards, err = collectShards(c.Workers, dead); err != nil {
+				return fleet.CampaignResult{}, nil, err
+			}
+			if still := uncoveredCells(result, shards); len(still) > 0 {
+				return fleet.CampaignResult{}, nil, fmt.Errorf("shard: %d measured cells (first: %s) are in no collected shard store — refusing to hand an incomplete campaign to the merge", len(still), still[0].Label())
+			}
+		}
+	}
+	return result, shards, nil
+}
+
+// collectShards gathers every worker's persisted shard store. A
+// collection failure is tolerated only for workers already marked
+// dead; their cells are handled by the coverage check in Run.
+func collectShards(workers []Worker, dead *deadSet) ([]store.ShardData, error) {
 	var shards []store.ShardData
-	for i, w := range c.Workers {
+	for i, w := range workers {
 		d, ok, err := w.Shard()
 		if err != nil {
 			if dead.is(i) {
-				// The worker died mid-campaign and its store is out of
-				// reach; whatever it had persisted was re-executed on
-				// another worker, so the merge stays complete.
 				continue
 			}
-			return fleet.CampaignResult{}, nil, fmt.Errorf("shard: collecting worker %d store: %w", i, err)
+			return nil, fmt.Errorf("shard: collecting worker %d store: %w", i, err)
 		}
 		if ok {
 			shards = append(shards, d)
 		}
 	}
-	return result, shards, nil
+	return shards, nil
+}
+
+// uncoveredCells returns the successful cells of result that appear in
+// none of the collected shard stores — cells whose only persisted copy
+// was lost with a dead worker.
+func uncoveredCells(result fleet.CampaignResult, shards []store.ShardData) []fleet.Cell {
+	stored := make(map[string]bool)
+	for _, d := range shards {
+		for _, rec := range d.Cells {
+			stored[rec.Label] = true
+		}
+	}
+	var missing []fleet.Cell
+	for _, res := range result.Cells {
+		if res.Err == nil && !stored[res.Cell.Label()] {
+			missing = append(missing, res.Cell)
+		}
+	}
+	return missing
 }
 
 // deadSet tracks which workers have failed an Execute; runBatch's

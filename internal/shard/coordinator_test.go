@@ -74,7 +74,7 @@ func distributedRun(t testing.TB, spec fleet.CampaignSpec, meta store.RunMeta, w
 		t.Fatal(err)
 	}
 	dst := testutil.TempStore(t)
-	merged, err := store.MergeShards(dst, "r1", shards)
+	merged, err := store.MergeShards(dst, "r1", shards, res.StoredLabels())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,6 +290,72 @@ func TestShardRunKillWorkerMidShard(t *testing.T) {
 			assertStoresEqual(t, gotStore, wantStore, name == "fixed", "cells.jsonl")
 		})
 	}
+}
+
+// amnesiacWorker executes its first assignment successfully, then
+// dies and takes its store with it: Shard() always errors, like a
+// worker machine whose disk vanished with the process. Cells it
+// persisted in earlier batches exist in no other store, so the
+// coordinator's coverage check must detect the gap and re-execute
+// them — skipping the dead worker alone would silently thin the merge.
+type amnesiacWorker struct {
+	inner *shard.InProcWorker
+
+	mu        sync.Mutex
+	calls     int
+	persisted int
+}
+
+func (w *amnesiacWorker) Begin(rc shard.RunContext, index, count int) error {
+	return w.inner.Begin(rc, index, count)
+}
+
+func (w *amnesiacWorker) Execute(cells []fleet.Cell) ([]fleet.CellResult, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.calls++
+	if w.calls > 1 {
+		return nil, errors.New("worker process is gone")
+	}
+	res, err := w.inner.Execute(cells)
+	if err == nil {
+		w.persisted += len(cells)
+	}
+	return res, err
+}
+
+func (w *amnesiacWorker) Shard() (store.ShardData, bool, error) {
+	return store.ShardData{}, false, errors.New("worker store is unreachable")
+}
+
+func (w *amnesiacWorker) Close() error { return w.inner.Close() }
+
+func TestShardRunRecoversCellsLostWithDeadWorkerStore(t *testing.T) {
+	// Adaptive, multi-batch: worker 0 persists its batch-1 cells, then
+	// dies before batch 2 and its store becomes unreachable. The
+	// campaign must still finish and merge byte-identical — the lost
+	// cells re-executed from their label-keyed substreams on survivors.
+	spec := testutil.EC2Spec(t, 7, 0)
+	spec.Repetitions = 8
+	spec.Stopping = fleet.StoppingSpec{ErrorBound: 0.001, MaxReps: 12}
+	meta := sharedMeta(t, spec, "")
+	wantRes, wantStore := singleRun(t, spec, meta)
+	want := testutil.EncodeResult(t, wantRes)
+
+	lost := &amnesiacWorker{inner: &shard.InProcWorker{Dir: t.TempDir()}}
+	workers := []shard.Worker{
+		lost,
+		&shard.InProcWorker{Dir: t.TempDir()},
+		&shard.InProcWorker{Dir: t.TempDir()},
+	}
+	gotRes, gotStore := distributedRun(t, spec, meta, workers)
+	if lost.persisted == 0 {
+		t.Fatal("scenario failed to persist any cell before the worker died — nothing was at risk")
+	}
+	if got := testutil.EncodeResult(t, gotRes); got != want {
+		t.Error("campaign result differs from single-process run after losing a worker's store")
+	}
+	assertStoresEqual(t, gotStore, wantStore, false, "cells.jsonl")
 }
 
 func TestShardRunFailsWhenAllWorkersDie(t *testing.T) {

@@ -106,6 +106,7 @@ type WorkerServer struct {
 
 type workerCampaign struct {
 	spec fleet.CampaignSpec
+	key  string
 	st   *store.Store
 	run  *store.Run
 }
@@ -139,6 +140,13 @@ func (s *WorkerServer) campaignFor(req executeRequest) (*workerCampaign, error) 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if wc, ok := s.runs[req.RunID]; ok {
+		// Re-verify on every use, not only first creation: a run ID
+		// reused for a different campaign must never execute cells
+		// under the cached spec and persist them into the other
+		// campaign's shard store.
+		if req.SpecKey != "" && req.SpecKey != wc.key {
+			return nil, fmt.Errorf("shard: run %q is already bound to spec key %.12s, request carries %.12s — one run id cannot serve two campaigns", req.RunID, wc.key, req.SpecKey)
+		}
 		return wc, nil
 	}
 	doc, err := expspec.Decode(req.SpecDoc)
@@ -170,7 +178,7 @@ func (s *WorkerServer) campaignFor(req executeRequest) (*workerCampaign, error) 
 	if err != nil {
 		return nil, err
 	}
-	wc := &workerCampaign{spec: spec, st: st, run: run}
+	wc := &workerCampaign{spec: spec, key: key, st: st, run: run}
 	s.runs[req.RunID] = wc
 	return wc, nil
 }
@@ -218,12 +226,32 @@ func (s *WorkerServer) handleShard(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	wc, ok := s.runs[runID]
 	s.mu.Unlock()
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("shard: worker holds no run %q", runID))
-		return
+	var st *store.Store
+	if ok {
+		st = wc.st
+	} else {
+		// Not in memory does not mean not persisted: a worker process
+		// that restarted mid-campaign still holds its shard on disk,
+		// and 404ing here would silently exclude those cells from the
+		// merge. Fall back to the store before claiming ignorance.
+		if !store.ValidRunID(runID) {
+			httpError(w, http.StatusNotFound, fmt.Errorf("shard: worker holds no run %q", runID))
+			return
+		}
+		var err error
+		if st, err = store.Open(s.dir); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
-	d, err := store.LoadShard(wc.st, runID)
+	d, err := store.LoadShard(st, runID)
 	if err != nil {
+		if !ok {
+			// Nothing in memory and nothing loadable on disk: this
+			// worker genuinely never persisted the run.
+			httpError(w, http.StatusNotFound, fmt.Errorf("shard: worker holds no run %q", runID))
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -340,9 +368,12 @@ func (w *HTTPWorker) Shard() (store.ShardData, bool, error) {
 		return store.ShardData{}, false, fmt.Errorf("shard: fetching shard from %s: %w", w.URL, err)
 	}
 	if resp.StatusCode == http.StatusNotFound {
-		// The worker never executed anything for this run (every one
-		// of its shards was reassigned before it started, or it held
-		// no cells): nothing to merge.
+		// The worker never persisted anything for this run — the
+		// server checks its disk store as well as its memory, so even
+		// a restarted worker only 404s when it held no cells (every
+		// one of its shards was reassigned before it started). The
+		// coordinator's coverage check re-verifies that no cell is
+		// lost to this answer.
 		return store.ShardData{}, false, nil
 	}
 	if resp.StatusCode != http.StatusOK {

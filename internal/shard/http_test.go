@@ -6,6 +6,9 @@ package shard_test
 // be indistinguishable from one executed locally.
 
 import (
+	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -87,7 +90,7 @@ func TestHTTPWorkersByteIdentity(t *testing.T) {
 		t.Fatalf("collected %d shard stores, want 2", len(shards))
 	}
 	dst := testutil.TempStore(t)
-	merged, err := store.MergeShards(dst, "r1", shards)
+	merged, err := store.MergeShards(dst, "r1", shards, gotRes.StoredLabels())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +146,7 @@ func TestHTTPWorkerReassignment(t *testing.T) {
 		t.Fatalf("collected %d shard stores, want 1 (the survivor)", len(shards))
 	}
 	dst := testutil.TempStore(t)
-	merged, err := store.MergeShards(dst, "r1", shards)
+	merged, err := store.MergeShards(dst, "r1", shards, gotRes.StoredLabels())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,6 +185,115 @@ func TestHTTPWorkerRefusesSpecKeyMismatch(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "spec key") {
 		t.Errorf("want a spec-key refusal, got: %v", err)
+	}
+}
+
+// TestWorkerServesShardFromDiskAfterRestart pins the restart path: a
+// worker process that restarted mid-campaign has an empty in-memory
+// runs map, but its shard store survived on disk. GET /v1/shard must
+// serve it from there — a 404 would silently exclude the restarted
+// worker's cells from the merge.
+func TestWorkerServesShardFromDiskAfterRestart(t *testing.T) {
+	plan := compileLoopbackDoc(t, loopbackDoc)
+	spec := plan.Campaign.Spec
+	meta := sharedMeta(t, spec, "")
+	dir := t.TempDir()
+	srv := httptest.NewServer(shard.NewWorkerServer(dir).Handler())
+	res, shards, err := shard.Run(shard.Campaign{
+		Spec:    spec,
+		SpecDoc: plan.Bytes,
+		RunID:   "r1",
+		Meta:    meta,
+		Workers: []shard.Worker{&shard.HTTPWorker{URL: srv.URL}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 1 {
+		t.Fatalf("collected %d shard stores, want 1", len(shards))
+	}
+	srv.Close()
+
+	// "Restart" the worker: a fresh server over the same directory.
+	srv2 := httptest.NewServer(shard.NewWorkerServer(dir).Handler())
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL + "/v1/shard?run=r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted worker answered %s, want 200 from its disk store: %s", resp.Status, b)
+	}
+	d, err := store.DecodeShardData(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != len(shards[0].Cells) {
+		t.Errorf("restarted worker served %d cells, the live worker served %d", len(d.Cells), len(shards[0].Cells))
+	}
+
+	// A run the worker never persisted is still a 404.
+	resp2, err := http.Get(srv2.URL + "/v1/shard?run=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown run answered %s, want 404", resp2.Status)
+	}
+}
+
+// TestWorkerRefusesRunIDReuseAcrossCampaigns pins the cache-hit guard:
+// once a run ID is bound to a campaign, a request carrying a different
+// spec key must be refused on every subsequent use, not only on first
+// creation — otherwise cells would execute under the wrong compiled
+// spec and persist into the other campaign's shard store.
+func TestWorkerRefusesRunIDReuseAcrossCampaigns(t *testing.T) {
+	plan := compileLoopbackDoc(t, loopbackDoc)
+	spec := plan.Campaign.Spec
+	key, err := store.SpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(shard.NewWorkerServer(t.TempDir()).Handler())
+	defer srv.Close()
+
+	post := func(specKey string) *http.Response {
+		t.Helper()
+		body := fmt.Sprintf(`{"run_id":"r1","spec_key":%q,"spec_doc":%s,"index":0,"count":1,"meta":{"created_unix":1},"cells":[%q]}`,
+			specKey, plan.Bytes, spec.Cells()[0].Label())
+		resp, err := http.Post(srv.URL+"/v1/execute", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Bind r1 to the campaign.
+	resp := post(key)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first execute answered %s, want 200", resp.Status)
+	}
+
+	// Reuse the run ID under a forged spec key: the cached campaign
+	// must re-verify and refuse.
+	resp2 := post(strings.Repeat("f", len(key)))
+	defer resp2.Body.Close()
+	b, _ := io.ReadAll(resp2.Body)
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("conflicting execute answered %s, want 400: %s", resp2.Status, b)
+	}
+	if !strings.Contains(string(b), "already bound") {
+		t.Errorf("refusal does not name the binding conflict: %s", b)
 	}
 }
 

@@ -142,9 +142,17 @@ func (d ShardData) Validate() error {
 // of the same spec. Shards disagreeing on any campaign identity —
 // SpecKey, MatrixKey, the spec identity (stopping policy included),
 // encoding, fingerprints, shard count — are refused loudly, as are
-// overlapping cells whose bytes differ. The returned run is open for
-// appending precision records (RecordPrecision).
-func MergeShards(dst *Store, runID string, shards []ShardData) (*Run, error) {
+// overlapping cells whose bytes differ.
+//
+// want is the coordinator's completeness expectation: the labels of
+// every successfully measured cell (exactly the set some worker
+// persisted — fleet.CampaignResult.StoredLabels). The merge refuses
+// when the union of shard cells misses any of them or holds a cell
+// outside the set: a shard store lost with a dead worker must surface
+// as a loud error, never as a silently thinner run. nil skips the
+// check, for offline merges with no execution record. The returned
+// run is open for appending precision records (RecordPrecision).
+func MergeShards(dst *Store, runID string, shards []ShardData, want []string) (*Run, error) {
 	if !runIDPattern.MatchString(runID) {
 		return nil, fmt.Errorf("store: run id %q must match %s", runID, runIDPattern)
 	}
@@ -241,6 +249,29 @@ func MergeShards(dst *Store, runID string, shards []ShardData) (*Run, error) {
 			}
 			merged[rec.Label] = rec
 			encoded[rec.Label] = b
+		}
+	}
+
+	if want != nil {
+		wantSet := make(map[string]bool, len(want))
+		missing := 0
+		first := ""
+		for _, label := range want {
+			wantSet[label] = true
+			if _, ok := merged[label]; !ok {
+				missing++
+				if first == "" {
+					first = label
+				}
+			}
+		}
+		if missing > 0 {
+			return nil, fmt.Errorf("store: refusing merge: %d of %d expected cells are in no shard store (first missing: %s) — a worker's persisted cells were lost without re-execution, and a silently thinner run must never commit as complete", missing, len(want), first)
+		}
+		for label := range merged {
+			if !wantSet[label] {
+				return nil, fmt.Errorf("store: refusing merge: shard cell %s is not in the campaign's expected cell set", label)
+			}
 		}
 	}
 

@@ -78,6 +78,16 @@ func runShard(t testing.TB, st *store.Store, runID string, spec fleet.CampaignSp
 	}
 }
 
+// labelsOf is the coverage expectation for a campaign where every
+// cell succeeded: all matrix labels.
+func labelsOf(cells []fleet.Cell) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = c.Label()
+	}
+	return out
+}
+
 // splitCells partitions the matrix round-robin into n shards.
 func splitCells(cells []fleet.Cell, n int) [][]fleet.Cell {
 	out := make([][]fleet.Cell, n)
@@ -124,7 +134,7 @@ func TestMergeShardsByteIdentity(t *testing.T) {
 			}
 
 			dst := testutil.TempStore(t)
-			merged, err := store.MergeShards(dst, "r1", data)
+			merged, err := store.MergeShards(dst, "r1", data, labelsOf(spec.Cells()))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -178,7 +188,7 @@ func TestMergeShardsDeduplicatesReassignedCells(t *testing.T) {
 	}
 
 	dst := testutil.TempStore(t)
-	merged, err := store.MergeShards(dst, "r1", []store.ShardData{a, b})
+	merged, err := store.MergeShards(dst, "r1", []store.ShardData{a, b}, labelsOf(cells))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +217,7 @@ func TestMergeShardsRefusals(t *testing.T) {
 		a := load(t, spec, meta, store.ShardStamp{Index: 0, Count: 2}, cells[:2])
 		other := testutil.EC2Spec(t, 10, 1) // different seed, different campaign
 		b := load(t, other, mergeMeta(t, other, ""), store.ShardStamp{Index: 1, Count: 2}, other.Cells()[2:])
-		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b})
+		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b}, nil)
 		if err == nil || !strings.Contains(err.Error(), "spec key") {
 			t.Fatalf("want loud spec-key refusal, got %v", err)
 		}
@@ -220,7 +230,7 @@ func TestMergeShardsRefusals(t *testing.T) {
 		// stopping identity diverged must be refused on the stopping
 		// check itself, not silently merged on key equality.
 		b.Manifest.Spec.Stopping = &store.StoppingIdentity{Quantile: 0.5, Confidence: 0.95, ErrorBound: 0.1, MinReps: 2, MaxReps: 8}
-		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b})
+		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b}, nil)
 		if err == nil || !strings.Contains(err.Error(), "stopping identity") {
 			t.Fatalf("want loud stopping-identity refusal, got %v", err)
 		}
@@ -230,7 +240,7 @@ func TestMergeShardsRefusals(t *testing.T) {
 		a := load(t, spec, meta, store.ShardStamp{Index: 0, Count: 2}, cells[:2])
 		b := load(t, spec, meta, store.ShardStamp{Index: 1, Count: 2}, cells[2:])
 		b.Manifest.Shard = nil
-		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b})
+		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b}, nil)
 		if err == nil || !strings.Contains(err.Error(), "shard stamp") {
 			t.Fatalf("want unstamped refusal, got %v", err)
 		}
@@ -239,7 +249,7 @@ func TestMergeShardsRefusals(t *testing.T) {
 	t.Run("duplicate shard index", func(t *testing.T) {
 		a := load(t, spec, meta, store.ShardStamp{Index: 0, Count: 2}, cells[:2])
 		b := load(t, spec, meta, store.ShardStamp{Index: 0, Count: 2}, cells[2:])
-		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b})
+		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b}, nil)
 		if err == nil || !strings.Contains(err.Error(), "claim index") {
 			t.Fatalf("want duplicate-index refusal, got %v", err)
 		}
@@ -255,14 +265,38 @@ func TestMergeShardsRefusals(t *testing.T) {
 				b.Cells[i].Series.Points[0].BandwidthGbps++
 			}
 		}
-		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b})
+		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b}, nil)
 		if err == nil || !strings.Contains(err.Error(), "different bytes") {
 			t.Fatalf("want conflicting-duplicate refusal, got %v", err)
 		}
 	})
 
+	t.Run("missing expected cell", func(t *testing.T) {
+		// The coordinator measured every cell, but one shard store was
+		// lost (a dead worker's earlier batches): the union no longer
+		// covers the expectation and the merge must refuse rather than
+		// commit a silently thinner run.
+		a := load(t, spec, meta, store.ShardStamp{Index: 0, Count: 2}, cells[:2])
+		b := load(t, spec, meta, store.ShardStamp{Index: 1, Count: 2}, cells[2:len(cells)-1])
+		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b}, labelsOf(cells))
+		if err == nil || !strings.Contains(err.Error(), "expected cells are in no shard store") {
+			t.Fatalf("want loud completeness refusal, got %v", err)
+		}
+	})
+
+	t.Run("unexpected cell", func(t *testing.T) {
+		// A shard holding a cell outside the coordinator's record is
+		// equally unmergeable: it belongs to no observed execution.
+		a := load(t, spec, meta, store.ShardStamp{Index: 0, Count: 2}, cells[:2])
+		b := load(t, spec, meta, store.ShardStamp{Index: 1, Count: 2}, cells[2:])
+		_, err := store.MergeShards(testutil.TempStore(t), "r1", []store.ShardData{a, b}, labelsOf(cells[:len(cells)-1]))
+		if err == nil || !strings.Contains(err.Error(), "not in the campaign's expected cell set") {
+			t.Fatalf("want unexpected-cell refusal, got %v", err)
+		}
+	})
+
 	t.Run("zero shards", func(t *testing.T) {
-		if _, err := store.MergeShards(testutil.TempStore(t), "r1", nil); err == nil {
+		if _, err := store.MergeShards(testutil.TempStore(t), "r1", nil, nil); err == nil {
 			t.Fatal("want refusal for zero shards")
 		}
 	})

@@ -202,7 +202,7 @@ func BenchmarkStoreShardMerge(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		run, err := store.MergeShards(dst, fmt.Sprintf("m%d", i), data)
+		run, err := store.MergeShards(dst, fmt.Sprintf("m%d", i), data, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
