@@ -19,6 +19,8 @@
 //     (internal/store, internal/longitudinal)
 //   - distributed campaign sharding with a byte-identical merge
 //     (internal/shard, cmd/campaignd)
+//   - deterministic fault injection and the coordinator's resilience
+//     layer (internal/faults, internal/shard)
 //   - composable adverse-condition scenarios (internal/scenario)
 //   - the declarative experiment-spec API (internal/expspec)
 //   - figure/table regeneration (internal/figures)
@@ -40,6 +42,7 @@ import (
 	"cloudvar/internal/confirm"
 	"cloudvar/internal/core"
 	"cloudvar/internal/expspec"
+	"cloudvar/internal/faults"
 	"cloudvar/internal/figures"
 	"cloudvar/internal/fleet"
 	"cloudvar/internal/longitudinal"
@@ -416,6 +419,55 @@ var (
 	// refusing mismatched identities, non-identical duplicates, and —
 	// given the coordinator's expected label set — incomplete unions.
 	MergeShards = store.MergeShards
+)
+
+// Fault injection and resilience: deterministic chaos for distributed
+// campaigns. A seeded fault plan perturbs workers and transports —
+// crashes, stalls, torn responses, partitions — while the coordinator's
+// resilience layer (classified retries, circuit breakers, graceful
+// degradation) keeps the merged run byte-identical to a fault-free one
+// (internal/faults, internal/shard).
+type (
+	// FaultPlan is a named, parameterized fault schedule; compile it
+	// with FaultInjector for a concrete fleet.
+	FaultPlan = faults.Plan
+	// FaultInjector holds per-worker fault state compiled from a plan;
+	// wire it in with InjectShardFaults or its HTTP Transport.
+	FaultInjector = faults.Injector
+	// InjectedFault is the error an injector produces for crash,
+	// error-burst, and partition windows; always transient.
+	InjectedFault = faults.Error
+	// ShardRetryPolicy tunes the coordinator's resilience layer:
+	// attempts, capped backoff, breaker threshold, jitter seed.
+	ShardRetryPolicy = shard.RetryPolicy
+	// ShardErrorClass is the retry/abort classification of a worker
+	// error.
+	ShardErrorClass = shard.ErrorClass
+	// ShardStatusError is a non-2xx answer from a worker, carrying the
+	// HTTP status that classifies it.
+	ShardStatusError = shard.StatusError
+	// ShardHealthChecker is implemented by workers that can answer
+	// half-open circuit-breaker probes.
+	ShardHealthChecker = shard.HealthChecker
+)
+
+// Fault-injection functions and classification results.
+var (
+	// BuildFaultPlan resolves a fault-plan name and parameter overrides
+	// against the registry, defaults spelled out.
+	BuildFaultPlan = faults.Build
+	// FaultPlanNames lists the registered fault plans.
+	FaultPlanNames = faults.Names
+	// InjectShardFaults wraps an in-process worker with one injector
+	// lane's fault schedule.
+	InjectShardFaults = shard.InjectFaults
+	// ClassifyShardError sorts a worker error into transient (retry)
+	// or fatal (abort the campaign).
+	ClassifyShardError = shard.Classify
+	// ShardErrTransient marks an error worth retrying.
+	ShardErrTransient = shard.ClassTransient
+	// ShardErrFatal marks a protocol refusal that aborts the campaign.
+	ShardErrFatal = shard.ClassFatal
 )
 
 // Adverse-condition scenarios: named, seedable, composable.

@@ -30,18 +30,28 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
+
+// shutdownGrace bounds how long a draining server waits for open
+// connections after SIGINT/SIGTERM. The in-flight campaign is drained
+// separately (and unboundedly) by service.stop — a merge is never cut
+// off half-written.
+const shutdownGrace = 30 * time.Second
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("campaignd", flag.ContinueOnError)
@@ -64,12 +74,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fatal(fmt.Errorf("-dir is required (the store directory)"))
 	}
 
+	// drain runs after the HTTP server stops accepting work: the
+	// worker closes its open run handles, the coordinator finishes the
+	// in-flight campaign and fails what is still queued.
 	var handler http.Handler
+	var drain func() error
 	if *worker {
 		if *workerList != "" {
 			return fatal(fmt.Errorf("-workers is a coordinator flag; a worker has no fleet"))
 		}
-		handler = workerHandler(*dir)
+		ws := newWorkerServer(*dir)
+		handler = ws.Handler()
+		drain = ws.Close
 		fmt.Fprintf(stdout, "campaignd: worker serving shards into %s on %s\n", *dir, *listen)
 	} else {
 		var urls []string
@@ -81,12 +97,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fatal(err)
 		}
 		svc.start()
-		defer svc.stop()
 		handler = svc.handler()
+		drain = func() error { svc.stop(); return nil }
 		fmt.Fprintf(stdout, "campaignd: coordinator serving %s on %s (%d configured workers)\n", *dir, *listen, len(urls))
 	}
-	if err := http.ListenAndServe(*listen, handler); err != nil {
-		return fatal(err)
+	return serve(*listen, handler, drain, stdout, stderr)
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then shuts down
+// gracefully: stop accepting, drain open connections (bounded by
+// shutdownGrace), then drain the campaign state via drain().
+func serve(listen string, handler http.Handler, drain func() error, stdout, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Addr: listen, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "campaignd:", err)
+		return 1
+	case <-ctx.Done():
 	}
-	return 0
+	stop() // a second signal kills immediately instead of waiting out the drain
+	fmt.Fprintln(stdout, "campaignd: shutting down")
+
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintln(stderr, "campaignd: shutdown:", err)
+		code = 1
+	}
+	if err := drain(); err != nil {
+		fmt.Fprintln(stderr, "campaignd: drain:", err)
+		code = 1
+	}
+	fmt.Fprintln(stdout, "campaignd: stopped")
+	return code
 }

@@ -9,6 +9,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -20,16 +21,18 @@ import (
 
 	"cloudvar/internal/core"
 	"cloudvar/internal/expspec"
+	"cloudvar/internal/faults"
 	"cloudvar/internal/fleet"
 	"cloudvar/internal/longitudinal"
 	"cloudvar/internal/shard"
 	"cloudvar/internal/store"
 )
 
-// workerHandler is the worker-mode API: internal/shard's worker
-// server, verbatim.
-func workerHandler(dir string) http.Handler {
-	return shard.NewWorkerServer(dir).Handler()
+// newWorkerServer is the worker-mode API: internal/shard's worker
+// server, verbatim. The caller owns Close — graceful shutdown flushes
+// and closes every run handle the worker still has open.
+func newWorkerServer(dir string) *shard.WorkerServer {
+	return shard.NewWorkerServer(dir)
 }
 
 // run statuses, in lifecycle order.
@@ -106,10 +109,22 @@ func (s *service) start() {
 	}()
 }
 
-// stop shuts the scheduler down after the in-flight run finishes.
+// stop shuts the scheduler down: the in-flight run finishes (its
+// merge commits or it fails — never a half-merged store), then any
+// still-queued runs are failed with a shutdown error so clients
+// polling their status see a terminal state instead of "queued"
+// forever.
 func (s *service) stop() {
 	close(s.quit)
 	s.done.Wait()
+	for {
+		select {
+		case rs := <-s.queue:
+			s.setStatus(rs, statusFailed, "campaignd: service shut down before this run started")
+		default:
+			return
+		}
+	}
 }
 
 // handler returns the coordinator's HTTP API.
@@ -126,8 +141,11 @@ func (s *service) handler() http.Handler {
 	return mux
 }
 
+// httpError writes the service's JSON error envelope — the same shape
+// the worker API uses, so every error in the system parses the same
+// way.
 func httpError(w http.ResponseWriter, status int, err error) {
-	http.Error(w, err.Error(), status)
+	shard.WriteHTTPError(w, status, err)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -140,9 +158,14 @@ func writeJSON(w http.ResponseWriter, v any) {
 // spec key is idempotent — the cached run is served; a same-ID run
 // with a different key is a conflict, never an overwrite.
 func (s *service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, err)
 		return
 	}
 	doc, err := expspec.Decode(body)
@@ -347,13 +370,31 @@ func (s *service) runCampaign(rs *runState) error {
 		meta.Encoding = rs.plan.Store.Encoding
 	}
 
+	// A faults: section compiles to one injector for the whole fleet —
+	// in-process workers are wrapped worker-side, HTTP workers get a
+	// fault-injecting transport. Either way the resilience layer below
+	// (retry ring, breaker, local fallback) is what absorbs the faults;
+	// the merged bytes must come out identical to a fault-free run.
+	var inj *faults.Injector
+	if fp := rs.plan.Faults; fp != nil {
+		plan := faults.Plan{Name: fp.Plan, Params: fp.Params}
+		inj, err = plan.Injector(fp.Seed, rs.Shards)
+		if err != nil {
+			return err
+		}
+	}
+
 	// Build the fleet: HTTP workers when URLs are configured, else
 	// in-process shards in scratch stores under the service directory.
 	var workers []shard.Worker
 	scratch := filepath.Join(s.dir, ".shards", rs.ID)
 	if len(rs.workers) > 0 {
-		for _, u := range rs.workers {
-			workers = append(workers, &shard.HTTPWorker{URL: u})
+		for i, u := range rs.workers {
+			w := &shard.HTTPWorker{URL: u, AttemptTimeout: 2 * time.Minute}
+			if inj != nil {
+				w.Client = &http.Client{Transport: inj.Transport(i, nil)}
+			}
+			workers = append(workers, w)
 		}
 	} else {
 		for i := 0; i < rs.Shards; i++ {
@@ -361,17 +402,22 @@ func (s *service) runCampaign(rs *runState) error {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				return err
 			}
-			workers = append(workers, &shard.InProcWorker{Dir: dir})
+			var w shard.Worker = &shard.InProcWorker{Dir: dir}
+			if inj != nil {
+				w = shard.InjectFaults(w, inj.State(i))
+			}
+			workers = append(workers, w)
 		}
 		defer os.RemoveAll(scratch)
 	}
 
 	res, shards, err := shard.Run(shard.Campaign{
-		Spec:    spec,
-		SpecDoc: rs.plan.Bytes,
-		RunID:   rs.ID,
-		Meta:    meta,
-		Workers: workers,
+		Spec:     spec,
+		SpecDoc:  rs.plan.Bytes,
+		RunID:    rs.ID,
+		Meta:     meta,
+		Workers:  workers,
+		Fallback: &shard.InProcWorker{},
 	})
 	if err != nil {
 		return err

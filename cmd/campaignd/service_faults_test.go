@@ -1,0 +1,77 @@
+package main
+
+// Service-level chaos wiring: a spec document carrying a faults:
+// section must compile to an injector over the run's fleet, survive
+// through the resilience layer, and commit a merged run identical to
+// the fault-free reference — the whole tentpole, end to end through
+// the HTTP API.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cloudvar/internal/faults"
+	"cloudvar/internal/shard"
+)
+
+// chaosSpecDoc is specDoc plus sharding and faults sections.
+func chaosSpecDoc(seed uint64, runID, plan string, shards int) string {
+	doc := specDoc(seed, runID)
+	doc = strings.TrimSuffix(strings.TrimSpace(doc), "}")
+	return doc + fmt.Sprintf(`,
+  "sharding": {"shards": %d},
+  "faults": {"plan": %q}
+}
+`, shards, plan)
+}
+
+func TestServiceFaultsSectionMatchesReference(t *testing.T) {
+	for _, plan := range faults.Names() {
+		t.Run(plan, func(t *testing.T) {
+			base, dir := startService(t, nil)
+			doc := chaosSpecDoc(31, "chaos", plan, 3)
+			rs := submit(t, base, doc)
+			if rs.Shards != 3 {
+				t.Fatalf("shards = %d, want the declared 3", rs.Shards)
+			}
+			awaitDone(t, base, "chaos")
+			_, keys, want := singleProcessReference(t, doc)
+			assertRunMatchesReference(t, dir, "chaos", keys, want)
+		})
+	}
+}
+
+// TestServiceFaultsSectionOverHTTPWorkers drives the same wiring
+// through real worker processes: the injector lands on the HTTP
+// transport instead of the worker wrapper.
+func TestServiceFaultsSectionOverHTTPWorkers(t *testing.T) {
+	w1 := httptest.NewServer(shard.NewWorkerServer(t.TempDir()).Handler())
+	defer w1.Close()
+	w2 := httptest.NewServer(shard.NewWorkerServer(t.TempDir()).Handler())
+	defer w2.Close()
+	base, dir := startService(t, []string{w1.URL, w2.URL})
+	doc := chaosSpecDoc(33, "chaos-http", "torn-response", 2)
+	rs := submit(t, base, doc)
+	if rs.Shards != 2 {
+		t.Fatalf("shards = %d, want one per worker", rs.Shards)
+	}
+	awaitDone(t, base, "chaos-http")
+	_, keys, want := singleProcessReference(t, doc)
+	assertRunMatchesReference(t, dir, "chaos-http", keys, want)
+}
+
+func TestServiceRejectsUnknownFaultPlan(t *testing.T) {
+	base, _ := startService(t, nil)
+	doc := chaosSpecDoc(35, "bad", "meteor-strike", 1)
+	resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown fault plan answered %d, want 400", resp.StatusCode)
+	}
+}

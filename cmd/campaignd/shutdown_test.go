@@ -1,0 +1,127 @@
+package main
+
+// Process-level graceful-shutdown test: SIGTERM must drain — the
+// coordinator finishes its in-flight campaign and commits the merge,
+// the worker closes its run handles — and both exit 0. A kill that
+// loses a run, tears a store, or exits nonzero is a regression.
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startForShutdown launches the binary and returns the command handle
+// so the test can signal it; the cleanup kill is only a backstop.
+func startForShutdown(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd
+}
+
+// awaitExit waits for the process to exit and returns its exit code.
+func awaitExit(t *testing.T, cmd *exec.Cmd) int {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		t.Fatalf("waiting for process: %v", err)
+	case <-time.After(45 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("process ignored SIGTERM for 45s")
+	}
+	return -1
+}
+
+func TestE2EGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level e2e test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "campaignd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building campaignd: %v", err)
+	}
+
+	// A worker process must exit 0 on SIGTERM.
+	wAddr := freeAddr(t)
+	workerCmd := startForShutdown(t, bin, "-worker", "-listen", wAddr, "-dir", t.TempDir())
+	awaitHealthy(t, "http://"+wAddr)
+
+	// A coordinator with a submitted campaign must drain it: by the
+	// time SIGTERM lands the run is queued or running, and the exit
+	// path finishes the merge before the process dies.
+	coordAddr := freeAddr(t)
+	storeDir := t.TempDir()
+	coordCmd := startForShutdown(t, bin, "-listen", coordAddr, "-dir", storeDir)
+	coord := "http://" + coordAddr
+	awaitHealthy(t, coord)
+
+	doc := specDoc(21, "drain")
+	submit(t, coord, doc)
+	// Wait until the scheduler picked the run up, so the signal lands
+	// mid-campaign (or just after), not while it is still queued.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(coord + "/v1/runs/drain")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rs runState
+		err = json.NewDecoder(resp.Body).Decode(&rs)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Status == statusRunning || rs.Status == statusDone {
+			break
+		}
+		if rs.Status == statusFailed {
+			t.Fatalf("run failed before shutdown: %s", rs.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never left %q", rs.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := coordCmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := awaitExit(t, coordCmd); code != 0 {
+		t.Errorf("coordinator exited %d on SIGTERM, want 0", code)
+	}
+	// The drained run is fully merged on disk — keys and cells match
+	// the single-process reference.
+	_, keys, want := singleProcessReference(t, doc)
+	assertRunMatchesReference(t, storeDir, "drain", keys, want)
+
+	if err := workerCmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := awaitExit(t, workerCmd); code != 0 {
+		t.Errorf("worker exited %d on SIGTERM, want 0", code)
+	}
+}

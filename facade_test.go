@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	cloudvar "cloudvar"
 )
@@ -175,6 +176,77 @@ func TestFacadeDistributedCampaign(t *testing.T) {
 	}
 	if len(cells) != len(spec.Cells()) {
 		t.Fatalf("merged %d cells, want %d", len(cells), len(spec.Cells()))
+	}
+}
+
+// TestFacadeFaultInjection drives the chaos surface: build a fault
+// plan from the registry, compile an injector over a two-worker
+// fleet, run the campaign under injection with the resilience layer
+// on, and check the merged run still carries every cell.
+func TestFacadeFaultInjection(t *testing.T) {
+	if names := cloudvar.FaultPlanNames(); len(names) < 6 {
+		t.Fatalf("fault-plan registry lists %v", names)
+	}
+	plan, err := cloudvar.BuildFaultPlan("error-burst", map[string]float64{"count": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Params["victims"] != 1 {
+		t.Fatalf("defaults not spelled out: %v", plan.Params)
+	}
+	inj, err := plan.Injector(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if cloudvar.ClassifyShardError(&cloudvar.ShardStatusError{Code: 400}) != cloudvar.ShardErrFatal {
+		t.Error("a 400 must classify fatal")
+	}
+	if cloudvar.ClassifyShardError(&cloudvar.ShardStatusError{Code: 503}) != cloudvar.ShardErrTransient {
+		t.Error("a 503 must classify transient")
+	}
+
+	profile, err := cloudvar.EC2Profile("c5.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cloudvar.CampaignSpec{
+		Profiles:    []cloudvar.CloudProfile{profile},
+		Regimes:     cloudvar.StandardRegimes()[:2],
+		Repetitions: 2,
+		Config:      cloudvar.DefaultCampaignConfig(60),
+		Seed:        9,
+	}
+	workers := make([]cloudvar.ShardWorker, 2)
+	for i := range workers {
+		workers[i] = cloudvar.InjectShardFaults(
+			&cloudvar.InProcShardWorker{Dir: t.TempDir()}, inj.State(i))
+	}
+	_, shards, err := cloudvar.RunShardedCampaign(cloudvar.ShardCampaign{
+		Spec:    spec,
+		RunID:   "chaos",
+		Meta:    cloudvar.StoredRunMeta{CreatedUnix: 1754600000},
+		Workers: workers,
+		Retry:   cloudvar.ShardRetryPolicy{BaseDelay: time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cloudvar.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := cloudvar.MergeShards(st, "chaos", shards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged.Close()
+	cells, err := st.Cells("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(spec.Cells()) {
+		t.Fatalf("merged %d cells under faults, want %d", len(cells), len(spec.Cells()))
 	}
 }
 

@@ -224,6 +224,17 @@ func (b *Builder) WithSharding(shards int, workers ...string) *Builder {
 	return b
 }
 
+// WithFaults injects a deterministic fault schedule into the
+// distributed campaign: plan names a registry fault plan, seed derives
+// the victim/jitter substreams (0 means the campaign seed), params
+// overrides plan parameters (nil keeps the registry defaults).
+// Operational only — faults never change result bytes, so the section
+// keeps the document's hash.
+func (b *Builder) WithFaults(plan string, seed uint64, params map[string]float64) *Builder {
+	b.doc.Faults = &Faults{Plan: plan, Seed: seed, Params: params}
+	return b
+}
+
 // WithCSV writes the raw series of a single-cell campaign to path.
 func (b *Builder) WithCSV(path string) *Builder {
 	if b.doc.Output == nil {

@@ -36,6 +36,9 @@ type Plan struct {
 	Store *StorePlan
 	// Sharding mirrors the document's sharding section.
 	Sharding *ShardingPlan
+	// Faults mirrors the document's faults section: the compiled
+	// fault-injection schedule for chaos runs (nil means no faults).
+	Faults *FaultsPlan
 	// Drift mirrors the document's drift section.
 	Drift *DriftPlan
 	// CSV is the raw-series output path ("" when none).
@@ -68,6 +71,15 @@ type StorePlan struct {
 type ShardingPlan struct {
 	Shards  int
 	Workers []string
+}
+
+// FaultsPlan parameterises deterministic fault injection: the
+// registry plan name, the schedule seed, and the fully resolved
+// parameters (faults.Plan{Name, Params}.Injector compiles them).
+type FaultsPlan struct {
+	Plan   string
+	Seed   uint64
+	Params map[string]float64
 }
 
 // DriftPlan parameterises the longitudinal comparison.
@@ -127,6 +139,16 @@ func Compile(doc Document) (Plan, error) {
 			Shards:  canon.Sharding.Shards,
 			Workers: append([]string(nil), canon.Sharding.Workers...),
 		}
+	}
+	if canon.Faults != nil {
+		fp := &FaultsPlan{Plan: canon.Faults.Plan, Seed: canon.Faults.Seed}
+		if len(canon.Faults.Params) > 0 {
+			fp.Params = make(map[string]float64, len(canon.Faults.Params))
+			for k, v := range canon.Faults.Params {
+				fp.Params[k] = v
+			}
+		}
+		plan.Faults = fp
 	}
 	if canon.Drift != nil {
 		plan.Drift = &DriftPlan{

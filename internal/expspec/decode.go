@@ -508,6 +508,38 @@ func decodeTree(tree any, baseDir string) (Document, error) {
 		d.Sharding = &sh
 	}
 
+	faultsSec, err := root.section("faults")
+	if err != nil {
+		return Document{}, err
+	}
+	if faultsSec != nil {
+		var f Faults
+		if f.Plan, err = faultsSec.str("plan"); err != nil {
+			return Document{}, err
+		}
+		if f.Seed, err = faultsSec.uint("seed"); err != nil {
+			return Document{}, err
+		}
+		params, perr := faultsSec.section("params")
+		if perr != nil {
+			return Document{}, perr
+		}
+		if params != nil {
+			f.Params = make(map[string]float64, len(params.m))
+			for k := range params.m {
+				v, err := params.float(k)
+				if err != nil {
+					return Document{}, err
+				}
+				f.Params[k] = v
+			}
+		}
+		if err := faultsSec.finish(); err != nil {
+			return Document{}, err
+		}
+		d.Faults = &f
+	}
+
 	drift, err := root.section("drift")
 	if err != nil {
 		return Document{}, err

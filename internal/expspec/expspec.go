@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"cloudvar/internal/faults"
 	"cloudvar/internal/figures"
 	"cloudvar/internal/fleet"
 	"cloudvar/internal/scenario"
@@ -98,6 +99,9 @@ type Document struct {
 	// Sharding distributes the campaign across worker processes
 	// (internal/shard, cmd/campaignd).
 	Sharding *Sharding `json:"sharding,omitempty"`
+	// Faults injects a deterministic fault schedule into the
+	// campaign's distributed execution (internal/faults).
+	Faults *Faults `json:"faults,omitempty"`
 	// Drift configures the longitudinal comparison over stored runs.
 	Drift *Drift `json:"drift,omitempty"`
 	// Output names campaign output artifacts (raw CSV series).
@@ -220,6 +224,25 @@ type Sharding struct {
 	Workers []string `json:"workers,omitempty"`
 }
 
+// Faults declares a deterministic fault schedule for the campaign's
+// distributed execution: a registered fault plan (internal/faults)
+// with parameter overrides and a schedule seed. Operational, like
+// store: and sharding: — the resilience contract makes a faulted run
+// byte-identical to a fault-free one, so the section never moves the
+// document's identity hash. Canonical form spells out the plan's full
+// resolved parameter set, the scenario rule: the stored document
+// replays the exact schedule even if registry defaults later change.
+type Faults struct {
+	// Plan names a registered fault plan (see faults.Names, e.g.
+	// "crash-restart").
+	Plan string `json:"plan"`
+	// Seed derives the schedule's substreams; 0 canonicalizes to the
+	// campaign seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Params override the plan's parameter defaults.
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
 // Drift configures the longitudinal comparison (cmd/drift) over the
 // document's store.
 type Drift struct {
@@ -339,6 +362,13 @@ func (d Document) Canonical() (Document, error) {
 			return Document{}, err
 		}
 		out.Sharding = &sh
+	}
+	if d.Faults != nil {
+		f, err := d.Faults.canonical(out.Campaign)
+		if err != nil {
+			return Document{}, err
+		}
+		out.Faults = &f
 	}
 	if d.Drift != nil {
 		dr := *d.Drift
@@ -523,6 +553,28 @@ func (s Sharding) canonical(hasCampaign bool) (Sharding, error) {
 	return out, nil
 }
 
+// canonical validates and defaults the faults section against the
+// fault-plan registry, recording the full resolved parameter set so
+// the canonical document replays the exact schedule even if registry
+// defaults later change. The seed defaults to the campaign seed.
+func (f Faults) canonical(c *Campaign) (Faults, error) {
+	if c == nil {
+		return Faults{}, fmt.Errorf("faults: requires a campaign section (fault plans schedule against the campaign's workers)")
+	}
+	if f.Plan == "" {
+		return Faults{}, fmt.Errorf("faults.plan: required (known: %v)", faults.Names())
+	}
+	built, err := faults.Build(f.Plan, f.Params)
+	if err != nil {
+		return Faults{}, err
+	}
+	out := Faults{Plan: f.Plan, Seed: f.Seed, Params: built.Params}
+	if out.Seed == 0 {
+		out.Seed = c.Seed
+	}
+	return out, nil
+}
+
 // canonical validates and defaults the stopping section, spelling out
 // every effective value.
 func (s Stopping) canonical() (Stopping, error) {
@@ -696,6 +748,7 @@ func hashCanonical(canon Document) (string, error) {
 	canon.Name = ""
 	canon.Store = nil
 	canon.Sharding = nil
+	canon.Faults = nil
 	canon.Output = nil
 	if canon.Campaign != nil {
 		c := *canon.Campaign

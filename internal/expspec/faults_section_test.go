@@ -1,0 +1,179 @@
+package expspec_test
+
+// Spec-level coverage for the faults: section — the operational knob
+// that schedules deterministic fault injection over a distributed
+// campaign. The contract: it canonicalizes against the fault-plan
+// registry with the full parameter set spelled out, it never moves
+// the document's identity hash (a chaos run merges byte-identically,
+// so it is the same experiment), and unknown plans or parameters are
+// refused by name.
+
+import (
+	"strings"
+	"testing"
+
+	"cloudvar/internal/expspec"
+)
+
+func faultyDoc() expspec.Document {
+	d := minimal()
+	d.Faults = &expspec.Faults{Plan: "crash-restart"}
+	return d
+}
+
+func TestFaultsCanonicalResolvesDefaults(t *testing.T) {
+	canon, err := faultyDoc().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := canon.Faults
+	if f == nil {
+		t.Fatal("faults section dropped by canonicalization")
+	}
+	// The registry defaults are spelled out in full, the scenario rule.
+	for k, want := range map[string]float64{"victims": 1, "at": 0, "probes": 2} {
+		if got := f.Params[k]; got != want {
+			t.Errorf("canonical params[%q] = %v, want %v", k, got, want)
+		}
+	}
+	// An unset seed canonicalizes to the campaign seed.
+	if f.Seed != canon.Campaign.Seed {
+		t.Errorf("seed = %d, want the campaign seed %d", f.Seed, canon.Campaign.Seed)
+	}
+
+	// Overrides survive and explicit seeds are kept.
+	d := faultyDoc()
+	d.Faults.Seed = 99
+	d.Faults.Params = map[string]float64{"probes": 5}
+	canon, err = d.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Faults.Seed != 99 || canon.Faults.Params["probes"] != 5 {
+		t.Errorf("explicit seed/params lost: %+v", canon.Faults)
+	}
+
+	// Idempotence: canonicalizing a canonical document is a no-op.
+	again, err := canon.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Faults.Seed != canon.Faults.Seed || again.Faults.Params["probes"] != canon.Faults.Params["probes"] {
+		t.Errorf("canonicalization not idempotent: %+v vs %+v", again.Faults, canon.Faults)
+	}
+}
+
+func TestFaultsRejectsBadSections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*expspec.Document)
+		want string
+	}{
+		{"no campaign", func(d *expspec.Document) {
+			d.Campaign = nil
+			d.Apps = []string{"kmeans"}
+		}, "requires a campaign"},
+		{"missing plan", func(d *expspec.Document) {
+			d.Faults.Plan = ""
+		}, "faults.plan"},
+		{"unknown plan", func(d *expspec.Document) {
+			d.Faults.Plan = "meteor-strike"
+		}, "unknown fault plan"},
+		{"unknown parameter", func(d *expspec.Document) {
+			d.Faults.Params = map[string]float64{"delayMs": 3}
+		}, "no parameter"},
+		{"invalid parameter", func(d *expspec.Document) {
+			d.Faults.Params = map[string]float64{"probes": 0}
+		}, "must be >= 1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := faultyDoc()
+			c.mut(&d)
+			_, err := d.Canonical()
+			if err == nil {
+				t.Fatal("invalid faults section canonicalized")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestFaultsIsOperational pins the identity rule: adding, changing or
+// removing the faults section never moves the document's hash — a
+// campaign run under injected faults is the same experiment.
+func TestFaultsIsOperational(t *testing.T) {
+	plain, err := minimal().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaotic, err := faultyDoc().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != chaotic {
+		t.Error("faults section moved the document hash — injection must be operational, not identity")
+	}
+	d := faultyDoc()
+	d.Faults.Plan = "partition"
+	d.Faults.Seed = 123
+	other, err := d.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other != plain {
+		t.Error("fault plan choice moved the document hash")
+	}
+}
+
+func TestFaultsDecodesAndCompiles(t *testing.T) {
+	doc, err := expspec.Decode([]byte(`
+schemaVersion: 2
+campaign:
+  profiles:
+    - cloud: ec2
+  hours: 0.01
+  seed: 7
+faults:
+  plan: stall
+  seed: 3
+  params:
+    delayMs: 50
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Faults == nil || doc.Faults.Plan != "stall" || doc.Faults.Seed != 3 || doc.Faults.Params["delayMs"] != 50 {
+		t.Fatalf("faults section misdecoded: %+v", doc.Faults)
+	}
+	plan, err := expspec.Compile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := plan.Faults
+	if fp == nil || fp.Plan != "stall" || fp.Seed != 3 {
+		t.Fatalf("faults plan miscompiled: %+v", fp)
+	}
+	// Compile carries the fully resolved parameter set.
+	if fp.Params["delayMs"] != 50 || fp.Params["victims"] != 1 || fp.Params["count"] != 2 {
+		t.Errorf("compiled params not fully resolved: %v", fp.Params)
+	}
+
+	// Strict decoding: an unknown field inside faults names its path.
+	_, err = expspec.Decode([]byte(`{"schemaVersion":2,"campaign":{"profiles":[{"cloud":"ec2"}],"hours":0.01,"seed":7},"faults":{"plans":"crash"}}`))
+	if err == nil || !strings.Contains(err.Error(), `"faults.plans"`) {
+		t.Errorf("unknown faults field not rejected with its path: %v", err)
+	}
+
+	// An unregistered plan decodes (registry validation belongs to
+	// canonicalization) but refuses to compile, naming the known plans.
+	d2, err := expspec.Decode([]byte(`{"schemaVersion":2,"campaign":{"profiles":[{"cloud":"ec2"}],"hours":0.01,"seed":7},"faults":{"plan":"nope"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := expspec.Compile(d2); err == nil || !strings.Contains(err.Error(), "unknown fault plan") {
+		t.Errorf("unknown plan not refused: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package faults is a deterministic fault-injection harness for the
+// distributed campaign service (internal/shard, cmd/campaignd).
+//
+// The paper's argument is that cloud experiments silently absorb the
+// misbehaviour of the infrastructure under them; PR 9's campaign
+// service extended the same blind trust to its *own* infrastructure.
+// This package makes that misbehaviour first-class and replayable: a
+// Plan names a registered fault primitive — worker crash, crash then
+// restart, response stall, transport error burst, torn response,
+// coordinator↔worker partition — with numeric parameters, and
+// compiles against (seed, worker count) into an Injector whose
+// per-worker schedules are derived from simrand substreams, the same
+// discipline scenarios use. A fault schedule is a pure function of
+// (plan, seed, workers): every chaos run replays exactly.
+//
+// Faults are operational, like the expspec store and sharding
+// sections: they may change how long a campaign takes and which
+// worker computed a cell, never a result byte. The resilience layer
+// in internal/shard is what upholds that contract; the chaos suite
+// proves it by comparing stores byte for byte with every plan on vs.
+// off.
+//
+// Fault windows are measured in *events*: every gated interaction
+// with a worker — an execute call or a health probe — advances the
+// worker's event counter by one. Probing is therefore part of the
+// schedule: a partitioned worker's circuit-breaker probes burn
+// through the partition window, which is how the fleet heals without
+// wall-clock time entering the model.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Plan is one named fault schedule: a registered primitive plus its
+// resolved parameters. Build returns plans with the full parameter
+// set spelled out, so a stored plan replays the exact conditions even
+// if the registry defaults later change (the scenario rule).
+type Plan struct {
+	// Name is the registry key (e.g. "crash-restart").
+	Name string
+	// Params are the plan's named numeric parameters, defaults merged.
+	Params map[string]float64
+}
+
+// Parameters (not every plan uses every one):
+//
+//	victims — workers afflicted, chosen by seeded permutation (>= 1)
+//	at      — event index the fault arms at (>= 0)
+//	count   — fault window length in events (>= 1)
+//	probes  — health probes a crash-restart needs before it heals (>= 1)
+//	delayMs — stall duration per afflicted call, milliseconds (>= 0)
+var registry = map[string]map[string]float64{
+	// crash: the victim fails every interaction from event `at` on and
+	// never comes back — the permanent-loss baseline.
+	"crash": {"victims": 1, "at": 0},
+	// crash-restart: like crash, but after `probes` health probes the
+	// worker is up again and must be readmitted.
+	"crash-restart": {"victims": 1, "at": 0, "probes": 2},
+	// stall: calls in the window succeed but only after delayMs — the
+	// slow-worker / head-of-line case per-attempt deadlines exist for.
+	"stall": {"victims": 1, "at": 0, "count": 2, "delayMs": 5},
+	// error-burst: calls in the window fail at the transport level,
+	// but the worker is up (health probes succeed throughout).
+	"error-burst": {"victims": 1, "at": 0, "count": 2},
+	// torn-response: the worker does the work — and persists it — but
+	// the response is truncated mid-body. The retry-on-same-worker
+	// dedupe (store restore) is what this plan exists to prove.
+	"torn-response": {"victims": 1, "at": 0, "count": 2},
+	// partition: every interaction in the window fails, health probes
+	// included; the window passing is the partition healing.
+	"partition": {"victims": 1, "at": 0, "count": 4},
+}
+
+// integerParams must hold non-negative integers; delayMs may be
+// fractional.
+var integerParams = map[string]bool{"victims": true, "at": true, "count": true, "probes": true}
+
+// Build resolves a plan name with parameter overrides against the
+// registry: unknown names and unknown or invalid parameters are
+// errors, and the returned plan spells out the full merged set. Build
+// is idempotent — feeding a built plan's params back yields an equal
+// plan — which is what lets expspec canonicalize the faults section.
+func Build(name string, params map[string]float64) (Plan, error) {
+	defaults, ok := registry[name]
+	if !ok {
+		return Plan{}, fmt.Errorf("faults: unknown fault plan %q (known: %v)", name, Names())
+	}
+	merged := make(map[string]float64, len(defaults))
+	for k, v := range defaults {
+		merged[k] = v
+	}
+	for k, v := range params {
+		if _, ok := defaults[k]; !ok {
+			return Plan{}, fmt.Errorf("faults: plan %q has no parameter %q", name, k)
+		}
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return Plan{}, fmt.Errorf("faults: plan %q parameter %s = %v must be finite and >= 0", name, k, v)
+		}
+		if integerParams[k] && v != math.Trunc(v) {
+			return Plan{}, fmt.Errorf("faults: plan %q parameter %s = %v must be an integer", name, k, v)
+		}
+		merged[k] = v
+	}
+	for _, k := range []string{"victims", "count", "probes"} {
+		if v, ok := merged[k]; ok && v < 1 {
+			return Plan{}, fmt.Errorf("faults: plan %q parameter %s = %v must be >= 1", name, k, v)
+		}
+	}
+	return Plan{Name: name, Params: merged}, nil
+}
+
+// Names returns the registered plan names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

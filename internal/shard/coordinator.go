@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -32,6 +33,17 @@ type Campaign struct {
 	// cell substreams are keyed by label, a retried shard reproduces
 	// the dead worker's results byte for byte.
 	Attempts int
+	// Retry parameterises per-worker resilience: same-worker retry
+	// attempts, backoff with seeded jitter, and the circuit breaker.
+	// The zero value means defaults (see RetryPolicy).
+	Retry RetryPolicy
+	// Fallback, when non-nil, absorbs a shard's cells locally after
+	// every ring worker failed — graceful degradation instead of a
+	// failed campaign. It should be storeless (&InProcWorker{}): the
+	// coordinator repairs coverage by appending the absorbed cells'
+	// records to a collected shard (or a synthesized one), so a
+	// fallback store would only collide with worker shard stamps.
+	Fallback Worker
 }
 
 // Run executes the campaign across the workers and returns the
@@ -64,23 +76,32 @@ func Run(c Campaign) (fleet.CampaignResult, []store.ShardData, error) {
 			return fleet.CampaignResult{}, nil, fmt.Errorf("shard: worker %d: %w", i, err)
 		}
 	}
+	if c.Fallback != nil {
+		if err := c.Fallback.Begin(rc, 0, len(c.Workers)); err != nil {
+			return fleet.CampaignResult{}, nil, fmt.Errorf("shard: fallback worker: %w", err)
+		}
+	}
 	defer func() {
 		for _, w := range c.Workers {
 			w.Close()
 		}
+		if c.Fallback != nil {
+			c.Fallback.Close()
+		}
 	}()
 
-	// dead marks workers that failed an Execute. An unreachable store
-	// at collection time is survivable for them — and only for them —
-	// but not automatically safe: in a multi-batch campaign a worker
-	// may have persisted earlier batches that were never re-executed
-	// elsewhere, so collection below re-checks coverage and recovers
-	// any cell that exists in no reachable store.
+	// dead marks workers that failed a whole Execute visit. An
+	// unreachable store at collection time is survivable for them —
+	// and only for them — but not automatically safe: in a multi-batch
+	// campaign a worker may have persisted earlier batches that were
+	// never re-executed elsewhere, so collection below re-checks
+	// coverage and repairs any cell that exists in no reachable store.
 	dead := &deadSet{members: make([]bool, len(c.Workers))}
+	health := newFleetHealth(c.Workers, c.Fallback, c.Retry, dead)
 
 	var result fleet.CampaignResult
 	if spec.Stopping.IsZero() {
-		results, err := runBatch(c.Workers, specKey, attempts, dead, spec.Cells())
+		results, err := runBatch(health, specKey, attempts, spec.Cells())
 		if err != nil {
 			return fleet.CampaignResult{}, nil, err
 		}
@@ -99,7 +120,7 @@ func Run(c Campaign) (fleet.CampaignResult, []store.ShardData, error) {
 			if len(batch) == 0 {
 				break
 			}
-			results, err := runBatch(c.Workers, specKey, attempts, dead, batch)
+			results, err := runBatch(health, specKey, attempts, batch)
 			if err != nil {
 				return fleet.CampaignResult{}, nil, err
 			}
@@ -118,23 +139,43 @@ func Run(c Campaign) (fleet.CampaignResult, []store.ShardData, error) {
 	// Completeness: every successful cell was persisted by some
 	// worker, and skipping a dead worker's unreachable store is safe
 	// only if its cells survive in another shard. A worker that died
-	// after persisting earlier batches (or restarted and lost its run)
-	// leaves a gap here; re-execute exactly the uncovered cells — the
-	// retry is byte-identical because substreams are keyed by label —
-	// and refuse loudly if coverage still fails. Storeless fleets
-	// collect no shards and have nothing to merge, so there is no
-	// expectation to enforce.
+	// after persisting earlier batches (or restarted and lost its
+	// run) leaves a gap here, and so do cells the local fallback
+	// absorbed. Re-executing is unnecessary: every successful cell's
+	// result is in memory and byte-identical to what a worker would
+	// have persisted (store.NewCellRecord is the same constructor
+	// Run.Put uses), so repair appends the canonical records to a
+	// collected shard — or to a synthesized one when local absorption
+	// left no worker store at all. Storeless fleets that never
+	// absorbed collect no shards and have nothing to merge, so there
+	// is no expectation to enforce.
+	if missing := uncoveredCells(result, shards); len(missing) > 0 && (len(shards) > 0 || health.didAbsorb()) {
+		if len(shards) == 0 {
+			meta := c.Meta
+			meta.Shard = &store.ShardStamp{Index: 0, Count: len(c.Workers)}
+			m, err := store.BuildManifest(c.RunID, spec, meta)
+			if err != nil {
+				return fleet.CampaignResult{}, nil, fmt.Errorf("shard: synthesizing a shard for locally absorbed cells: %w", err)
+			}
+			shards = append(shards, store.ShardData{Manifest: m})
+		}
+		byLabel := make(map[string]fleet.CellResult, len(result.Cells))
+		for _, res := range result.Cells {
+			if res.Err == nil {
+				byLabel[res.Cell.Label()] = res
+			}
+		}
+		for _, cell := range missing {
+			rec, err := store.NewCellRecord(byLabel[cell.Label()])
+			if err != nil {
+				return fleet.CampaignResult{}, nil, fmt.Errorf("shard: repairing coverage for cell %s: %w", cell.Label(), err)
+			}
+			shards[0].Cells = append(shards[0].Cells, rec)
+		}
+	}
 	if len(shards) > 0 {
-		if missing := uncoveredCells(result, shards); len(missing) > 0 {
-			if _, err := runBatch(c.Workers, specKey, attempts, dead, missing); err != nil {
-				return fleet.CampaignResult{}, nil, fmt.Errorf("shard: recovering %d cells lost with an unreachable shard store: %w", len(missing), err)
-			}
-			if shards, err = collectShards(c.Workers, dead); err != nil {
-				return fleet.CampaignResult{}, nil, err
-			}
-			if still := uncoveredCells(result, shards); len(still) > 0 {
-				return fleet.CampaignResult{}, nil, fmt.Errorf("shard: %d measured cells (first: %s) are in no collected shard store — refusing to hand an incomplete campaign to the merge", len(still), still[0].Label())
-			}
+		if still := uncoveredCells(result, shards); len(still) > 0 {
+			return fleet.CampaignResult{}, nil, fmt.Errorf("shard: %d measured cells (first: %s) are in no collected shard store — refusing to hand an incomplete campaign to the merge", len(still), still[0].Label())
 		}
 	}
 	return result, shards, nil
@@ -199,10 +240,11 @@ func (d *deadSet) is(i int) bool {
 }
 
 // runBatch partitions one batch of cells by owner, executes every
-// part on its preferred worker (falling through the worker ring on
-// transport failure), and scatters the results back into batch order.
-func runBatch(workers []Worker, specKey string, attempts int, dead *deadSet, cells []fleet.Cell) ([]fleet.CellResult, error) {
-	n := len(workers)
+// part on its preferred worker (falling through the worker ring when
+// a visit fails, then to the local fallback), and scatters the
+// results back into batch order.
+func runBatch(health *fleetHealth, specKey string, attempts int, cells []fleet.Cell) ([]fleet.CellResult, error) {
+	n := len(health.workers)
 	parts := make([][]fleet.Cell, n)
 	slot := make(map[string]int, len(cells))
 	for i, cell := range cells {
@@ -225,16 +267,32 @@ func runBatch(workers []Worker, specKey string, attempts int, dead *deadSet, cel
 			var lastErr error
 			for a := 0; a < attempts; a++ {
 				w := (s + a) % n
-				res, err := workers[w].Execute(parts[s])
+				// A worker-level failure is retried here and the cells
+				// re-execute elsewhere from their original label-keyed
+				// substreams, so every recovery is deterministic.
+				res, err := health.execute(w, parts[s])
 				if err == nil {
 					out[s] = res
 					return
 				}
-				// Worker-level failure: the cells re-execute on the
-				// next worker from their original substreams, so the
-				// recovery is deterministic.
-				dead.mark(w)
+				if Classify(err) == ClassFatal {
+					errs[s] = fmt.Errorf("shard: shard %d: %w", s, err)
+					return
+				}
+				if !errors.Is(err, errBreakerOpen) {
+					lastErr = err
+				}
+			}
+			// The whole ring failed: absorb the shard locally rather
+			// than fail the campaign, if a fallback is configured.
+			if res, err := health.absorb(parts[s]); err == nil {
+				out[s] = res
+				return
+			} else if !errors.Is(err, errNoFallback) {
 				lastErr = err
+			}
+			if lastErr == nil {
+				lastErr = errBreakerOpen
 			}
 			errs[s] = fmt.Errorf("shard: shard %d failed on all %d workers tried: %w", s, attempts, lastErr)
 		}(s)

@@ -9,11 +9,17 @@ package shard
 // resume path uses — so a cell that crossed the wire is byte-identical
 // to one executed locally.
 //
-//	POST /v1/execute  — run cells of a campaign, creating the
-//	                    worker's shard-stamped store run on first use
+//	POST /v1/execute  — run cells of a campaign, creating (or, after
+//	                    a restart, resuming) the worker's
+//	                    shard-stamped store run on first use
 //	GET  /v1/shard    — the worker's persisted shard (store.ShardData)
 //	POST /v1/close    — release a campaign's store handle
+//	GET  /v1/health   — heartbeat (the breaker's half-open probe)
 //	GET  /healthz     — liveness
+//
+// Errors travel as a uniform JSON envelope (ErrorBody) with the
+// status repeated in the body, so clients never have to scrape
+// plain-text bodies; request bodies are capped with MaxBytesReader.
 //
 // The worker recompiles the campaign from the canonical expspec
 // document. Compile is pure, so coordinator and worker hold equal
@@ -23,12 +29,14 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"cloudvar/internal/core"
 	"cloudvar/internal/expspec"
@@ -123,20 +131,72 @@ func (s *WorkerServer) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, "{\"status\":\"ok\"}\n")
+	})
 	mux.HandleFunc("POST /v1/execute", s.handleExecute)
 	mux.HandleFunc("GET /v1/shard", s.handleShard)
 	mux.HandleFunc("POST /v1/close", s.handleClose)
 	return mux
 }
 
-// httpError writes a plain-text error with the given status.
+// Close releases every cached run handle — the worker half of a
+// graceful shutdown, after the HTTP server has drained.
+func (s *WorkerServer) Close() error {
+	s.mu.Lock()
+	runs := s.runs
+	s.runs = make(map[string]*workerCampaign)
+	s.mu.Unlock()
+	var first error
+	for _, wc := range runs {
+		if err := wc.run.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// maxRequestBytes caps POST bodies on worker and campaignd handlers:
+// generous for a spec document plus a cell-label batch, far below
+// anything that could pin the process's memory.
+const maxRequestBytes = 16 << 20
+
+// ErrorBody is the JSON error envelope every worker and campaignd
+// endpoint answers failures with.
+type ErrorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// WriteHTTPError writes the uniform JSON error envelope.
+func WriteHTTPError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorBody{Error: err.Error(), Status: status})
+}
+
+// errorMessage extracts the envelope's message from a response body,
+// falling back to the raw bytes for non-envelope (garbage) bodies.
+func errorMessage(b []byte) string {
+	var eb ErrorBody
+	if json.Unmarshal(b, &eb) == nil && eb.Error != "" {
+		return eb.Error
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+// httpError writes the JSON error envelope with the given status.
 func httpError(w http.ResponseWriter, status int, err error) {
-	http.Error(w, err.Error(), status)
+	WriteHTTPError(w, status, err)
 }
 
 // campaignFor returns (creating on first use) the worker's state for
-// one run: the compiled spec and the shard-stamped store run.
-func (s *WorkerServer) campaignFor(req executeRequest) (*workerCampaign, error) {
+// one run: the compiled spec and the shard-stamped store run. The
+// returned status distinguishes protocol refusals (400 — binding
+// conflicts, spec mismatches; fatal at the coordinator) from store
+// I/O trouble (500 — transient, the coordinator retries elsewhere).
+func (s *WorkerServer) campaignFor(req executeRequest) (*workerCampaign, int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if wc, ok := s.runs[req.RunID]; ok {
@@ -145,53 +205,75 @@ func (s *WorkerServer) campaignFor(req executeRequest) (*workerCampaign, error) 
 		// under the cached spec and persist them into the other
 		// campaign's shard store.
 		if req.SpecKey != "" && req.SpecKey != wc.key {
-			return nil, fmt.Errorf("shard: run %q is already bound to spec key %.12s, request carries %.12s — one run id cannot serve two campaigns", req.RunID, wc.key, req.SpecKey)
+			return nil, http.StatusBadRequest, fmt.Errorf("shard: run %q is already bound to spec key %.12s, request carries %.12s — one run id cannot serve two campaigns", req.RunID, wc.key, req.SpecKey)
 		}
-		return wc, nil
+		return wc, http.StatusOK, nil
 	}
 	doc, err := expspec.Decode(req.SpecDoc)
 	if err != nil {
-		return nil, fmt.Errorf("shard: worker decoding spec: %w", err)
+		return nil, http.StatusBadRequest, fmt.Errorf("shard: worker decoding spec: %w", err)
 	}
 	plan, err := expspec.Compile(doc)
 	if err != nil {
-		return nil, fmt.Errorf("shard: worker compiling spec: %w", err)
+		return nil, http.StatusBadRequest, fmt.Errorf("shard: worker compiling spec: %w", err)
 	}
 	if plan.Campaign == nil {
-		return nil, fmt.Errorf("shard: spec document has no campaign section")
+		return nil, http.StatusBadRequest, fmt.Errorf("shard: spec document has no campaign section")
 	}
 	spec := plan.Campaign.Spec
 	key, err := store.SpecKey(spec)
 	if err != nil {
-		return nil, err
+		return nil, http.StatusBadRequest, err
 	}
 	if req.SpecKey != "" && key != req.SpecKey {
-		return nil, fmt.Errorf("shard: coordinator sent spec key %.12s but the document compiles to %.12s — mismatched binaries must not share a campaign", req.SpecKey, key)
+		return nil, http.StatusBadRequest, fmt.Errorf("shard: coordinator sent spec key %.12s but the document compiles to %.12s — mismatched binaries must not share a campaign", req.SpecKey, key)
 	}
 	st, err := store.Open(s.dir)
 	if err != nil {
-		return nil, err
+		return nil, http.StatusInternalServerError, err
 	}
 	meta := metaFromWire(req.Meta)
 	meta.Shard = &store.ShardStamp{Index: req.Index, Count: req.Count}
-	run, err := st.CreateWithMeta(req.RunID, spec, meta)
-	if err != nil {
-		return nil, err
+	var run *store.Run
+	if _, merr := st.Manifest(req.RunID); merr == nil {
+		// The run survived a worker restart: resume the persisted
+		// shard (SpecKey re-verified by Resume) instead of refusing
+		// the campaign. Already-persisted cells restore through the
+		// sink, so a readmitted worker re-executes none of them.
+		run, err = st.Resume(req.RunID, spec)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		if got := run.Manifest().Shard; got == nil || *got != *meta.Shard {
+			run.Close()
+			return nil, http.StatusBadRequest, fmt.Errorf("shard: run %q on disk carries stamp %v but the request assigns shard %d/%d — refusing to mix shard assignments", req.RunID, got, req.Index, req.Count)
+		}
+	} else {
+		run, err = st.CreateWithMeta(req.RunID, spec, meta)
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
 	}
 	wc := &workerCampaign{spec: spec, key: key, st: st, run: run}
 	s.runs[req.RunID] = wc
-	return wc, nil
+	return wc, http.StatusOK, nil
 }
 
 func (s *WorkerServer) handleExecute(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var req executeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("shard: decoding execute request: %w", err))
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, fmt.Errorf("shard: decoding execute request: %w", err))
 		return
 	}
-	wc, err := s.campaignFor(req)
+	wc, status, err := s.campaignFor(req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, status, err)
 		return
 	}
 	spec := wc.spec
@@ -277,19 +359,41 @@ func (s *WorkerServer) handleClose(w http.ResponseWriter, r *http.Request) {
 }
 
 // HTTPWorker drives one remote worker process. The coordinator
-// retries a shard on the next worker when a call fails at the
-// transport level (connection refused, timeout via Client.Timeout,
-// non-2xx status) — the dead-worker reassignment path.
+// retries a call on the same worker (with backoff), then on the next
+// ring worker, when it fails at the transport level — connection
+// refused, a per-attempt deadline, a torn response, a 5xx — and
+// aborts the campaign on 4xx protocol refusals (see Classify).
 type HTTPWorker struct {
 	// URL is the worker's base URL (e.g. "http://127.0.0.1:7071").
 	URL string
-	// Client issues the requests; nil means http.DefaultClient. Set
-	// Client.Timeout to bound how long a dead worker can stall a
-	// shard before reassignment.
+	// Client issues the requests; nil means http.DefaultClient.
+	// Client.Timeout bounds a whole call including retries at the
+	// transport; prefer AttemptTimeout for per-try bounds.
 	Client *http.Client
+	// AttemptTimeout bounds each individual request via its context —
+	// distinct from Client.Timeout, so one stalled attempt is cut
+	// short and retried instead of consuming the whole call budget.
+	// Zero means no per-attempt deadline.
+	AttemptTimeout time.Duration
 
 	rc           RunContext
 	index, count int
+}
+
+// StatusError is a non-2xx worker response: the status code drives
+// the transient/fatal classification, the message is the server's
+// error-envelope text.
+type StatusError struct {
+	// URL is the worker's base URL.
+	URL string
+	// Code is the HTTP status code.
+	Code int
+	// Msg is the decoded error-envelope message (or the raw body).
+	Msg string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("shard: worker %s answered %d: %s", e.URL, e.Code, e.Msg)
 }
 
 func (w *HTTPWorker) client() *http.Client {
@@ -377,13 +481,38 @@ func (w *HTTPWorker) Shard() (store.ShardData, bool, error) {
 		return store.ShardData{}, false, nil
 	}
 	if resp.StatusCode != http.StatusOK {
-		return store.ShardData{}, false, fmt.Errorf("shard: worker %s: %s: %s", w.URL, resp.Status, bytes.TrimSpace(b))
+		return store.ShardData{}, false, &StatusError{URL: w.URL, Code: resp.StatusCode, Msg: errorMessage(b)}
 	}
 	d, err := store.DecodeShardData(b)
 	if err != nil {
 		return store.ShardData{}, false, err
 	}
 	return d, true, nil
+}
+
+// Health implements HealthChecker: the breaker's half-open probe. A
+// nil return means the worker process is up and answering.
+func (w *HTTPWorker) Health() error {
+	ctx := context.Background()
+	if w.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, w.AttemptTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.URL+"/v1/health", nil)
+	if err != nil {
+		return fmt.Errorf("shard: probing worker %s: %w", w.URL, err)
+	}
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("shard: probing worker %s: %w", w.URL, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return &StatusError{URL: w.URL, Code: resp.StatusCode, Msg: errorMessage(b)}
+	}
+	return nil
 }
 
 // Close implements Worker: release the remote store handle. A dead
@@ -401,11 +530,24 @@ func (w *HTTPWorker) Close() error {
 	return nil
 }
 
-// post issues one JSON request/response round trip. Any failure —
-// transport, timeout, non-2xx — is a worker-level error that triggers
-// reassignment at the coordinator.
+// post issues one JSON request/response round trip, bounded by
+// AttemptTimeout when set. Any failure — transport, deadline, torn
+// body, non-2xx — is a worker-level error the coordinator's retry
+// machinery classifies: StatusError carries the code for the
+// transient/fatal split, everything else is transient.
 func (w *HTTPWorker) post(path string, body []byte, out any) error {
-	resp, err := w.client().Post(w.URL+path, "application/json", bytes.NewReader(body))
+	ctx := context.Background()
+	if w.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, w.AttemptTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.URL+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("shard: calling worker %s: %w", w.URL, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
 	if err != nil {
 		return fmt.Errorf("shard: calling worker %s: %w", w.URL, err)
 	}
@@ -415,7 +557,7 @@ func (w *HTTPWorker) post(path string, body []byte, out any) error {
 		return fmt.Errorf("shard: reading worker %s response: %w", w.URL, err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("shard: worker %s: %s: %s", w.URL, resp.Status, bytes.TrimSpace(b))
+		return &StatusError{URL: w.URL, Code: resp.StatusCode, Msg: errorMessage(b)}
 	}
 	if err := json.Unmarshal(b, out); err != nil {
 		return fmt.Errorf("shard: decoding worker %s response: %w", w.URL, err)

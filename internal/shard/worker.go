@@ -64,7 +64,11 @@ type InProcWorker struct {
 	runID string
 }
 
-// Begin implements Worker: create the worker's shard-stamped run.
+// Begin implements Worker: create the worker's shard-stamped run —
+// or, when the run already exists under Dir (a worker restarted over
+// its old store), resume it after re-verifying the spec key and
+// shard stamp. Resumed cells restore through the sink, so a restarted
+// worker re-executes none of what it already persisted.
 func (w *InProcWorker) Begin(rc RunContext, index, count int) error {
 	w.spec = rc.Spec
 	w.runID = rc.RunID
@@ -77,9 +81,21 @@ func (w *InProcWorker) Begin(rc RunContext, index, count int) error {
 	}
 	meta := rc.Meta
 	meta.Shard = &store.ShardStamp{Index: index, Count: count}
-	run, err := st.CreateWithMeta(rc.RunID, rc.Spec, meta)
-	if err != nil {
-		return err
+	var run *store.Run
+	if _, merr := st.Manifest(rc.RunID); merr == nil {
+		run, err = st.Resume(rc.RunID, rc.Spec)
+		if err != nil {
+			return err
+		}
+		if got := run.Manifest().Shard; got == nil || *got != *meta.Shard {
+			run.Close()
+			return fmt.Errorf("shard: run %q on disk carries stamp %v but this worker is assigned shard %d/%d — refusing to mix shard assignments", rc.RunID, got, index, count)
+		}
+	} else {
+		run, err = st.CreateWithMeta(rc.RunID, rc.Spec, meta)
+		if err != nil {
+			return err
+		}
 	}
 	w.st, w.run = st, run
 	return nil

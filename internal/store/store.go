@@ -231,24 +231,41 @@ func (s *Store) Create(runID string, spec fleet.CampaignSpec, fingerprints map[s
 // including the canonical experiment-spec document the run was
 // launched from.
 func (s *Store) CreateWithMeta(runID string, spec fleet.CampaignSpec, meta RunMeta) (*Run, error) {
+	m, err := BuildManifest(runID, spec, meta)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.commitRun(m, nil); err != nil {
+		return nil, err
+	}
+	return s.openRun(m)
+}
+
+// BuildManifest computes the manifest CreateWithMeta would commit for
+// (runID, spec, meta) without touching disk. The shard coordinator's
+// graceful-degradation path uses it to synthesize a shard manifest
+// for cells it absorbed locally when no worker store survived — the
+// bytes must be exactly what a worker's CreateWithMeta would have
+// written, or the merge refuses them.
+func BuildManifest(runID string, spec fleet.CampaignSpec, meta RunMeta) (Manifest, error) {
 	if !runIDPattern.MatchString(runID) {
-		return nil, fmt.Errorf("store: run id %q must match %s", runID, runIDPattern)
+		return Manifest{}, fmt.Errorf("store: run id %q must match %s", runID, runIDPattern)
 	}
 	id := Identity(spec)
 	key, err := id.Key()
 	if err != nil {
-		return nil, err
+		return Manifest{}, err
 	}
 	matrixKey, err := id.MatrixKey()
 	if err != nil {
-		return nil, err
+		return Manifest{}, err
 	}
 	if len(meta.ExperimentSpec) > 0 && !json.Valid(meta.ExperimentSpec) {
-		return nil, fmt.Errorf("store: run %q experiment spec is not valid JSON", runID)
+		return Manifest{}, fmt.Errorf("store: run %q experiment spec is not valid JSON", runID)
 	}
 	enc, err := NormalizeEncoding(meta.Encoding)
 	if err != nil {
-		return nil, err
+		return Manifest{}, err
 	}
 	m := Manifest{
 		// Stamped with the identity's schema — the oldest version able
@@ -274,7 +291,7 @@ func (s *Store) CreateWithMeta(runID string, spec fleet.CampaignSpec, meta RunMe
 	}
 	if meta.Shard != nil {
 		if err := meta.Shard.Validate(); err != nil {
-			return nil, err
+			return Manifest{}, err
 		}
 		stamp := *meta.Shard
 		m.Shard = &stamp
@@ -285,10 +302,7 @@ func (s *Store) CreateWithMeta(runID string, spec fleet.CampaignSpec, meta RunMe
 			m.Schema = 6
 		}
 	}
-	if err := s.commitRun(m, nil); err != nil {
-		return nil, err
-	}
-	return s.openRun(m)
+	return m, nil
 }
 
 // commitRun atomically materialises a run directory: the manifest
@@ -468,8 +482,14 @@ type Run struct {
 	payload, frame []byte
 	// completed caches the first Completed load so callers (a CLI
 	// banner, then fleet.Run) do not re-read and re-decode the whole
-	// cells file.
+	// cells file. It is never mutated after the load — callers hold it
+	// without the lock.
 	completed map[string]fleet.StoredCell
+	// appended records cells Put through this handle, so a later
+	// Completed call sees them: a worker retried on a request whose
+	// response was lost (torn, stalled past the deadline) must restore
+	// the cells it already persisted, not append duplicates.
+	appended map[string]fleet.StoredCell
 }
 
 func (s *Store) openRun(m Manifest) (*Run, error) {
@@ -512,39 +532,52 @@ func truncateTornTail(path string) error {
 func (r *Run) Manifest() Manifest { return r.manifest }
 
 // Completed implements fleet.Sink: the persisted cells by label. The
-// result is loaded once per open run and cached — it reflects the
-// state at first call and deliberately excludes cells appended
-// through this handle afterwards. Callers must not mutate the
-// returned map.
+// on-disk state is loaded once per open run and cached; cells
+// appended through this handle afterwards are layered on top, so a
+// second Completed call (a worker re-executing a batch whose response
+// was lost in transit) restores them instead of re-running them.
+// Callers must not mutate the returned map.
 func (r *Run) Completed() (map[string]fleet.StoredCell, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.completed != nil {
+	if r.completed == nil {
+		recs, err := r.store.Cells(r.manifest.RunID)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]fleet.StoredCell, len(recs))
+		for _, rec := range recs {
+			out[rec.Label] = fleet.StoredCell{Series: rec.Series, Workload: rec.Workload}
+		}
+		r.completed = out
+	}
+	if len(r.appended) == 0 {
 		return r.completed, nil
 	}
-	recs, err := r.store.Cells(r.manifest.RunID)
-	if err != nil {
-		return nil, err
+	// Merge into a fresh map: the cached load stays immutable (callers
+	// read it without the lock) and the appended layer keeps growing.
+	out := make(map[string]fleet.StoredCell, len(r.completed)+len(r.appended))
+	for k, v := range r.completed {
+		out[k] = v
 	}
-	out := make(map[string]fleet.StoredCell, len(recs))
-	for _, rec := range recs {
-		out[rec.Label] = fleet.StoredCell{Series: rec.Series, Workload: rec.Workload}
+	for k, v := range r.appended {
+		out[k] = v
 	}
-	r.completed = out
 	return out, nil
 }
 
-// Put implements fleet.Sink: append one successful cell as a single
-// fsynced JSONL line. Safe for concurrent use; errored cells are
-// rejected rather than persisted.
-func (r *Run) Put(res fleet.CellResult) error {
+// NewCellRecord builds the canonical persisted form of one successful
+// cell result — exactly the record Run.Put appends, exported so the
+// shard coordinator's coverage repair can append byte-identical
+// records to a collected shard instead of re-executing cells.
+func NewCellRecord(res fleet.CellResult) (CellRecord, error) {
 	if res.Err != nil {
-		return fmt.Errorf("store: refusing to persist failed cell %s: %w", res.Cell.Label(), res.Err)
+		return CellRecord{}, fmt.Errorf("store: refusing to persist failed cell %s: %w", res.Cell.Label(), res.Err)
 	}
 	if res.Series == nil {
-		return fmt.Errorf("store: cell %s has no series", res.Cell.Label())
+		return CellRecord{}, fmt.Errorf("store: cell %s has no series", res.Cell.Label())
 	}
-	rec := CellRecord{
+	return CellRecord{
 		Schema:   cellSchema(res.Workload),
 		Label:    res.Cell.Label(),
 		Cloud:    res.Cell.Profile.Cloud,
@@ -553,6 +586,16 @@ func (r *Run) Put(res fleet.CellResult) error {
 		Rep:      res.Cell.Rep,
 		Series:   res.Series,
 		Workload: res.Workload,
+	}, nil
+}
+
+// Put implements fleet.Sink: append one successful cell as a single
+// fsynced JSONL line. Safe for concurrent use; errored cells are
+// rejected rather than persisted.
+func (r *Run) Put(res fleet.CellResult) error {
+	rec, err := NewCellRecord(res)
+	if err != nil {
+		return err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -579,6 +622,10 @@ func (r *Run) Put(res fleet.CellResult) error {
 	if err := r.f.Sync(); err != nil {
 		return fmt.Errorf("store: syncing cell %s: %w", rec.Label, err)
 	}
+	if r.appended == nil {
+		r.appended = make(map[string]fleet.StoredCell)
+	}
+	r.appended[rec.Label] = fleet.StoredCell{Series: rec.Series, Workload: rec.Workload}
 	return nil
 }
 
